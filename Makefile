@@ -1,0 +1,32 @@
+# Convenience targets for the structured-data reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench artifacts examples clean
+
+install:
+	pip install -e . && pip install pytest pytest-benchmark hypothesis
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+artifacts:
+	$(PYTHON) -m repro all artifacts/
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/spread_of_data.py
+	$(PYTHON) examples/tail_value.py
+	$(PYTHON) examples/connectivity.py
+	$(PYTHON) examples/full_pipeline.py
+	$(PYTHON) examples/wrapper_induction.py
+	$(PYTHON) examples/entity_resolution.py
+	$(PYTHON) examples/source_discovery.py
+	$(PYTHON) examples/extension_studies.py
+
+clean:
+	rm -rf artifacts/ benchmarks/output/ .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,67 @@
+"""Ablation: researching vs. transactional demand (Section 4.3.2).
+
+The paper explains its "counter-intuitive" decreasing value-add with a
+popularity-increasing conversion rate: the logs measure *researching*
+demand, while reviews track *transactions*.  This ablation applies the
+conversion model and confirms the mechanism: VA computed on
+transactional demand moves toward the naive y = 1 proportionality line,
+while VA on researching demand keeps the paper's decreasing shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.valueadd import value_add_curve
+from repro.pipeline.experiments import build_traffic_dataset
+from repro.traffic.conversion import ConversionModel
+
+
+@pytest.fixture(scope="module")
+def dataset(config):
+    return build_traffic_dataset("amazon", config)
+
+
+def test_ablation_conversion_model(benchmark, dataset):
+    model = ConversionModel(base_rate=0.01, max_rate=0.25, popularity_exponent=0.5)
+    transactions = benchmark(model.expected_transactions, dataset.search_demand)
+    assert transactions.sum() < dataset.search_demand.sum()
+
+
+def test_ablation_conversion_emit(benchmark, dataset):
+    model = ConversionModel(base_rate=0.01, max_rate=0.25, popularity_exponent=0.5)
+
+    def curves():
+        researching = value_add_curve(dataset.search_demand, dataset.reviews)
+        transactional = value_add_curve(
+            model.expected_transactions(dataset.search_demand), dataset.reviews
+        )
+        return researching, transactional
+
+    researching, transactional = benchmark.pedantic(curves, rounds=1, iterations=1)
+    emit(
+        "ablation_conversion",
+        {
+            "researching demand": (
+                researching.review_counts,
+                researching.relative_value_add,
+            ),
+            "transactional demand": (
+                transactional.review_counts,
+                transactional.relative_value_add,
+            ),
+        },
+        title="Ablation: VA(n)/VA(0) under researching vs transactional demand",
+        log_x=True,
+        x_label="# of reviews",
+        y_label="relative value-add",
+    )
+    # transactional demand closes the gap toward proportionality
+    shared = min(
+        len(researching.relative_value_add), len(transactional.relative_value_add)
+    )
+    gap_researching = np.abs(1.0 - researching.relative_value_add[1:shared])
+    gap_transactional = np.abs(1.0 - transactional.relative_value_add[1:shared])
+    assert gap_transactional.mean() < gap_researching.mean()

@@ -1,0 +1,70 @@
+"""Ablation: the I∆ = 1/(1+n) envelope, verified on live aggregation.
+
+Section 4.3.1 *assumes* the (n+1)-th review can shift an average
+presentation by at most 1/(1+n) (times the rating span).  Here we run
+the actual aggregation over polarity-scored synthetic reviews and
+measure realized influences: every one must sit under the envelope and
+their mean must track its decay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.extract.sentiment import RatingAggregate, influence_bound, polarity
+from repro.webgen.text import ReviewTextGenerator
+
+
+@pytest.fixture(scope="module")
+def influence_samples():
+    generator = ReviewTextGenerator(61)
+    max_reviews = 200
+    runs = 60
+    realized = np.zeros((runs, max_reviews))
+    for run in range(runs):
+        aggregate = RatingAggregate()
+        for n_before in range(max_reviews):
+            text = generator.review(f"entity {run}")
+            realized[run, n_before] = aggregate.add(polarity(text))
+    return realized
+
+
+def test_influence_aggregation(benchmark):
+    generator = ReviewTextGenerator(62)
+
+    def aggregate_stream():
+        aggregate = RatingAggregate()
+        for i in range(500):
+            aggregate.add_review(generator.review(f"e{i}"))
+        return aggregate
+
+    aggregate = benchmark.pedantic(aggregate_stream, rounds=2, iterations=1)
+    assert aggregate.n_reviews == 500
+
+
+def test_influence_emit(benchmark, influence_samples):
+    realized = influence_samples
+    ns = np.arange(realized.shape[1])
+    bound = np.array([influence_bound(int(n)) for n in ns])
+    mean_realized = benchmark(lambda: realized.mean(axis=0))
+    emit(
+        "ablation_influence",
+        {
+            "I-delta envelope 2/(1+n)": (ns + 1, bound),
+            "mean realized influence": (ns + 1, mean_realized),
+            "max realized influence": (ns + 1, realized.max(axis=0)),
+        },
+        title="The (n+1)-th review's influence on the mean rating",
+        log_x=True,
+        log_y=True,
+        x_label="existing reviews n (+1)",
+        y_label="|mean shift|",
+    )
+    # every realized influence is under the envelope
+    assert np.all(realized <= bound[None, :] + 1e-9)
+    # and the mean tracks the decay (within a constant factor)
+    late = slice(50, None)
+    assert np.all(mean_realized[late] <= bound[late])
+    assert mean_realized[100] < mean_realized[10] < mean_realized[1]

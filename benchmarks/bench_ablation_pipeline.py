@@ -1,0 +1,83 @@
+"""Ablation: graph-level incidence vs. full HTML extraction pipeline.
+
+The spread experiments run on the directly-generated incidence; this
+ablation renders the same incidence to HTML, re-extracts it with the
+Section 3.2 matchers, and compares the coverage curves.  The claim
+being checked: extraction noise (classifier errors, rejected false
+matches) does not change the curve shapes the paper's conclusions rest
+on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.coverage import k_coverage_curves
+from repro.core.curves import max_gap
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.experiments import run_spread_via_extraction
+
+
+@pytest.fixture(scope="module")
+def pipeline_config():
+    # the HTML path renders every page, so it runs at tiny scale
+    return ExperimentConfig(scale="tiny", seed=2)
+
+
+def test_ablation_full_pipeline_phone(benchmark, pipeline_config):
+    result, truth = benchmark.pedantic(
+        run_spread_via_extraction,
+        args=("restaurants", "phone", pipeline_config),
+        rounds=1,
+        iterations=1,
+    )
+    truth_curves = k_coverage_curves(
+        truth, ks=(1,), checkpoints=result.curves.checkpoints
+    )
+    extracted_k1 = result.curves.curve(1)
+    truth_k1 = truth_curves.curve(1)
+    gap = max_gap(
+        result.curves.checkpoints, extracted_k1,
+        truth_curves.checkpoints, truth_k1,
+    )
+    assert gap < 0.02  # phones extract essentially losslessly
+    emit(
+        "ablation_pipeline_phone",
+        {
+            "extracted": (result.curves.checkpoints, extracted_k1),
+            "ground truth": (truth_curves.checkpoints, truth_k1),
+        },
+        title="Ablation: extraction pipeline vs ground truth (phones)",
+        log_x=True,
+        x_label="top-t sites",
+        y_label="1-coverage",
+    )
+
+
+def test_ablation_full_pipeline_reviews(benchmark, pipeline_config):
+    result, truth = benchmark.pedantic(
+        run_spread_via_extraction,
+        args=("restaurants", "reviews", pipeline_config),
+        rounds=1,
+        iterations=1,
+    )
+    truth_curves = k_coverage_curves(
+        truth, ks=(1,), checkpoints=result.curves.checkpoints
+    )
+    extracted_k1 = result.curves.curve(1)
+    truth_k1 = truth_curves.curve(1)
+    # the classifier is lossy, but the shape must survive
+    assert float(np.max(extracted_k1)) > 0.8 * float(np.max(truth_k1))
+    emit(
+        "ablation_pipeline_reviews",
+        {
+            "extracted (NB-filtered)": (result.curves.checkpoints, extracted_k1),
+            "ground truth": (truth_curves.checkpoints, truth_k1),
+        },
+        title="Ablation: extraction pipeline vs ground truth (reviews)",
+        log_x=True,
+        x_label="top-t sites",
+        y_label="1-coverage",
+    )

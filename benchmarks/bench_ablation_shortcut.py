@@ -1,0 +1,79 @@
+"""Ablation: the paper's identifying-attribute shortcut vs. real extraction.
+
+Section 3.1 justifies detecting entities by matching identifying
+attributes instead of running full extraction.  This ablation runs both
+paths over the same rendered corpus —
+
+- **shortcut**: phone regex + database join (the paper's method), and
+- **full**: template induction + mention lifting + entity linking,
+  never touching the identifying-attribute index during induction —
+
+and compares the resulting coverage curves.  The claim being verified:
+the shortcut does not change the spread conclusions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.coverage import k_coverage_curves
+from repro.core.curves import max_gap
+from repro.entities.business import BusinessGenerator
+from repro.entities.catalog import EntityDatabase
+from repro.extract.runner import ExtractionRunner
+from repro.linking.pipeline import WrapperLinkingExtractor
+from repro.webgen.corpus import CorpusBuilder
+from repro.webgen.profiles import ScalePreset, get_profile
+
+
+@pytest.fixture(scope="module")
+def rendered_corpus():
+    database = EntityDatabase.from_listings(
+        BusinessGenerator("restaurants", seed=95).generate(400)
+    )
+    scale = ScalePreset("abl", n_entities=400, site_factor=1.0)
+    incidence = get_profile("restaurants", "phone").generate(scale, seed=96)
+    corpus = CorpusBuilder(database, "phone", seed=97).build(incidence)
+    return database, corpus
+
+
+def test_shortcut_path(benchmark, rendered_corpus):
+    database, corpus = rendered_corpus
+    runner = ExtractionRunner(database, "phone")
+    extracted = benchmark.pedantic(
+        runner.run, args=(corpus.cache,), rounds=1, iterations=1
+    )
+    assert extracted.n_edges > 0
+
+
+def test_full_path_and_emit(benchmark, rendered_corpus):
+    database, corpus = rendered_corpus
+
+    def run_full():
+        return WrapperLinkingExtractor(database).run(corpus.cache)
+
+    full = benchmark.pedantic(run_full, rounds=1, iterations=1)
+    shortcut = ExtractionRunner(database, "phone").run(corpus.cache)
+
+    checkpoints = k_coverage_curves(corpus.truth, ks=(1,)).checkpoints
+    truth_curve = k_coverage_curves(corpus.truth, ks=(1,), checkpoints=checkpoints)
+    shortcut_curve = k_coverage_curves(shortcut, ks=(1,), checkpoints=checkpoints)
+    full_curve = k_coverage_curves(full, ks=(1,), checkpoints=checkpoints)
+    emit(
+        "ablation_shortcut",
+        {
+            "ground truth": (checkpoints, truth_curve.curve(1)),
+            "attribute shortcut": (checkpoints, shortcut_curve.curve(1)),
+            "wrapper + linking": (checkpoints, full_curve.curve(1)),
+        },
+        title="Ablation: attribute-matching shortcut vs full extraction",
+        log_x=True,
+        x_label="top-t sites",
+        y_label="1-coverage",
+    )
+    gap = max_gap(
+        checkpoints, shortcut_curve.curve(1), checkpoints, full_curve.curve(1)
+    )
+    print(f"max coverage gap shortcut vs full extraction: {gap:.4f}")
+    assert gap < 0.05

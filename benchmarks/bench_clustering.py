@@ -1,0 +1,70 @@
+"""Site-clustering benchmark: the source-triage step.
+
+Builds a mixed crawl (restaurant directories + book catalogues + noise
+archives), clusters hosts by page content, and scores purity against
+the known host types — the "clustering" component of the paper's
+end-to-end challenge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_text
+from repro.clustering.sites import SiteClusterer, cluster_purity
+from repro.crawl.cache import WebCache
+from repro.crawl.store import MemoryPageStore, Page
+from repro.entities.books import generate_books
+from repro.entities.business import generate_listings
+from repro.webgen.html import PageRenderer
+
+
+@pytest.fixture(scope="module")
+def mixed_cache():
+    renderer = PageRenderer(51)
+    listings = generate_listings("restaurants", 300, seed=52)
+    books = generate_books(300, seed=53)
+    store = MemoryPageStore()
+    truth: dict[str, str] = {}
+    for i in range(25):
+        host = f"dining{i:02d}.example.com"
+        chunk = listings[i * 12:(i + 1) * 12]
+        store.add(
+            Page.from_url(f"http://{host}/p0", renderer.listing_page(host, chunk))
+        )
+        truth[host] = "restaurants"
+    for i in range(25):
+        host = f"shelf{i:02d}.example.com"
+        chunk = books[i * 12:(i + 1) * 12]
+        store.add(
+            Page.from_url(f"http://{host}/p0", renderer.book_page(host, chunk))
+        )
+        truth[host] = "books"
+    for i in range(10):
+        host = f"junkdrawer{i:02d}.example.com"
+        store.add(
+            Page.from_url(f"http://{host}/p0", renderer.noise_page(host, i))
+        )
+        truth[host] = "noise"
+    return WebCache(store), truth
+
+
+def test_clustering_purity(benchmark, mixed_cache):
+    cache, truth = mixed_cache
+    clusterer = SiteClusterer(n_clusters=3, seed=54)
+    clusters = benchmark.pedantic(
+        clusterer.cluster, args=(cache,), rounds=2, iterations=1
+    )
+    purity = cluster_purity(clusters, truth)
+    sizes = [len(clusters.members(c)) for c in range(clusters.n_clusters)]
+    emit_text(
+        "clustering",
+        "\n".join(
+            [
+                "Site clustering over a mixed crawl (60 hosts, 3 content types):",
+                f"  cluster sizes: {sizes}",
+                f"  purity vs host type: {purity:.3f}",
+            ]
+        ),
+    )
+    assert purity > 0.9

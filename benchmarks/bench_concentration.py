@@ -1,0 +1,57 @@
+"""Concentration statistics over the generated distributions.
+
+Fits the scalar summaries behind the paper's visual arguments: Gini
+coefficients and power-law exponents of demand (Figure 6's pdfs) and of
+site sizes (the corpus model).  Validates that the generated traffic's
+fitted Zipf ordering matches the paper's IMDb > Amazon > Yelp.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_text
+from repro.core.concentration import fit_power_law, gini_coefficient, top_share
+from repro.pipeline.experiments import TRAFFIC_SITES, build_traffic_dataset
+from repro.pipeline.experiments import run_spread
+
+
+@pytest.fixture(scope="module")
+def datasets(config):
+    return {site: build_traffic_dataset(site, config) for site in TRAFFIC_SITES}
+
+
+def test_concentration_gini(benchmark, datasets):
+    gini = benchmark(gini_coefficient, datasets["yelp"].search_demand)
+    assert 0.3 < gini < 0.95
+
+
+def test_concentration_emit(benchmark, datasets, config):
+    def summarize():
+        lines = [
+            "Concentration of search demand (per site):",
+            "  site    gini   top-20% share  fitted power-law alpha (x_min=5)",
+        ]
+        ginis = {}
+        for site in TRAFFIC_SITES:
+            demand = datasets[site].search_demand
+            counts = demand.astype(int)
+            fit = fit_power_law(counts[counts >= 5], x_min=5)
+            gini = gini_coefficient(demand)
+            ginis[site] = gini
+            lines.append(
+                f"  {site:<7} {gini:.3f}  {top_share(demand, 0.2):.3f}"
+                f"          {fit.alpha:.2f} (n={fit.n_tail})"
+            )
+        incidence = run_spread("restaurants", "phone", config).incidence
+        site_fit = fit_power_law(incidence.site_sizes(), x_min=1)
+        lines.append(
+            f"  restaurants/phone site sizes: alpha={site_fit.alpha:.2f} "
+            f"(n={site_fit.n_tail})"
+        )
+        return lines, ginis
+
+    lines, ginis = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    emit_text("concentration", "\n".join(lines))
+    # Figure 6's ordering expressed as Gini: IMDb > Amazon > Yelp
+    assert ginis["imdb"] > ginis["amazon"] > ginis["yelp"]

@@ -1,0 +1,95 @@
+"""Discovery extensions: bootstrapping and the focused-crawl cost model.
+
+Not a figure in the paper — Section 5 derives the *bounds* these
+simulations exercise.  The emitted artifacts show (a) how close perfect
+and budgeted set expansion get to the connectivity-derived upper bound
+and (b) the coverage-per-page cost of three crawl scheduling policies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, emit_text
+from repro.core.graph import EntitySiteGraph
+from repro.discovery.bootstrap import BootstrapExpansion
+from repro.discovery.crawler import FocusedCrawler
+from repro.discovery.noisy import NoisyExpansion
+from repro.pipeline.experiments import run_spread
+
+
+@pytest.fixture(scope="module")
+def incidence(config):
+    return run_spread("restaurants", "phone", config).incidence
+
+
+def test_discovery_perfect_expansion(benchmark, incidence):
+    expansion = BootstrapExpansion(incidence)
+    trace = benchmark(expansion.random_seed_trial, 5, 0)
+    assert trace.entity_fraction(incidence.n_entities) > 0.95
+
+
+def test_discovery_noisy_expansion(benchmark, incidence):
+    def run():
+        return NoisyExpansion(
+            incidence, retrieval_budget=10, extraction_recall=0.9, seed=1
+        ).run([0, 1, 2, 3, 4])
+
+    trace = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert trace.entity_fraction(incidence.n_entities) > 0.8
+
+
+def test_discovery_emit(benchmark, incidence, config):
+    def summary():
+        graph = EntitySiteGraph(incidence)
+        diameter = graph.diameter(max_bfs=config.max_bfs)
+        perfect = BootstrapExpansion(incidence).random_seed_trial(5, 0)
+        budgeted = NoisyExpansion(
+            incidence, retrieval_budget=10, extraction_recall=0.9, seed=1
+        ).run(perfect.entities[:5].tolist())
+        return diameter, perfect, budgeted
+
+    diameter, perfect, budgeted = benchmark.pedantic(
+        summary, rounds=1, iterations=1
+    )
+    emit_text(
+        "discovery",
+        "\n".join(
+            [
+                "Bootstrapping discovery (restaurants/phone, small scale):",
+                f"  diameter d = {diameter} -> bound d/2 = {diameter // 2} iterations",
+                f"  perfect:  {perfect.iterations} iterations, "
+                f"{perfect.entity_fraction(incidence.n_entities):.1%} coverage, "
+                f"trajectory {perfect.entity_counts}",
+                f"  budgeted (top-10 retrieval, 90% extraction recall): "
+                f"{budgeted.iterations} iterations, "
+                f"{budgeted.entity_fraction(incidence.n_entities):.1%} coverage, "
+                f"{budgeted.queries_issued} queries",
+            ]
+        ),
+    )
+    assert perfect.iterations <= diameter // 2 + 1
+
+
+def test_crawler_policies(benchmark, incidence):
+    crawler = FocusedCrawler(incidence)
+    results = benchmark.pedantic(
+        crawler.compare_policies, args=(3000,), kwargs={"rng": 0},
+        rounds=1, iterations=1,
+    )
+    series = {
+        policy: (result.pages_fetched, result.coverage)
+        for policy, result in results.items()
+        if len(result.pages_fetched)
+    }
+    emit(
+        "crawler_policies",
+        series,
+        title="Focused crawl: coverage vs pages fetched, by policy",
+        log_x=True,
+        x_label="pages fetched",
+        y_label="1-coverage",
+    )
+    assert results["greedy_oracle"].coverage_at_pages(3000) >= (
+        results["random"].coverage_at_pages(3000)
+    )

@@ -1,0 +1,63 @@
+"""Corpus evolution benchmark: staleness decay and re-crawl policies.
+
+The maintenance side of "discovery and maintenance of large-scale web
+data": how fast an un-refreshed extraction database rots, and what a
+fixed re-crawl budget buys under different scheduling policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, emit_text
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.experiments import run_spread
+from repro.webgen.evolution import (
+    CorpusEvolver,
+    recrawl_comparison,
+    staleness_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def incidence():
+    # tiny scale: evolution re-materializes every edge per epoch
+    config = ExperimentConfig(scale="tiny", seed=5)
+    return run_spread("banks", "phone", config).incidence
+
+
+def test_evolution_step(benchmark, incidence):
+    evolver = CorpusEvolver(edge_drop_rate=0.05, edge_add_rate=0.05)
+    evolved = benchmark(evolver.step, incidence, 1)
+    assert evolved.n_entities == incidence.n_entities
+
+
+def test_evolution_emit(benchmark, incidence):
+    evolver = CorpusEvolver(edge_drop_rate=0.08, edge_add_rate=0.08)
+
+    def run():
+        snapshots = evolver.evolve(incidence, epochs=8, rng=2)
+        decay = staleness_curve(snapshots, incidence)
+        policies = recrawl_comparison(
+            incidence, evolver, epochs=5, budget_per_epoch=30, rng=3
+        )
+        return decay, policies
+
+    decay, policies = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "evolution_staleness",
+        {"fraction of facts still true": (np.arange(1, len(decay) + 1), decay)},
+        title="Staleness of a frozen snapshot (8% churn per epoch)",
+        x_label="epochs since crawl",
+        y_label="still-true fraction",
+    )
+    emit_text(
+        "evolution_recrawl",
+        "\n".join(
+            ["Final database accuracy after 5 epochs (budget 30 sites/epoch):"]
+            + [f"  {policy:<14} {value:.3f}" for policy, value in policies.items()]
+        ),
+    )
+    assert decay[-1] < decay[0]
+    assert policies["largest_first"] >= policies["none"]

@@ -1,0 +1,44 @@
+"""Figure 1: k-coverage of the phone attribute, 8 local-business domains.
+
+The timed section is the k-coverage computation (k = 1..10) over the
+restaurants corpus; the full 8-panel figure is written to
+``benchmarks/output/figure1.*``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.coverage import k_coverage_curves
+from repro.entities.domains import ATTRIBUTE_PHONE, LOCAL_BUSINESS_DOMAINS
+from repro.pipeline.experiments import run_spread
+
+
+@pytest.fixture(scope="module")
+def restaurant_incidence(config):
+    return run_spread("restaurants", ATTRIBUTE_PHONE, config).incidence
+
+
+def test_figure1_kcoverage_restaurants(benchmark, restaurant_incidence, config):
+    curves = benchmark(k_coverage_curves, restaurant_incidence, config.ks)
+    assert curves.final_coverage(1) > 0.95
+
+
+def test_figure1_all_panels(benchmark, config):
+    def all_panels():
+        return {
+            domain: run_spread(domain, ATTRIBUTE_PHONE, config)
+            for domain in LOCAL_BUSINESS_DOMAINS
+        }
+
+    panels = benchmark.pedantic(all_panels, rounds=1, iterations=1)
+    for domain, result in panels.items():
+        emit(
+            f"figure1_{domain}",
+            result.series(),
+            title=f"Figure 1: {domain} phones (k-coverage, k=1..10)",
+            log_x=True,
+            x_label="top-t sites",
+            y_label="coverage",
+        )

@@ -1,0 +1,45 @@
+"""Figure 2: k-coverage of the homepage attribute, 8 domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.coverage import k_coverage_curves, sites_needed_for_coverage
+from repro.entities.domains import ATTRIBUTE_HOMEPAGE, LOCAL_BUSINESS_DOMAINS
+from repro.pipeline.experiments import run_spread
+
+
+@pytest.fixture(scope="module")
+def restaurant_incidence(config):
+    return run_spread("restaurants", ATTRIBUTE_HOMEPAGE, config).incidence
+
+
+def test_figure2_kcoverage_restaurants(benchmark, restaurant_incidence, config):
+    curves = benchmark(k_coverage_curves, restaurant_incidence, config.ks)
+    assert curves.final_coverage(1) > 0.9
+
+
+def test_figure2_sites_needed(benchmark, restaurant_incidence):
+    """The paper's headline lookup: sites needed for 95% coverage."""
+    needed = benchmark(sites_needed_for_coverage, restaurant_incidence, 0.95)
+    assert needed is not None and needed > 50
+
+
+def test_figure2_all_panels(benchmark, config):
+    def all_panels():
+        return {
+            domain: run_spread(domain, ATTRIBUTE_HOMEPAGE, config)
+            for domain in LOCAL_BUSINESS_DOMAINS
+        }
+
+    panels = benchmark.pedantic(all_panels, rounds=1, iterations=1)
+    for domain, result in panels.items():
+        emit(
+            f"figure2_{domain}",
+            result.series(),
+            title=f"Figure 2: {domain} homepages (k-coverage, k=1..10)",
+            log_x=True,
+            x_label="top-t sites",
+            y_label="coverage",
+        )

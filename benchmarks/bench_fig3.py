@@ -1,0 +1,31 @@
+"""Figure 3: spread of book ISBN numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.coverage import k_coverage_curves
+from repro.pipeline.experiments import run_figure3
+
+
+@pytest.fixture(scope="module")
+def result(config):
+    return run_figure3(config)
+
+
+def test_figure3_kcoverage(benchmark, result, config):
+    curves = benchmark(k_coverage_curves, result.incidence, config.ks)
+    assert curves.final_coverage(1) > 0.9
+
+
+def test_figure3_emit(benchmark, result):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "figure3",
+        result.series(),
+        title="Figure 3: Spread of Book ISBN Numbers (k=1..10)",
+        log_x=True,
+        x_label="top-t sites",
+        y_label="coverage",
+    )

@@ -1,0 +1,44 @@
+"""Figure 4: spread of restaurant reviews (k-coverage + aggregate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.coverage import aggregate_coverage_curve, k_coverage_curves
+from repro.pipeline.experiments import run_figure4, run_spread
+
+
+@pytest.fixture(scope="module")
+def review_incidence(config):
+    return run_spread("restaurants", "reviews", config).incidence
+
+
+def test_figure4a_kcoverage(benchmark, review_incidence, config):
+    curves = benchmark(k_coverage_curves, review_incidence, config.ks)
+    assert curves.final_coverage(1) > 0.9
+
+
+def test_figure4b_aggregate(benchmark, review_incidence):
+    checkpoints, fractions = benchmark(aggregate_coverage_curve, review_incidence)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_figure4_emit(benchmark, config):
+    result = benchmark.pedantic(run_figure4, args=(config,), rounds=1, iterations=1)
+    emit(
+        "figure4a",
+        result.spread.series(),
+        title="Figure 4(a): Existence of Reviews (k-coverage, k=1..10)",
+        log_x=True,
+        x_label="top-t sites",
+        y_label="coverage",
+    )
+    emit(
+        "figure4b",
+        result.aggregate_series(),
+        title="Figure 4(b): Aggregate Reviews",
+        log_x=True,
+        x_label="top-n sites",
+        y_label="fraction of review pages",
+    )

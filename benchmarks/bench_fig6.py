@@ -1,0 +1,68 @@
+"""Figure 6: the long tail of demand (CDF + rank PDF, search & browse)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.demand import DemandCurves
+from repro.pipeline.experiments import build_traffic_dataset, run_figure6
+from repro.traffic.logs import unique_cookie_demand
+
+
+@pytest.fixture(scope="module")
+def yelp_dataset(config):
+    return build_traffic_dataset("yelp", config)
+
+
+def test_figure6_demand_curves(benchmark, yelp_dataset):
+    curves = benchmark(DemandCurves.from_demand, "yelp", yelp_dataset.search_demand)
+    assert curves.cumulative_share[-1] == pytest.approx(1.0)
+
+
+def test_figure6_unique_cookie_aggregation(benchmark, config):
+    from repro.traffic.demandmodel import get_site_profile
+    from repro.traffic.logs import TrafficLogGenerator
+
+    generator = TrafficLogGenerator(
+        get_site_profile("yelp"),
+        n_entities=config.traffic_entities,
+        n_cookies=config.traffic_cookies,
+        seed=1,
+    )
+    log = generator.search_log(config.traffic_events)
+    demand = benchmark(unique_cookie_demand, log)
+    assert demand.sum() > 0
+
+
+def test_figure6_emit(benchmark, config):
+    curves = benchmark.pedantic(run_figure6, args=(config,), rounds=1, iterations=1)
+    for source in ("search", "browse"):
+        cdf_series = {
+            site: (c.inventory, c.cumulative_share)
+            for site, c in curves[source].items()
+        }
+        emit(
+            f"figure6_cdf_{source}",
+            cdf_series,
+            title=f"Figure 6: cumulative demand CDF ({source})",
+            x_label="normalized inventory",
+            y_label="cumulative demand",
+        )
+        pdf_series = {
+            site: (c.ranks, c.rank_share) for site, c in curves[source].items()
+        }
+        emit(
+            f"figure6_pdf_{source}",
+            pdf_series,
+            title=f"Figure 6: demand share vs rank ({source})",
+            log_x=True,
+            log_y=True,
+            x_label="rank",
+            y_label="share of demand",
+        )
+        shares = {
+            site: round(c.share_of_top(0.2), 3)
+            for site, c in curves[source].items()
+        }
+        print(f"{source}: demand share of top-20% inventory: {shares}")

@@ -1,0 +1,33 @@
+"""Figure 7: normalized demand vs. number of existing reviews."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.valueadd import demand_vs_reviews
+from repro.pipeline.experiments import build_traffic_dataset, run_figure7
+
+
+@pytest.fixture(scope="module")
+def amazon_dataset(config):
+    return build_traffic_dataset("amazon", config)
+
+
+def test_figure7_grouping(benchmark, amazon_dataset):
+    counts, means = benchmark(
+        demand_vs_reviews, amazon_dataset.search_demand, amazon_dataset.reviews
+    )
+    assert means[-1] > means[0]  # demand increases with reviews
+
+
+def test_figure7_emit(benchmark, config):
+    panels = benchmark.pedantic(run_figure7, args=(config,), rounds=1, iterations=1)
+    for site, sources in panels.items():
+        emit(
+            f"figure7_{site}",
+            {source: series for source, series in sources.items()},
+            title=f"Figure 7: normalized demand vs #reviews ({site})",
+            x_label="# of reviews (log2-binned)",
+            y_label="avg normalized demand",
+        )

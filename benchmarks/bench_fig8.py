@@ -1,0 +1,42 @@
+"""Figure 8: average relative value-add VA(n)/VA(0) per review group."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.valueadd import value_add_curve
+from repro.pipeline.experiments import build_traffic_dataset, run_figure8
+
+
+@pytest.fixture(scope="module")
+def yelp_dataset(config):
+    return build_traffic_dataset("yelp", config)
+
+
+def test_figure8_value_add(benchmark, yelp_dataset):
+    curve = benchmark(
+        value_add_curve, yelp_dataset.search_demand, yelp_dataset.reviews
+    )
+    assert curve.relative_value_add[0] == pytest.approx(1.0)
+    assert curve.is_decreasing_overall()
+
+
+def test_figure8_emit(benchmark, config):
+    panels = benchmark.pedantic(run_figure8, args=(config,), rounds=1, iterations=1)
+    for site, sources in panels.items():
+        series = {
+            source: (curve.review_counts, curve.relative_value_add)
+            for source, curve in sources.items()
+        }
+        emit(
+            f"figure8_{site}",
+            series,
+            title=f"Figure 8: relative value-add VA(n)/VA(0) ({site})",
+            log_x=True,
+            x_label="# of reviews",
+            y_label="VA(n)/VA(0)",
+        )
+        for source, curve in sources.items():
+            values = [round(v, 2) for v in curve.relative_value_add]
+            print(f"{site}/{source}: VA(n)/VA(0) = {values}")

@@ -1,0 +1,39 @@
+"""Figure 9: robustness of connectivity after removing the top-k sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.graph import robustness_curve
+from repro.pipeline.experiments import run_figure9, run_spread
+
+
+@pytest.fixture(scope="module")
+def phone_incidence(config):
+    return run_spread("restaurants", "phone", config).incidence
+
+
+def test_figure9_robustness_single(benchmark, phone_incidence):
+    __, fractions = benchmark.pedantic(
+        robustness_curve, args=(phone_incidence, 10), rounds=2, iterations=1
+    )
+    assert fractions[-1] > 0.95
+
+
+def test_figure9_emit(benchmark, config):
+    panels = benchmark.pedantic(
+        run_figure9, args=(config,), rounds=1, iterations=1
+    )
+    for attribute, by_domain in panels.items():
+        series = {domain: curve for domain, curve in by_domain.items()}
+        emit(
+            f"figure9_{attribute}",
+            series,
+            title=(
+                f"Figure 9: fraction in largest component after removing "
+                f"top-k sites ({attribute})"
+            ),
+            x_label="top-k sites removed",
+            y_label="fraction in largest component",
+        )

@@ -1,0 +1,75 @@
+"""Content-redundancy benchmark (the paper's third conclusion).
+
+Quantifies the redundancy the paper says extraction techniques can
+leverage: replication factors, head-site overlap, and marginal-novelty
+decay, per (domain, attribute).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, emit_text
+from repro.core.redundancy import (
+    redundancy_report,
+    replication_histogram,
+)
+from repro.pipeline.experiments import run_spread
+
+
+@pytest.fixture(scope="module")
+def incidences(config):
+    pairs = (
+        ("restaurants", "phone"),
+        ("restaurants", "homepage"),
+        ("books", "isbn"),
+    )
+    return {
+        (domain, attribute): run_spread(domain, attribute, config).incidence
+        for domain, attribute in pairs
+    }
+
+
+def test_redundancy_report_speed(benchmark, incidences):
+    incidence = incidences[("restaurants", "phone")]
+    report = benchmark(redundancy_report, incidence)
+    assert report.redundancy_coefficient > 10
+
+
+def test_redundancy_emit(benchmark, incidences):
+    def reports():
+        return {
+            key: redundancy_report(incidence)
+            for key, incidence in incidences.items()
+        }
+
+    summary = benchmark.pedantic(reports, rounds=1, iterations=1)
+    lines = [
+        "Content redundancy (small scale):",
+        "  domain/attr            edges/entity  singleton%  head-overlap  novelty<10% at rank",
+    ]
+    for (domain, attribute), report in summary.items():
+        lines.append(
+            f"  {domain}/{attribute:<12} {report.redundancy_coefficient:12.1f}"
+            f"  {100 * report.singleton_fraction:9.1f}%"
+            f"  {report.head_overlap_mean:12.2f}"
+            f"  {report.novelty_decay_rank:8d}"
+        )
+    emit_text("redundancy", "\n".join(lines))
+
+    series = {}
+    for (domain, attribute), incidence in incidences.items():
+        counts, frequency = replication_histogram(incidence, max_count=30)
+        series[f"{domain}/{attribute}"] = (counts, frequency)
+    emit(
+        "redundancy_replication",
+        series,
+        title="Replication factor distribution (sites per entity)",
+        log_x=True,
+        x_label="sites mentioning the entity",
+        y_label="fraction of entities",
+    )
+    # phones are redundant; the paper's leverage claim requires > 1
+    assert all(
+        report.redundancy_coefficient > 1.5 for report in summary.values()
+    )

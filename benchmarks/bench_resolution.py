@@ -1,0 +1,71 @@
+"""Entity-resolution benchmark: linking throughput and quality.
+
+Not a paper figure — the intro's "deduplication and linking" component.
+Times the resolver over a noisy mention corpus and emits the
+precision/recall operating points across thresholds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, emit_text
+from repro.entities.business import generate_listings
+from repro.linking.mentions import MentionGenerator
+from repro.linking.resolution import EntityResolver
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    listings = generate_listings("restaurants", 400, seed=41)
+    mentions = MentionGenerator(seed=42).corpus(
+        listings, mentions_per_listing=2
+    )
+    return listings, mentions
+
+
+def test_resolution_throughput(benchmark, corpus):
+    listings, mentions = corpus
+    resolver = EntityResolver(listings, threshold=0.7)
+
+    def resolve_all():
+        return resolver.resolve_all(mentions)
+
+    links = benchmark.pedantic(resolve_all, rounds=2, iterations=1)
+    assert len(links) == len(mentions)
+
+
+def test_resolution_quality_curve(benchmark, corpus):
+    listings, mentions = corpus
+
+    def sweep():
+        points = []
+        for threshold in (0.55, 0.75, 0.95):
+            report = EntityResolver(listings, threshold=threshold).evaluate(
+                mentions
+            )
+            points.append((threshold, report))
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    thresholds = [t for t, _ in points]
+    emit(
+        "resolution_quality",
+        {
+            "precision": (thresholds, [r.precision for _, r in points]),
+            "recall": (thresholds, [r.recall for _, r in points]),
+            "F1": (thresholds, [r.f1 for _, r in points]),
+        },
+        title="Entity resolution: quality vs acceptance threshold",
+        x_label="threshold",
+        y_label="score",
+    )
+    lines = ["threshold  precision  recall  F1  linked"]
+    for threshold, report in points:
+        lines.append(
+            f"  {threshold:.2f}      {report.precision:.3f}     "
+            f"{report.recall:.3f}  {report.f1:.3f}  {report.n_linked}"
+        )
+    emit_text("resolution_table", "\n".join(lines))
+    best_f1 = max(r.f1 for _, r in points)
+    assert best_f1 > 0.9

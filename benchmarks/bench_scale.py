@@ -1,0 +1,82 @@
+"""Scaling behavior: generation and analysis cost across presets.
+
+Not a paper artifact — a performance regression guard.  Asserts the
+costs that matter stay near-linear in corpus size (edges), so the
+``paper`` preset remains reachable.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_text
+from repro.core.coverage import k_coverage_curves
+from repro.core.graph import GraphMetrics
+from repro.webgen.profiles import SCALES, get_profile
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    profile = get_profile("restaurants", "phone")
+    result = {}
+    for name in ("tiny", "small", "medium"):
+        t0 = time.perf_counter()
+        incidence = profile.generate(SCALES[name], seed=0)
+        result[name] = (incidence, time.perf_counter() - t0)
+    return result
+
+
+def test_scale_generation_medium(benchmark):
+    profile = get_profile("restaurants", "phone")
+    incidence = benchmark.pedantic(
+        profile.generate, args=(SCALES["medium"],), kwargs={"seed": 1},
+        rounds=1, iterations=1,
+    )
+    assert incidence.n_entities == SCALES["medium"].n_entities
+
+
+def test_scale_coverage_medium(benchmark, corpora):
+    incidence, __ = corpora["medium"]
+    curves = benchmark(k_coverage_curves, incidence, (1, 5, 10))
+    assert curves.final_coverage(1) > 0.9
+
+
+def test_scale_emit(benchmark, corpora):
+    def measure():
+        rows = []
+        for name, (incidence, gen_seconds) in corpora.items():
+            t0 = time.perf_counter()
+            k_coverage_curves(incidence, ks=(1, 5))
+            coverage_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            metrics = GraphMetrics.measure(
+                incidence, "restaurants", "phone", max_bfs=64
+            )
+            graph_seconds = time.perf_counter() - t0
+            rows.append(
+                (name, incidence.n_edges, gen_seconds, coverage_seconds,
+                 graph_seconds, metrics.diameter)
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "Scaling (restaurants/phone):",
+        "  scale   edges      gen(s)  coverage(s)  graph(s)  diameter",
+    ]
+    for name, edges, gen_s, cov_s, graph_s, diameter in rows:
+        lines.append(
+            f"  {name:<7} {edges:<10} {gen_s:6.2f}  {cov_s:11.3f}"
+            f"  {graph_s:8.2f}  {diameter:8d}"
+        )
+    emit_text("scaling", "\n".join(lines))
+
+    by_name = {row[0]: row for row in rows}
+    edge_ratio = by_name["medium"][1] / by_name["small"][1]
+    coverage_ratio = max(by_name["medium"][3], 1e-9) / max(
+        by_name["small"][3], 1e-9
+    )
+    # coverage cost grows no worse than ~quadratically in edges
+    assert coverage_ratio < edge_ratio**2 * 2

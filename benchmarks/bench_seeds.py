@@ -1,0 +1,61 @@
+"""Seed-sensitivity benchmark (Section 5's robustness claim).
+
+Quantifies "any seed set of structured entities will contain, with high
+probability, at least one entity from the largest component" — the
+empirical success probability vs. seed size against the analytic
+``1 - (1 - p)**s`` prediction, plus the head/tail/uniform seed-origin
+comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, emit_text
+from repro.discovery.seeds import seed_origin_comparison, seed_success_probability
+from repro.pipeline.experiments import run_spread
+
+
+@pytest.fixture(scope="module")
+def incidence(config):
+    return run_spread("home", "phone", config).incidence
+
+
+def test_seed_success_probability(benchmark, incidence):
+    study = benchmark.pedantic(
+        seed_success_probability,
+        args=(incidence,),
+        kwargs={"seed_sizes": (1, 2, 3, 5, 8), "trials": 20, "rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "seed_sensitivity",
+        {
+            "measured success rate": (study.seed_sizes, study.success_rate),
+            "analytic 1-(1-p)^s": (study.seed_sizes, study.predicted),
+        },
+        title="Discovery success probability vs seed-set size (home/phone)",
+        x_label="seed size",
+        y_label="P(reach largest component)",
+    )
+    assert study.success_rate[-1] > 0.9
+
+
+def test_seed_origin_comparison(benchmark, incidence):
+    comparison = benchmark.pedantic(
+        seed_origin_comparison,
+        args=(incidence,),
+        kwargs={"seed_size": 3, "trials": 10, "rng": 1},
+        rounds=1,
+        iterations=1,
+    )
+    emit_text(
+        "seed_origins",
+        "\n".join(
+            ["Mean discovered fraction by seed origin (home/phone):"]
+            + [f"  {origin:<8} {value:.3f}" for origin, value in comparison.items()]
+        ),
+    )
+    values = list(comparison.values())
+    assert max(values) - min(values) < 0.1  # origin does not matter

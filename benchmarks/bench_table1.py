@@ -1,0 +1,11 @@
+"""Table 1: the domain/attribute inventory."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_text
+from repro.pipeline.experiments import run_table1
+
+
+def test_table1(benchmark):
+    table = benchmark(run_table1)
+    emit_text("table1", table)

@@ -1,0 +1,35 @@
+"""Table 2: entity-site graph metrics for all 17 (domain, attribute) rows."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_text
+from repro.core.graph import GraphMetrics
+from repro.pipeline.experiments import TABLE2_ROWS, format_table2, run_table2
+from repro.pipeline.experiments import run_spread
+
+
+@pytest.fixture(scope="module")
+def restaurant_incidence(config):
+    return run_spread("restaurants", "phone", config).incidence
+
+
+def test_table2_single_row_metrics(benchmark, restaurant_incidence, config):
+    metrics = benchmark.pedantic(
+        GraphMetrics.measure,
+        args=(restaurant_incidence, "restaurants", "phone"),
+        kwargs={"max_bfs": config.max_bfs},
+        rounds=2,
+        iterations=1,
+    )
+    assert metrics.pct_entities_in_largest > 98.0
+
+
+def test_table2_all_rows(benchmark, config):
+    metrics = benchmark.pedantic(run_table2, args=(config,), rounds=1, iterations=1)
+    assert len(metrics) == len(TABLE2_ROWS)
+    for row in metrics:
+        assert row.pct_entities_in_largest > 95.0
+        assert 3 <= row.diameter <= 12
+    emit_text("table2", format_table2(metrics))

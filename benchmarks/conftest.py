@@ -1,0 +1,69 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper:
+the timed section is the *analysis* (coverage, set cover, graph
+metrics, demand aggregation), corpus generation happens in fixtures,
+and each benchmark writes the figure's data — the same rows/series the
+paper reports — to ``benchmarks/output/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import pytest
+
+from repro.pipeline.config import ExperimentConfig
+from repro.report.figures import ascii_plot, write_csv
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The benchmark scale: small corpora, paper-like traffic sizes."""
+    return ExperimentConfig(
+        scale="small",
+        seed=0,
+        traffic_entities=20000,
+        traffic_events=300000,
+        traffic_cookies=60000,
+    )
+
+
+def emit(
+    name: str,
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    title: str,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> None:
+    """Write one figure's series as CSV + ASCII chart and echo a stub."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    write_csv(OUTPUT_DIR / f"{name}.csv", series)
+    chart = ascii_plot(
+        series,
+        log_x=log_x,
+        log_y=log_y,
+        title=title,
+        x_label=x_label,
+        y_label=y_label,
+    )
+    (OUTPUT_DIR / f"{name}.txt").write_text(chart + "\n")
+    print(f"\n[{name}] written to benchmarks/output/{name}.csv")
+    print(chart)
+
+
+def emit_text(name: str, text: str) -> None:
+    """Write a table artifact."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n[{name}]")
+    print(text)

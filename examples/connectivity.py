@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Connectivity of structured information (Section 5 of the paper).
+
+Reproduces Table 2 (graph metrics) for a subset of domains, Figure 9
+(robustness after deleting the top-k sites), and then actually *runs*
+the bootstrapping set-expansion algorithm the paper reasons about,
+verifying its iteration count against the d/2 bound.
+
+Run:
+    python examples/connectivity.py
+"""
+
+from repro.core.graph import EntitySiteGraph, robustness_curve
+from repro.discovery.bootstrap import BootstrapExpansion
+from repro.pipeline import ExperimentConfig
+from repro.pipeline.experiments import format_table2, run_table2
+from repro.report.figures import ascii_plot
+from repro.webgen.profiles import get_profile
+
+
+def main() -> None:
+    config = ExperimentConfig(scale="small", seed=0)
+
+    print("=== Table 2 (subset of rows, small scale) ===\n")
+    rows = (
+        ("books", "isbn"),
+        ("restaurants", "phone"),
+        ("home", "phone"),
+        ("restaurants", "homepage"),
+        ("home", "homepage"),
+    )
+    metrics = run_table2(config, rows=rows)
+    print(format_table2(metrics))
+    print(
+        "\n(diameters small, largest component ~99%+ of entities;\n"
+        " component counts scale with corpus size — see EXPERIMENTS.md)\n"
+    )
+
+    print("=== Figure 9: robustness to removing top sites ===\n")
+    series = {}
+    for domain, attribute in (("restaurants", "phone"), ("home", "homepage")):
+        incidence = get_profile(domain, attribute).generate(
+            config.scale_preset, seed=7
+        )
+        ks, fractions = robustness_curve(incidence, max_removed=10)
+        series[f"{domain}/{attribute}"] = (ks, fractions)
+    print(
+        ascii_plot(
+            series,
+            title="Fraction of entities in largest component after removing top-k",
+            x_label="top-k sites removed",
+            y_label="fraction in largest component",
+        )
+    )
+
+    print("\n=== Bootstrapping discovery (the Section 5 algorithm) ===\n")
+    incidence = get_profile("restaurants", "phone").generate(
+        config.scale_preset, seed=7
+    )
+    graph = EntitySiteGraph(incidence)
+    diameter = graph.diameter()
+    summary = graph.components()
+    expansion = BootstrapExpansion(incidence)
+    trace = expansion.random_seed_trial(seed_size=3, rng=123)
+    print(f"graph diameter d = {diameter}  (bound: <= d/2 = {diameter // 2} iterations)")
+    print(f"seed: 3 random entities")
+    print(f"iterations executed: {trace.iterations}")
+    print(f"entities discovered per iteration: {trace.entity_counts}")
+    print(f"sites discovered per iteration:    {trace.site_counts}")
+    covered = trace.entity_fraction(incidence.n_entities)
+    largest = summary.largest_component_entities / incidence.n_entities
+    print(f"final coverage: {covered:.1%} of the database "
+          f"(largest component holds {largest:.1%})")
+    print(
+        "\nConclusion: the entity-site graph is so well connected that a\n"
+        "tiny random seed set discovers essentially every source in a\n"
+        "handful of crawl-extract-expand iterations."
+    )
+
+
+if __name__ == "__main__":
+    main()

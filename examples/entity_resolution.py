@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Deduplication and linking of noisy mentions.
+
+The paper's end-to-end challenge includes "deduplication and linking";
+its own methodology sidesteps both by keying on phones and ISBNs.  This
+example runs the general machinery on mentions whose names are typo'd,
+abbreviated, or reworded, and whose phones are often missing:
+
+1. corrupt database listings into tail-site mentions (with ground
+   truth),
+2. block candidates by phone / name-key / locality,
+3. score with Jaro-Winkler + token Jaccard + field weighting,
+4. link above a threshold, and measure precision/recall exactly.
+
+Run:
+    python examples/entity_resolution.py
+"""
+
+from repro.entities.business import generate_listings
+from repro.linking import EntityResolver, MentionGenerator
+
+
+def main() -> None:
+    listings = generate_listings("restaurants", 500, seed=11)
+    generator = MentionGenerator(
+        typo_rate=0.25,
+        drop_word_rate=0.2,
+        abbreviate_rate=0.35,
+        missing_phone_rate=0.35,
+        seed=12,
+    )
+    mentions = generator.corpus(listings, mentions_per_listing=3)
+
+    print(f"database: {len(listings)} listings; "
+          f"mentions: {len(mentions)} (noisy, 35% without phones)\n")
+    sample = mentions[0]
+    truth = next(l for l in listings if l.entity_id == sample.true_entity_id)
+    print("example corruption:")
+    print(f"  listing: {truth.name!r}  phone={truth.phone}")
+    print(f"  mention: {sample.name!r}  phone={sample.phone} "
+          f"(from {sample.source_host})\n")
+
+    for threshold in (0.55, 0.7, 0.85):
+        resolver = EntityResolver(listings, threshold=threshold)
+        report = resolver.evaluate(mentions)
+        print(
+            f"threshold {threshold:.2f}: "
+            f"precision={report.precision:.3f} recall={report.recall:.3f} "
+            f"F1={report.f1:.3f} linked={report.n_linked}/{report.n_mentions} "
+            f"(avg {report.mean_candidates:.0f} candidates/mention "
+            f"vs {len(listings)} full scan)"
+        )
+
+    print("\nDeduplicating the unlinked remainder (candidate new entities):")
+    resolver = EntityResolver(listings, threshold=0.85)
+    links = resolver.resolve_all(mentions)
+    clusters = resolver.deduplicate_unlinked(mentions, links)
+    multi = [c for c in clusters if len(c) > 1]
+    print(f"  unlinked mentions: {sum(len(c) for c in clusters)}, "
+          f"clusters: {len(clusters)} ({len(multi)} with >1 mention)")
+    print(
+        "\nConclusion: with phone evidence when present and name/locality\n"
+        "similarity otherwise, tail mentions link to the database at high\n"
+        "precision — the machinery web-scale extraction needs beyond the\n"
+        "identifying-attribute shortcut."
+    )
+
+
+if __name__ == "__main__":
+    main()

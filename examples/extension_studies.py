@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The extension studies, in one run.
+
+Beyond the paper's own tables and figures, the library quantifies four
+claims the paper makes in prose.  This script runs all four through the
+high-level pipeline runners:
+
+1. discovery under imperfection (Section 5's bound, stressed),
+2. content redundancy (the third conclusion),
+3. user-level tail exposure (the Goel et al. argument in Section 4.2),
+4. snapshot staleness and re-crawl scheduling (crawl maintenance).
+
+Run:
+    python examples/extension_studies.py
+"""
+
+from repro.pipeline import (
+    ExperimentConfig,
+    run_discovery_study,
+    run_redundancy_study,
+    run_staleness_study,
+    run_user_tail_study,
+)
+from repro.pipeline.extensions import format_user_tail
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        scale="small",
+        seed=0,
+        traffic_entities=10000,
+        traffic_events=150000,
+        traffic_cookies=30000,
+    )
+
+    print("=== 1. Discovery under imperfection ===\n")
+    discovery = run_discovery_study(config)
+    print(discovery.render())
+
+    print("\n=== 2. Content redundancy ===\n")
+    redundancy = run_redundancy_study(config)
+    for (domain, attribute), report in redundancy.items():
+        print(
+            f"  {domain}/{attribute}: "
+            f"{report.redundancy_coefficient:.1f} mentions/entity, "
+            f"{report.singleton_fraction:.1%} uncorroborated, "
+            f"head-site overlap {report.head_overlap_mean:.2f}, "
+            f"novelty <10% from rank {report.novelty_decay_rank}"
+        )
+
+    print("\n=== 3. User-level tail exposure (browse traffic) ===\n")
+    user_tail = run_user_tail_study(config)
+    print(format_user_tail(user_tail))
+    print(
+        "  (every site: the tail's user reach far exceeds its demand share)"
+    )
+
+    print("\n=== 4. Staleness and re-crawl scheduling ===\n")
+    staleness = run_staleness_study(config)
+    print(staleness.render())
+
+    print(
+        "\nTogether: sources are discoverable even with lossy tooling, the\n"
+        "redundancy that discovery leans on is real, tail coverage matters\n"
+        "to most users, and a modest re-crawl budget keeps the database true."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The full extraction pipeline, end to end, exactly as the paper ran it.
+
+This example does what Section 3.1 describes, with every stage made
+explicit rather than hidden behind the experiment runners:
+
+1. build a comprehensive entity database (synthetic Yahoo! Business
+   Listings for restaurants),
+2. render a synthetic web crawl into a SQLite-backed page store —
+   aggregator listing pages, local blogs, review pages, noise pages,
+3. scan the crawl cache host by host, matching identifying attributes
+   (phones) and classifying review pages with the Naive Bayes model,
+4. aggregate mentions per host into the entity-site incidence, and
+5. run the coverage analysis on the *extracted* data and compare it to
+   the rendered ground truth.
+
+Run:
+    python examples/full_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.coverage import k_coverage_curves
+from repro.crawl.store import SqlitePageStore
+from repro.entities import BusinessGenerator, EntityDatabase
+from repro.extract import ExtractionRunner
+from repro.report.figures import ascii_plot
+from repro.webgen import CorpusBuilder, ScalePreset, get_profile
+
+
+def main() -> None:
+    print("1. Building the entity database (1000 restaurant listings)...")
+    listings = BusinessGenerator(
+        "restaurants", seed=1, homepage_fraction=0.9
+    ).generate(1000)
+    database = EntityDatabase.from_listings(listings)
+    print(f"   {len(database)} entities; e.g. {listings[0].name!r} "
+          f"at {listings[0].address}, phone {listings[0].phone}")
+
+    print("\n2. Rendering the synthetic crawl (phones) into SQLite...")
+    scale = ScalePreset("demo", n_entities=len(database), site_factor=1.5)
+    incidence = get_profile("restaurants", "phone").generate(scale, seed=2)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SqlitePageStore(Path(tmp) / "crawl.db")
+        corpus = CorpusBuilder(
+            database, "phone", noise_page_rate=0.2, seed=3
+        ).build(incidence, store=store)
+        cache = corpus.cache
+        print(f"   {cache.n_pages()} pages across {cache.n_hosts()} hosts "
+              f"({corpus.n_noise_pages} noise pages)")
+
+        print("\n3-4. Scanning the cache and aggregating per host...")
+        runner = ExtractionRunner(database, "phone")
+        extracted = runner.run(cache)
+        stats = runner.stats
+        print(f"   pages scanned: {stats.pages_scanned}")
+        print(f"   pages with database hits: {stats.pages_with_matches}")
+        print(f"   candidate matches: {stats.candidate_matches}, "
+              f"database hit rate: {stats.hit_rate:.1%}")
+        print(f"   extracted incidence: {extracted.n_edges} edges "
+              f"(ground truth: {corpus.truth.n_edges})")
+
+        print("\n5. Coverage analysis on extracted vs ground-truth data:")
+        truth_curves = k_coverage_curves(corpus.truth, ks=(1,))
+        found_curves = k_coverage_curves(
+            extracted, ks=(1,), checkpoints=truth_curves.checkpoints
+        )
+        print(
+            ascii_plot(
+                {
+                    "extracted": (
+                        found_curves.checkpoints,
+                        found_curves.curve(1),
+                    ),
+                    "ground truth": (
+                        truth_curves.checkpoints,
+                        truth_curves.curve(1),
+                    ),
+                },
+                log_x=True,
+                title="1-coverage: extracted pipeline output vs rendered truth",
+                x_label="top-t sites",
+                y_label="coverage",
+            )
+        )
+        gap = float(
+            np.max(np.abs(found_curves.curve(1) - truth_curves.curve(1)))
+        )
+        print(f"\nmax coverage gap extracted vs truth: {gap:.4f}")
+        print("The regex + database-join extraction is essentially lossless;")
+        print("noise pages are rejected by NANP validation and the DB join.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's headline experiment in ~40 lines.
+
+Generates a synthetic restaurants corpus, asks the paper's opening
+question — *do the winners cover it all?* — and prints the k-coverage
+panel of Figure 1(a) plus the headline numbers from Section 3.4.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core.coverage import coverage_at, sites_needed_for_coverage
+from repro.pipeline import ExperimentConfig, run_spread
+
+
+def main() -> None:
+    config = ExperimentConfig(scale="small", seed=0)
+
+    print("Generating the restaurants/phone corpus (small scale)...")
+    result = run_spread("restaurants", "phone", config)
+    incidence = result.incidence
+    print(
+        f"  {incidence.n_entities} restaurants, {incidence.n_sites} websites, "
+        f"{incidence.n_edges} mentions "
+        f"({incidence.average_sites_per_entity():.1f} sites/entity; paper: 32)\n"
+    )
+
+    print(result.render())
+    print()
+
+    top10 = coverage_at(incidence, 10, k=1)
+    top100 = coverage_at(incidence, 100, k=1)
+    k1_sites = sites_needed_for_coverage(incidence, 0.90, k=1)
+    k5_sites = sites_needed_for_coverage(incidence, 0.90, k=5)
+    print("Headline numbers (paper's Section 3.4, Figure 1(a)):")
+    print(f"  top-10 sites cover {top10:.0%} of all restaurant phones (paper: ~93%)")
+    print(f"  top-100 sites cover {top100:.0%} (paper: ~100%)")
+    print(f"  sites needed for 90% coverage at k=1: {k1_sites}")
+    print(f"  sites needed for 90% coverage at k=5: {k5_sites} "
+          "(paper: >5000 of ~100k sites)")
+    print(
+        "\nConclusion: even with strong head aggregators, corroborating "
+        "facts from multiple sources forces extraction deep into the tail."
+    )
+
+
+if __name__ == "__main__":
+    main()

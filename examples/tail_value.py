@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Value of tail extraction (Section 4 of the paper).
+
+Simulates a year of search and browse traffic over Amazon, Yelp, and
+IMDb entity pages, then reproduces:
+
+- Figure 6: the long tail of demand (CDF + top-20% shares),
+- Figure 7: demand vs. number of existing reviews, and
+- Figure 8: the relative value-add VA(n)/VA(0) of one more review.
+
+Run:
+    python examples/tail_value.py
+"""
+
+from repro.core.valueadd import demand_vs_reviews, value_add_curve
+from repro.pipeline import ExperimentConfig, build_traffic_dataset, run_figure6
+from repro.report.figures import ascii_plot
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        scale="small",
+        seed=0,
+        traffic_entities=20000,
+        traffic_events=300000,
+        traffic_cookies=60000,
+    )
+
+    print("=== Figure 6: the long tail of demand ===\n")
+    curves = run_figure6(config)
+    cdf_series = {
+        site: (c.inventory, c.cumulative_share)
+        for site, c in curves["search"].items()
+    }
+    print(
+        ascii_plot(
+            cdf_series,
+            title="Cumulative demand vs normalized inventory (search)",
+            x_label="normalized inventory",
+            y_label="cumulative demand",
+        )
+    )
+    print("\nDemand share of the top 20% of inventory:")
+    for source in ("search", "browse"):
+        shares = ", ".join(
+            f"{site}={curves[source][site].share_of_top(0.2):.0%}"
+            for site in ("imdb", "amazon", "yelp")
+        )
+        print(f"  {source}: {shares}")
+    print("  (paper: IMDb >90%, Yelp ~60%; browse even more concentrated)\n")
+
+    print("=== Figures 7-8: demand and value-add vs existing reviews ===\n")
+    for site in ("yelp", "amazon", "imdb"):
+        dataset = build_traffic_dataset(site, config)
+        counts, demand = demand_vs_reviews(
+            dataset.search_demand, dataset.reviews
+        )
+        va_search = value_add_curve(dataset.search_demand, dataset.reviews)
+        va_browse = value_add_curve(dataset.browse_demand, dataset.reviews)
+        print(
+            ascii_plot(
+                {
+                    "search": (va_search.review_counts, va_search.relative_value_add),
+                    "browse": (va_browse.review_counts, va_browse.relative_value_add),
+                },
+                log_x=True,
+                title=f"VA(n)/VA(0) — {site}",
+                x_label="# of reviews",
+                y_label="relative value-add",
+            )
+        )
+        trend = (
+            "decreasing (tail reviews are worth more)"
+            if va_search.is_decreasing_overall()
+            else "mid-popularity peak"
+        )
+        print(f"  {site}: search VA trend is {trend}\n")
+
+    print(
+        "Conclusion: toward the tail, content availability decays faster\n"
+        "than demand — one extra review for a tail entity adds more value\n"
+        "per user base than another review for a head entity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — a reproduction of "An Analysis of Structured Data on the Web".
+
+Dalvi, Machanavajjhala, Pang (Yahoo! Research), PVLDB 5(7), VLDB 2012.
+
+The paper measures how structured data (entities and their identifying
+attributes) is spread across websites, what tail extraction is worth,
+and how connected the entity-site graph is.  Its substrates -- Yahoo!'s
+web crawl, business-listing and book databases, and search/browse
+traffic logs -- are proprietary; this library rebuilds faithful
+synthetic equivalents and reruns every table and figure on them.
+
+Quickstart::
+
+    from repro.pipeline import ExperimentConfig, run_spread
+
+    config = ExperimentConfig(scale="small", seed=0)
+    result = run_spread("restaurants", "phone", config)
+    print(result.render())
+
+Subpackages:
+
+- :mod:`repro.entities` -- entity databases and identifier algebra.
+- :mod:`repro.webgen` -- the generative web model and HTML renderer.
+- :mod:`repro.crawl` -- page stores and the host-grouped crawl cache.
+- :mod:`repro.extract` -- phone/ISBN/homepage extractors, Naive Bayes,
+  review detection, and the cache-scanning runner.
+- :mod:`repro.traffic` -- search/browse log simulation and demand
+  aggregation.
+- :mod:`repro.core` -- the analyses: k-coverage, set cover, demand
+  curves, value-add, graph connectivity.
+- :mod:`repro.discovery` -- bootstrapping set-expansion.
+- :mod:`repro.pipeline` -- one runner per table/figure.
+- :mod:`repro.report` -- ASCII tables/plots and CSV output.
+"""
+
+from repro.core.incidence import BipartiteIncidence
+from repro.entities.catalog import Entity, EntityDatabase
+from repro.pipeline.config import ExperimentConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BipartiteIncidence",
+    "Entity",
+    "EntityDatabase",
+    "ExperimentConfig",
+    "__version__",
+]

@@ -1,0 +1,425 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes every experiment runner so the paper's tables and figures can
+be regenerated without writing Python:
+
+- ``python -m repro table1`` / ``table2``
+- ``python -m repro figure 1`` … ``figure 9``
+- ``python -m repro spread restaurants phone``
+- ``python -m repro discover`` (bootstrapping, perfect vs budgeted)
+- ``python -m repro crawl`` (focused-crawl policy comparison)
+- ``python -m repro resolve`` (entity-resolution demo)
+
+``--csv DIR`` writes each figure's series as long-format CSV next to
+the ASCII rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.pipeline.config import ExperimentConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        traffic_entities=args.traffic_entities,
+        traffic_events=args.traffic_events,
+        traffic_cookies=args.traffic_cookies,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "medium", "paper"),
+        help="corpus scale preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument("--csv", type=Path, default=None, metavar="DIR",
+                        help="also write series as CSV into DIR")
+    parser.add_argument("--traffic-entities", type=int, default=20000)
+    parser.add_argument("--traffic-events", type=int, default=200000)
+    parser.add_argument("--traffic-cookies", type=int, default=50000)
+
+
+def _maybe_csv(args: argparse.Namespace, name: str, series: dict) -> None:
+    if args.csv is None:
+        return
+    from repro.report.figures import write_csv
+
+    path = write_csv(args.csv / f"{name}.csv", series)
+    print(f"(series written to {path})")
+
+
+# -- command handlers --------------------------------------------------------
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.pipeline.experiments import run_table1
+
+    print(run_table1())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.pipeline.experiments import format_table2, run_table2
+
+    print(format_table2(run_table2(_config_from(args))))
+    return 0
+
+
+def _cmd_spread(args: argparse.Namespace) -> int:
+    from repro.core.coverage import sites_needed_for_coverage
+    from repro.pipeline.experiments import run_spread
+
+    result = run_spread(args.domain, args.attribute, _config_from(args))
+    print(result.render())
+    needed = sites_needed_for_coverage(result.incidence, args.target, k=args.k)
+    print(
+        f"\nsites needed for {args.target:.0%} coverage at k={args.k}: {needed}"
+    )
+    _maybe_csv(args, f"spread_{args.domain}_{args.attribute}", result.series())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro import pipeline
+    from repro.report.figures import ascii_plot
+
+    config = _config_from(args)
+    number = args.number
+    if number == 1 or number == 2:
+        runner = pipeline.run_figure1 if number == 1 else pipeline.run_figure2
+        for domain, result in runner(config).items():
+            print(result.render())
+            print()
+            _maybe_csv(args, f"figure{number}_{domain}", result.series())
+    elif number == 3:
+        result = pipeline.run_figure3(config)
+        print(result.render())
+        _maybe_csv(args, "figure3", result.series())
+    elif number == 4:
+        result = pipeline.run_figure4(config)
+        print(result.render())
+        _maybe_csv(args, "figure4a", result.spread.series())
+        _maybe_csv(args, "figure4b", result.aggregate_series())
+    elif number == 5:
+        result = pipeline.run_figure5(config)
+        print(result.render())
+        print(f"\nmax greedy improvement: {result.max_improvement():.3f}")
+        _maybe_csv(args, "figure5", result.series())
+    elif number == 6:
+        curves = pipeline.run_figure6(config)
+        for source in ("search", "browse"):
+            series = {
+                site: (c.inventory, c.cumulative_share)
+                for site, c in curves[source].items()
+            }
+            print(
+                ascii_plot(
+                    series,
+                    title=f"Figure 6: demand CDF ({source})",
+                    x_label="normalized inventory",
+                    y_label="cumulative demand",
+                )
+            )
+            print()
+            _maybe_csv(args, f"figure6_cdf_{source}", series)
+    elif number == 7:
+        panels = pipeline.run_figure7(config)
+        for site, sources in panels.items():
+            print(
+                ascii_plot(
+                    sources,
+                    title=f"Figure 7: demand vs #reviews ({site})",
+                    x_label="# of reviews",
+                    y_label="avg normalized demand",
+                )
+            )
+            print()
+            _maybe_csv(args, f"figure7_{site}", sources)
+    elif number == 8:
+        panels = pipeline.run_figure8(config)
+        for site, sources in panels.items():
+            series = {
+                source: (curve.review_counts, curve.relative_value_add)
+                for source, curve in sources.items()
+            }
+            print(
+                ascii_plot(
+                    series,
+                    log_x=True,
+                    title=f"Figure 8: VA(n)/VA(0) ({site})",
+                    x_label="# of reviews",
+                    y_label="relative value-add",
+                )
+            )
+            print()
+            _maybe_csv(args, f"figure8_{site}", series)
+    elif number == 9:
+        panels = pipeline.run_figure9(config)
+        for attribute, by_domain in panels.items():
+            print(
+                ascii_plot(
+                    by_domain,
+                    title=f"Figure 9: robustness ({attribute})",
+                    x_label="top-k sites removed",
+                    y_label="fraction in largest component",
+                )
+            )
+            print()
+            _maybe_csv(args, f"figure9_{attribute}", by_domain)
+    else:
+        print(f"unknown figure {number}; the paper has figures 1-9",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    from repro.core.graph import EntitySiteGraph
+    from repro.discovery.bootstrap import BootstrapExpansion
+    from repro.discovery.noisy import NoisyExpansion
+    from repro.webgen.profiles import get_profile
+
+    config = _config_from(args)
+    incidence = get_profile(args.domain, args.attribute).generate(
+        config.scale_preset, seed=config.seed
+    )
+    graph = EntitySiteGraph(incidence)
+    diameter = graph.diameter()
+    print(f"corpus: {incidence}, diameter {diameter} (bound: d/2 = {diameter // 2})")
+
+    perfect = BootstrapExpansion(incidence).random_seed_trial(
+        seed_size=args.seeds, rng=config.seed
+    )
+    print(
+        f"perfect expansion:  {perfect.iterations} iterations, "
+        f"{perfect.entity_fraction(incidence.n_entities):.1%} of database, "
+        f"entity trajectory {perfect.entity_counts}"
+    )
+    noisy = NoisyExpansion(
+        incidence,
+        retrieval_budget=args.budget,
+        extraction_recall=args.recall,
+        seed=config.seed,
+    ).run(perfect.entities[: args.seeds].tolist())
+    print(
+        f"budgeted expansion: {noisy.iterations} iterations, "
+        f"{noisy.entity_fraction(incidence.n_entities):.1%} of database, "
+        f"{noisy.queries_issued} queries "
+        f"(budget={args.budget}, recall={args.recall})"
+    )
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    from repro.discovery.crawler import FocusedCrawler
+    from repro.webgen.profiles import get_profile
+
+    config = _config_from(args)
+    incidence = get_profile(args.domain, args.attribute).generate(
+        config.scale_preset, seed=config.seed
+    )
+    crawler = FocusedCrawler(incidence)
+    results = crawler.compare_policies(args.pages, rng=config.seed)
+    print(f"corpus: {incidence}; page budget {args.pages}")
+    for policy, result in results.items():
+        final = float(result.coverage[-1]) if len(result.coverage) else 0.0
+        print(
+            f"  {policy:<14} sites={result.sites_crawled:<6} "
+            f"pages={result.total_pages:<8} coverage={final:.1%}"
+        )
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.pipeline.runall import run_everything
+
+    written = run_everything(args.output, _config_from(args))
+    print(f"\n{len(written)} artifacts in {args.output}")
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.report.figures import ascii_plot
+    from repro.webgen.evolution import (
+        CorpusEvolver,
+        recrawl_comparison,
+        staleness_curve,
+    )
+    from repro.webgen.profiles import get_profile
+
+    config = _config_from(args)
+    incidence = get_profile(args.domain, args.attribute).generate(
+        config.scale_preset, seed=config.seed
+    )
+    evolver = CorpusEvolver(
+        edge_drop_rate=args.churn, edge_add_rate=args.churn
+    )
+    snapshots = evolver.evolve(incidence, epochs=args.epochs, rng=config.seed)
+    decay = staleness_curve(snapshots, incidence)
+    print(
+        ascii_plot(
+            {"still-true fraction": (range(1, len(decay) + 1), decay)},
+            title=f"Snapshot staleness ({args.churn:.0%} churn per epoch)",
+            x_label="epochs since crawl",
+            y_label="fraction of facts still true",
+        )
+    )
+    policies = recrawl_comparison(
+        incidence,
+        evolver,
+        epochs=args.epochs,
+        budget_per_epoch=args.budget,
+        rng=config.seed,
+    )
+    print(f"\nfinal accuracy with {args.budget} re-crawled sites/epoch:")
+    for policy, value in policies.items():
+        print(f"  {policy:<14} {value:.3f}")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.crawl.deepweb import DeepWebProber, DeepWebSite
+    from repro.entities.business import generate_listings
+
+    hidden = generate_listings(args.domain, args.entities, seed=args.seed)
+    site = DeepWebSite("forms.example.com", hidden, page_size=args.page_size)
+    prober = DeepWebProber(hidden[: args.seeds], max_queries=args.queries)
+    result = prober.probe(site)
+    print(f"hidden records: {site.n_hidden} (page size {site.page_size})")
+    print(f"seeds: {args.seeds} known entities; budget {args.queries} queries")
+    print(f"harvested: {len(result.harvested)} ({result.coverage:.1%})")
+    print(f"queries issued: {result.queries_issued} "
+          f"({result.queries_per_record:.2f} per record)")
+    return 0
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    from repro.entities.business import generate_listings
+    from repro.linking.mentions import MentionGenerator
+    from repro.linking.resolution import EntityResolver
+
+    listings = generate_listings(args.domain, args.entities, seed=args.seed)
+    mentions = MentionGenerator(seed=args.seed + 1).corpus(
+        listings, mentions_per_listing=args.mentions
+    )
+    resolver = EntityResolver(listings, threshold=args.threshold)
+    report = resolver.evaluate(mentions)
+    print(f"listings: {len(listings)}, mentions: {report.n_mentions}")
+    print(f"linked: {report.n_linked}")
+    print(f"precision: {report.precision:.3f}")
+    print(f"recall:    {report.recall:.3f}")
+    print(f"F1:        {report.f1:.3f}")
+    print(f"mean blocking candidates per mention: {report.mean_candidates:.1f} "
+          f"(vs {len(listings)} for a full scan)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'An Analysis of Structured Data on the Web' "
+            "(VLDB 2012) on a synthetic substrate."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser("table1", help="domain inventory (Table 1)")
+    table1.set_defaults(handler=_cmd_table1)
+    _add_common(table1)
+
+    table2 = commands.add_parser("table2", help="graph metrics (Table 2)")
+    table2.set_defaults(handler=_cmd_table2)
+    _add_common(table2)
+
+    figure = commands.add_parser("figure", help="reproduce figure 1-9")
+    figure.add_argument("number", type=int, help="figure number (1-9)")
+    figure.set_defaults(handler=_cmd_figure)
+    _add_common(figure)
+
+    spread = commands.add_parser("spread", help="k-coverage for one panel")
+    spread.add_argument("domain")
+    spread.add_argument("attribute")
+    spread.add_argument("--target", type=float, default=0.9)
+    spread.add_argument("-k", type=int, default=1)
+    spread.set_defaults(handler=_cmd_spread)
+    _add_common(spread)
+
+    discover = commands.add_parser(
+        "discover", help="bootstrapping discovery, perfect vs budgeted"
+    )
+    discover.add_argument("--domain", default="restaurants")
+    discover.add_argument("--attribute", default="phone")
+    discover.add_argument("--seeds", type=int, default=5)
+    discover.add_argument("--budget", type=int, default=10)
+    discover.add_argument("--recall", type=float, default=0.9)
+    discover.set_defaults(handler=_cmd_discover)
+    _add_common(discover)
+
+    crawl = commands.add_parser("crawl", help="focused-crawl policy comparison")
+    crawl.add_argument("--domain", default="restaurants")
+    crawl.add_argument("--attribute", default="phone")
+    crawl.add_argument("--pages", type=int, default=2000)
+    crawl.set_defaults(handler=_cmd_crawl)
+    _add_common(crawl)
+
+    run_all = commands.add_parser(
+        "all", help="regenerate every table and figure into a directory"
+    )
+    run_all.add_argument("output", type=Path, help="output directory")
+    run_all.set_defaults(handler=_cmd_all)
+    _add_common(run_all)
+
+    evolve = commands.add_parser(
+        "evolve", help="corpus churn, staleness, re-crawl policies"
+    )
+    evolve.add_argument("--domain", default="banks")
+    evolve.add_argument("--attribute", default="phone")
+    evolve.add_argument("--epochs", type=int, default=6)
+    evolve.add_argument("--churn", type=float, default=0.08)
+    evolve.add_argument("--budget", type=int, default=30)
+    evolve.set_defaults(handler=_cmd_evolve)
+    _add_common(evolve)
+
+    probe = commands.add_parser("probe", help="deep-web harvesting demo")
+    probe.add_argument("--domain", default="restaurants")
+    probe.add_argument("--entities", type=int, default=500)
+    probe.add_argument("--seeds", type=int, default=10)
+    probe.add_argument("--queries", type=int, default=3000)
+    probe.add_argument("--page-size", type=int, default=15)
+    probe.add_argument("--seed", type=int, default=0)
+    probe.set_defaults(handler=_cmd_probe)
+
+    resolve = commands.add_parser("resolve", help="entity-resolution demo")
+    resolve.add_argument("--domain", default="restaurants")
+    resolve.add_argument("--entities", type=int, default=300)
+    resolve.add_argument("--mentions", type=int, default=3)
+    resolve.add_argument("--threshold", type=float, default=0.7)
+    resolve.add_argument("--seed", type=int, default=0)
+    resolve.set_defaults(handler=_cmd_resolve)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Clustering substrate: grouping websites by content.
+
+The paper's end-to-end challenge (Section 1) lists "automatic crawling,
+*clustering*, extraction, deduplication and linking".  In a
+domain-centric pipeline, clustering separates candidate sources — does
+this host carry restaurant listings, book catalogues, or unrelated
+content? — before expensive per-site wrapping.  This package builds
+that step from scratch:
+
+- :mod:`repro.clustering.tfidf` — a TF-IDF vectorizer.
+- :mod:`repro.clustering.kmeans` — k-means with k-means++ seeding and
+  restarts.
+- :mod:`repro.clustering.sites` — host-level document construction from
+  a crawl cache and the site clusterer with purity evaluation.
+"""
+
+from repro.clustering.classify import SiteClassification, SiteClassifier
+from repro.clustering.kmeans import KMeans
+from repro.clustering.sites import SiteClusterer, cluster_purity
+from repro.clustering.tfidf import TfidfVectorizer
+
+__all__ = [
+    "KMeans",
+    "SiteClassification",
+    "SiteClassifier",
+    "SiteClusterer",
+    "TfidfVectorizer",
+    "cluster_purity",
+]

@@ -1,0 +1,140 @@
+"""Supervised site classification from a handful of labeled hosts.
+
+The unsupervised clusterer groups hosts without names; in practice a
+domain-centric pipeline starts from a few *known* sources per class
+(the head aggregators one would wrap manually anyway) and wants every
+other crawled host labeled: restaurants-like, books-like, irrelevant.
+:class:`SiteClassifier` does that with a Rocchio-style nearest-centroid
+model over TF-IDF host documents — tiny training sets are exactly where
+centroid methods beat fancier models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.sites import SiteClusterer
+from repro.clustering.tfidf import TfidfVectorizer
+from repro.crawl.cache import WebCache
+
+__all__ = ["SiteClassification", "SiteClassifier"]
+
+
+@dataclass(frozen=True)
+class SiteClassification:
+    """Labels assigned to the hosts of a cache.
+
+    Attributes:
+        hosts: Hosts in classification order.
+        labels: Predicted class label per host.
+        confidences: Cosine similarity to the winning centroid.
+    """
+
+    hosts: list[str]
+    labels: list[str]
+    confidences: np.ndarray
+
+    def assignment(self) -> dict[str, str]:
+        """Host → predicted label."""
+        return dict(zip(self.hosts, self.labels))
+
+    def accuracy(self, truth: dict[str, str]) -> float:
+        """Accuracy against ground-truth host labels (on labeled hosts)."""
+        if not truth:
+            raise ValueError("truth must be non-empty")
+        scored = [
+            (predicted, truth[host])
+            for host, predicted in zip(self.hosts, self.labels)
+            if host in truth
+        ]
+        if not scored:
+            raise ValueError("no classified host has a truth label")
+        return sum(1 for p, t in scored if p == t) / len(scored)
+
+
+class SiteClassifier:
+    """Nearest-centroid host classifier over TF-IDF documents.
+
+    Args:
+        max_features: TF-IDF vocabulary cap.
+        max_pages_per_host: Pages concatenated per host document.
+        min_confidence: Below this cosine similarity a host is labeled
+            ``"unknown"`` rather than forced into a class.
+    """
+
+    def __init__(
+        self,
+        max_features: int = 1500,
+        max_pages_per_host: int = 20,
+        min_confidence: float = 0.05,
+    ) -> None:
+        if not 0.0 <= min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in [0, 1]")
+        self.max_features = max_features
+        self.max_pages_per_host = max_pages_per_host
+        self.min_confidence = min_confidence
+        self._vectorizer: TfidfVectorizer | None = None
+        self._centroids: dict[str, np.ndarray] = {}
+
+    def _documents(self, cache: WebCache) -> tuple[list[str], list[str]]:
+        clusterer = SiteClusterer(
+            max_pages_per_host=self.max_pages_per_host,
+            max_features=self.max_features,
+        )
+        return clusterer.host_documents(cache)
+
+    def fit(self, cache: WebCache, seed_labels: dict[str, str]) -> "SiteClassifier":
+        """Learn class centroids from labeled seed hosts.
+
+        Args:
+            cache: The crawl holding the seed hosts' pages.
+            seed_labels: Host → class for at least two hosts covering at
+                least one class.
+        """
+        if not seed_labels:
+            raise ValueError("seed_labels must be non-empty")
+        hosts, documents = self._documents(cache)
+        by_host = dict(zip(hosts, documents))
+        missing = [host for host in seed_labels if host not in by_host]
+        if missing:
+            raise ValueError(f"seed hosts not in cache: {missing}")
+        self._vectorizer = TfidfVectorizer(max_features=self.max_features).fit(
+            documents
+        )
+        classes: dict[str, list[str]] = {}
+        for host, label in seed_labels.items():
+            classes.setdefault(label, []).append(by_host[host])
+        self._centroids = {}
+        for label, docs in classes.items():
+            vectors = self._vectorizer.transform(docs)
+            centroid = vectors.mean(axis=0)
+            norm = np.linalg.norm(centroid)
+            self._centroids[label] = centroid / norm if norm else centroid
+        return self
+
+    def classify(self, cache: WebCache) -> SiteClassification:
+        """Label every host of ``cache``."""
+        if self._vectorizer is None or not self._centroids:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        hosts, documents = self._documents(cache)
+        vectors = self._vectorizer.transform(documents)
+        labels = []
+        confidences = np.zeros(len(hosts))
+        class_names = sorted(self._centroids)
+        centroid_matrix = np.stack(
+            [self._centroids[name] for name in class_names]
+        )
+        similarities = vectors @ centroid_matrix.T  # rows are L2-normalized
+        for row in range(len(hosts)):
+            best = int(np.argmax(similarities[row]))
+            confidence = float(similarities[row, best])
+            confidences[row] = confidence
+            if confidence < self.min_confidence:
+                labels.append("unknown")
+            else:
+                labels.append(class_names[best])
+        return SiteClassification(
+            hosts=hosts, labels=labels, confidences=confidences
+        )

@@ -1,0 +1,133 @@
+"""k-means clustering with k-means++ seeding, from scratch.
+
+Standard Lloyd iterations on Euclidean distance; since the site vectors
+are L2-normalized TF-IDF rows, Euclidean k-means is equivalent to
+spherical (cosine) k-means up to the usual monotone transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization and restarts.
+
+    Args:
+        n_clusters: Number of clusters k.
+        n_init: Independent restarts; the best inertia wins.
+        max_iter: Lloyd iterations per restart.
+        tol: Centroid-movement convergence threshold.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 5,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be positive")
+        if n_init < 1 or max_iter < 1:
+            raise ValueError("n_init and max_iter must be positive")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centroids: np.ndarray | None = None
+        self.inertia: float = np.inf
+
+    @staticmethod
+    def _distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Squared Euclidean distances, points × centroids."""
+        return (
+            np.sum(points**2, axis=1, keepdims=True)
+            - 2.0 * points @ centroids.T
+            + np.sum(centroids**2, axis=1)
+        )
+
+    def _init_plus_plus(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids by D^2 sampling."""
+        n = len(points)
+        centroids = [points[int(rng.integers(n))]]
+        while len(centroids) < self.n_clusters:
+            distances = self._distances(points, np.asarray(centroids)).min(axis=1)
+            distances = np.maximum(distances, 0.0)
+            total = distances.sum()
+            if total <= 0:
+                pick = int(rng.integers(n))
+            else:
+                pick = int(
+                    np.searchsorted(
+                        np.cumsum(distances / total), rng.random()
+                    )
+                )
+                pick = min(pick, n - 1)
+            centroids.append(points[pick])
+        return np.asarray(centroids)
+
+    def _lloyd(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        centroids = self._init_plus_plus(points, rng)
+        labels = np.zeros(len(points), dtype=np.int64)
+        for _ in range(self.max_iter):
+            distances = self._distances(points, centroids)
+            labels = np.argmin(distances, axis=1)
+            moved = 0.0
+            new_centroids = centroids.copy()
+            for cluster in range(self.n_clusters):
+                members = points[labels == cluster]
+                if len(members) == 0:
+                    # re-seed an empty cluster at the farthest point
+                    farthest = int(np.argmax(distances.min(axis=1)))
+                    new_centroids[cluster] = points[farthest]
+                    moved = np.inf
+                    continue
+                centroid = members.mean(axis=0)
+                moved = max(
+                    moved, float(np.linalg.norm(centroid - centroids[cluster]))
+                )
+                new_centroids[cluster] = centroid
+            centroids = new_centroids
+            if moved <= self.tol:
+                break
+        inertia = float(
+            self._distances(points, centroids)[
+                np.arange(len(points)), labels
+            ].sum()
+        )
+        return centroids, labels, inertia
+
+    def fit(self, points: np.ndarray) -> np.ndarray:
+        """Cluster ``points``; returns the label per row."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError("points must be a non-empty 2-D array")
+        if len(points) < self.n_clusters:
+            raise ValueError("need at least n_clusters points")
+        rng = np.random.default_rng(self.seed)
+        best_labels: np.ndarray | None = None
+        for _ in range(self.n_init):
+            centroids, labels, inertia = self._lloyd(points, rng)
+            if inertia < self.inertia:
+                self.centroids = centroids
+                self.inertia = inertia
+                best_labels = labels
+        assert best_labels is not None
+        return best_labels
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Assign new points to the fitted centroids."""
+        if self.centroids is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        points = np.asarray(points, dtype=np.float64)
+        return np.argmin(self._distances(points, self.centroids), axis=1)

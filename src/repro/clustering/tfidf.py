@@ -1,0 +1,89 @@
+"""TF-IDF vectorization, from scratch.
+
+Term frequency is sublinear (``1 + log(tf)``), inverse document
+frequency is smoothed (``log((1 + N) / (1 + df)) + 1``), and rows are
+L2-normalized — the standard recipe, implemented on plain numpy with a
+capped vocabulary.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.extract.naive_bayes import tokenize
+
+__all__ = ["TfidfVectorizer"]
+
+
+class TfidfVectorizer:
+    """Fits a vocabulary + IDF weights; transforms text to dense rows.
+
+    Args:
+        max_features: Keep only the most document-frequent terms.
+        min_df: Drop terms appearing in fewer than this many documents.
+    """
+
+    def __init__(self, max_features: int = 2000, min_df: int = 1) -> None:
+        if max_features < 1:
+            raise ValueError("max_features must be positive")
+        if min_df < 1:
+            raise ValueError("min_df must be positive")
+        self.max_features = max_features
+        self.min_df = min_df
+        self._vocabulary: dict[str, int] = {}
+        self._idf: np.ndarray | None = None
+
+    @property
+    def vocabulary(self) -> dict[str, int]:
+        """Term → column index (after fit)."""
+        return dict(self._vocabulary)
+
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        """Learn the vocabulary and IDF weights."""
+        if not documents:
+            raise ValueError("cannot fit on zero documents")
+        document_frequency: Counter[str] = Counter()
+        for document in documents:
+            document_frequency.update(set(tokenize(document)))
+        kept = [
+            (term, df)
+            for term, df in document_frequency.items()
+            if df >= self.min_df
+        ]
+        kept.sort(key=lambda item: (-item[1], item[0]))
+        kept = kept[: self.max_features]
+        if not kept:
+            raise ValueError("vocabulary is empty after min_df filtering")
+        self._vocabulary = {term: i for i, (term, _) in enumerate(kept)}
+        n = len(documents)
+        self._idf = np.array(
+            [
+                math.log((1 + n) / (1 + df)) + 1.0
+                for _, df in kept
+            ]
+        )
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Vectorize documents to L2-normalized TF-IDF rows."""
+        if self._idf is None:
+            raise RuntimeError("vectorizer is not fitted; call fit() first")
+        matrix = np.zeros((len(documents), len(self._vocabulary)))
+        for row, document in enumerate(documents):
+            counts = Counter(
+                token for token in tokenize(document) if token in self._vocabulary
+            )
+            for term, count in counts.items():
+                column = self._vocabulary[term]
+                matrix[row, column] = (1.0 + math.log(count)) * self._idf[column]
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return matrix / norms
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Fit and transform in one pass."""
+        return self.fit(documents).transform(documents)

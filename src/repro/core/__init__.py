@@ -1,0 +1,117 @@
+"""Core analyses: the paper's primary contribution.
+
+The paper's contribution is a set of *measurements* over the entity–site
+incidence structure of the Web:
+
+- :mod:`repro.core.incidence` — the bipartite entity–site incidence
+  matrix both the synthetic generator and the extraction pipeline
+  produce, and every analysis consumes.
+- :mod:`repro.core.coverage` — k-coverage curves (Figures 1–4).
+- :mod:`repro.core.setcover` — greedy set cover ordering (Figure 5).
+- :mod:`repro.core.graph` — connected components, diameter, robustness
+  (Table 2, Figure 9).
+- :mod:`repro.core.demand` — demand CDF/PDF analyses (Figure 6).
+- :mod:`repro.core.valueadd` — demand-vs-reviews and value-add curves
+  (Figures 7–8).
+"""
+
+from repro.core.coverage import (
+    CoverageCurves,
+    aggregate_coverage_curve,
+    coverage_at,
+    k_coverage_curves,
+    sites_needed_for_coverage,
+)
+from repro.core.concentration import (
+    PowerLawFit,
+    fit_power_law,
+    gini_coefficient,
+    lorenz_curve,
+    top_share,
+)
+from repro.core.curves import (
+    area_between,
+    crossovers,
+    max_gap,
+    step_interpolate,
+)
+from repro.core.demand import (
+    DemandCurves,
+    demand_cdf,
+    demand_rank_pdf,
+    demand_share_of_top_fraction,
+)
+from repro.core.errors import (
+    PrecisionEstimate,
+    bootstrap_coverage_interval,
+    coverage_bias_under_noise,
+    estimate_precision_from_sample,
+    inject_false_matches,
+)
+from repro.core.graph import (
+    ComponentSummary,
+    EntitySiteGraph,
+    GraphMetrics,
+    robustness_curve,
+)
+from repro.core.incidence import BipartiteIncidence
+from repro.core.redundancy import (
+    RedundancyReport,
+    head_site_overlap_matrix,
+    marginal_novelty_profile,
+    redundancy_report,
+    replication_histogram,
+)
+from repro.core.setcover import greedy_set_cover, greedy_coverage_curve
+from repro.core.valueadd import (
+    ValueAddCurve,
+    demand_vs_reviews,
+    inverse_information_gain,
+    log2_review_bins,
+    step_information_gain,
+    value_add_curve,
+)
+
+__all__ = [
+    "BipartiteIncidence",
+    "ComponentSummary",
+    "CoverageCurves",
+    "DemandCurves",
+    "EntitySiteGraph",
+    "GraphMetrics",
+    "PowerLawFit",
+    "PrecisionEstimate",
+    "RedundancyReport",
+    "ValueAddCurve",
+    "fit_power_law",
+    "gini_coefficient",
+    "lorenz_curve",
+    "top_share",
+    "bootstrap_coverage_interval",
+    "coverage_bias_under_noise",
+    "estimate_precision_from_sample",
+    "head_site_overlap_matrix",
+    "inject_false_matches",
+    "marginal_novelty_profile",
+    "redundancy_report",
+    "replication_histogram",
+    "aggregate_coverage_curve",
+    "area_between",
+    "crossovers",
+    "max_gap",
+    "step_interpolate",
+    "coverage_at",
+    "demand_cdf",
+    "demand_rank_pdf",
+    "demand_share_of_top_fraction",
+    "demand_vs_reviews",
+    "greedy_coverage_curve",
+    "greedy_set_cover",
+    "inverse_information_gain",
+    "k_coverage_curves",
+    "log2_review_bins",
+    "robustness_curve",
+    "sites_needed_for_coverage",
+    "step_information_gain",
+    "value_add_curve",
+]

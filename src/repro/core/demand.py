@@ -1,0 +1,128 @@
+"""Demand distribution analyses (Section 4.2, Figure 6).
+
+The paper measures per-entity *demand* — the number of unique cookies
+visiting an entity's page — from two traffic sources (search clicks and
+toolbar browsing), for three sites (Amazon, Yelp, IMDb).  Figure 6
+summarizes each (site, source) dataset twice:
+
+- a **CDF**: cumulative share of demand vs. normalized inventory rank
+  (what fraction of total demand do the top x% of entities account
+  for?), and
+- a **rank PDF** on log-log axes: each rank's share of total demand.
+
+Both are pure order statistics of the demand vector, implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DemandCurves",
+    "demand_cdf",
+    "demand_rank_pdf",
+    "demand_share_of_top_fraction",
+]
+
+
+def _as_demand(demand: np.ndarray) -> np.ndarray:
+    arr = np.asarray(demand, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError("demand must be a 1-D array")
+    if len(arr) == 0:
+        raise ValueError("demand must be non-empty")
+    if np.any(arr < 0):
+        raise ValueError("demand values must be non-negative")
+    return arr
+
+
+def demand_cdf(demand: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative demand vs. normalized inventory (Figure 6(a)/(c)).
+
+    Entities are sorted by decreasing demand; position i (1-based) maps
+    to x = i / M and y = (sum of top-i demand) / (total demand).
+
+    Returns:
+        ``(normalized_inventory, cumulative_share)`` arrays of length M.
+    """
+    arr = _as_demand(demand)
+    ordered = np.sort(arr)[::-1]
+    total = ordered.sum()
+    if total == 0:
+        cumulative = np.zeros(len(ordered))
+    else:
+        cumulative = np.cumsum(ordered) / total
+    inventory = np.arange(1, len(ordered) + 1) / len(ordered)
+    return inventory, cumulative
+
+
+def demand_rank_pdf(demand: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-rank demand share (Figure 6(b)/(d), log-log).
+
+    Returns:
+        ``(ranks, shares)``; ranks start at 1, shares sum to 1 (when
+        total demand is positive).  Zero-demand tail entries keep share
+        0 — the paper's log-scale plots simply do not render them.
+    """
+    arr = _as_demand(demand)
+    ordered = np.sort(arr)[::-1]
+    total = ordered.sum()
+    shares = ordered / total if total > 0 else np.zeros(len(ordered))
+    ranks = np.arange(1, len(ordered) + 1, dtype=np.float64)
+    return ranks, shares
+
+
+def demand_share_of_top_fraction(demand: np.ndarray, fraction: float) -> float:
+    """Share of total demand captured by the top ``fraction`` of entities.
+
+    The paper's headline numbers are instances of this: "top 20% of
+    movie titles account for more than 90% of the overall demand on
+    IMDb, top 20% of business entities account for only 60% ... on
+    Yelp".
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    arr = _as_demand(demand)
+    if fraction == 0.0:
+        return 0.0
+    k = max(1, int(round(fraction * len(arr))))
+    ordered = np.sort(arr)[::-1]
+    total = ordered.sum()
+    if total == 0:
+        return 0.0
+    return float(ordered[:k].sum() / total)
+
+
+@dataclass(frozen=True)
+class DemandCurves:
+    """Both Figure 6 views of one (site, traffic source) demand vector."""
+
+    label: str
+    inventory: np.ndarray
+    cumulative_share: np.ndarray
+    ranks: np.ndarray
+    rank_share: np.ndarray
+
+    @classmethod
+    def from_demand(cls, label: str, demand: np.ndarray) -> "DemandCurves":
+        """Compute both curves for a demand vector."""
+        inventory, cumulative = demand_cdf(demand)
+        ranks, shares = demand_rank_pdf(demand)
+        return cls(
+            label=label,
+            inventory=inventory,
+            cumulative_share=cumulative,
+            ranks=ranks,
+            rank_share=shares,
+        )
+
+    def share_of_top(self, fraction: float) -> float:
+        """Share of demand captured by the top ``fraction`` of inventory."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if fraction == 0.0:
+            return 0.0
+        k = max(1, int(round(fraction * len(self.inventory)))) - 1
+        return float(self.cumulative_share[k])

@@ -1,0 +1,183 @@
+"""Methodology-error analysis (Section 3.5 of the paper).
+
+The paper identifies two error sources in its methodology and argues
+both are benign:
+
+1. **Dataset approximation** — only entities already in the database
+   are tracked; if anything, this *over-estimates* head-site coverage.
+2. **False matches** — a random number can collide with a database key;
+   these "will only lead to over-estimation of the coverage (i.e.,
+   making the spread appear lower), since the top-t websites will
+   report more entities than what they truly cover."
+
+This module makes both arguments checkable instead of rhetorical:
+
+- :func:`inject_false_matches` corrupts an incidence with a controlled
+  false-match rate, so the direction and magnitude of the coverage bias
+  can be measured (:func:`coverage_bias_under_noise`).
+- :func:`estimate_precision_from_sample` reproduces the paper's "based
+  on small random samples, we observed that the regular expression
+  matching ... had a high accuracy" step, with a Wilson confidence
+  interval instead of a bare point estimate.
+- :func:`bootstrap_coverage_interval` puts a resampling confidence band
+  on any coverage estimate, quantifying the dataset-approximation
+  uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coverage import coverage_at
+from repro.core.incidence import BipartiteIncidence
+
+__all__ = [
+    "PrecisionEstimate",
+    "bootstrap_coverage_interval",
+    "coverage_bias_under_noise",
+    "estimate_precision_from_sample",
+    "inject_false_matches",
+]
+
+
+def inject_false_matches(
+    incidence: BipartiteIncidence,
+    rate: float,
+    rng: np.random.Generator | int,
+) -> BipartiteIncidence:
+    """Add spurious (site, entity) edges at ``rate`` per true edge.
+
+    Each injected edge pairs a uniformly random site with a uniformly
+    random entity — the collision model for accidental key matches
+    (a 10-digit invoice number that happens to equal a phone key).
+    Duplicates with existing edges are merged away by construction.
+    """
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    n_false = int(round(rate * incidence.n_edges))
+    sites: list[tuple[str, list[int]]] = [
+        (incidence.site_hosts[s], incidence.site_entities(s).tolist())
+        for s in range(incidence.n_sites)
+    ]
+    if n_false and incidence.n_sites and incidence.n_entities:
+        false_sites = rng.integers(incidence.n_sites, size=n_false)
+        false_entities = rng.integers(incidence.n_entities, size=n_false)
+        for site, entity in zip(false_sites.tolist(), false_entities.tolist()):
+            sites[site][1].append(int(entity))
+    return BipartiteIncidence.from_site_lists(
+        n_entities=incidence.n_entities,
+        sites=sites,
+        entity_ids=incidence.entity_ids,
+    )
+
+
+def coverage_bias_under_noise(
+    incidence: BipartiteIncidence,
+    rate: float,
+    rng: np.random.Generator | int,
+    top_t: int = 100,
+    k: int = 1,
+) -> tuple[float, float]:
+    """Coverage of the top-t sites before and after false-match noise.
+
+    Returns:
+        ``(clean, noisy)`` coverage values.  Section 3.5 predicts
+        ``noisy >= clean`` — false matches make the spread look lower,
+        strengthening (not weakening) the tail-extraction conclusion.
+    """
+    clean = coverage_at(incidence, top_t, k=k)
+    noisy_incidence = inject_false_matches(incidence, rate, rng)
+    noisy = coverage_at(noisy_incidence, min(top_t, noisy_incidence.n_sites), k=k)
+    return clean, noisy
+
+
+@dataclass(frozen=True)
+class PrecisionEstimate:
+    """Sample-based precision with a Wilson score interval.
+
+    Attributes:
+        n_sampled: Matches manually checked.
+        n_correct: Of those, true matches.
+        precision: Point estimate.
+        low, high: Wilson 95% (by default) confidence bounds.
+    """
+
+    n_sampled: int
+    n_correct: int
+    precision: float
+    low: float
+    high: float
+
+
+def estimate_precision_from_sample(
+    n_sampled: int, n_correct: int, z: float = 1.96
+) -> PrecisionEstimate:
+    """Wilson score interval for match precision.
+
+    The paper verified extractor accuracy on "small random samples";
+    the Wilson interval is the appropriate summary for such samples
+    (it behaves sensibly at p near 1, where these extractors live).
+    """
+    if n_sampled <= 0:
+        raise ValueError("n_sampled must be positive")
+    if not 0 <= n_correct <= n_sampled:
+        raise ValueError("n_correct must be in [0, n_sampled]")
+    p = n_correct / n_sampled
+    denominator = 1 + z**2 / n_sampled
+    center = (p + z**2 / (2 * n_sampled)) / denominator
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / n_sampled + z**2 / (4 * n_sampled**2))
+        / denominator
+    )
+    return PrecisionEstimate(
+        n_sampled=n_sampled,
+        n_correct=n_correct,
+        precision=p,
+        low=max(0.0, center - margin),
+        high=min(1.0, center + margin),
+    )
+
+
+def bootstrap_coverage_interval(
+    incidence: BipartiteIncidence,
+    top_t: int,
+    k: int = 1,
+    n_bootstrap: int = 200,
+    confidence: float = 0.95,
+    rng: np.random.Generator | int = 0,
+) -> tuple[float, float, float]:
+    """Entity-resampling bootstrap CI for top-t k-coverage.
+
+    Resamples *entities* with replacement (the database is a sample of
+    the domain, per the paper's first error source) and recomputes the
+    fraction covered by the fixed top-t sites.
+
+    Returns:
+        ``(point, low, high)``.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_bootstrap < 1:
+        raise ValueError("n_bootstrap must be positive")
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    order = incidence.sites_by_size()[:top_t]
+    counts = np.zeros(incidence.n_entities, dtype=np.int64)
+    for site in order:
+        counts[incidence.site_entities(int(site))] += 1
+    covered = (counts >= k).astype(np.float64)
+    point = float(covered.mean()) if len(covered) else 0.0
+    samples = np.empty(n_bootstrap)
+    n = len(covered)
+    for b in range(n_bootstrap):
+        picks = rng.integers(n, size=n)
+        samples[b] = covered[picks].mean()
+    alpha = (1 - confidence) / 2
+    low, high = np.quantile(samples, [alpha, 1 - alpha])
+    return point, float(low), float(high)

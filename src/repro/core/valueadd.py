@@ -1,0 +1,190 @@
+"""Value of tail extraction (Section 4.3, Figures 7–8).
+
+The paper quantifies the value of extracting one more review for an
+entity that already has n reviews as ``VA(n) = k · I∆(n)`` where k is
+the entity's demand and ``I∆(n) = 1/(1+n)`` bounds the influence of the
+(n+1)-th review on an aggregate presentation.  Averaging over entities
+with the same (log-binned) review count and normalizing by the
+zero-review group gives Figure 8's ``VA(n)/VA(0)`` curves; a decreasing
+curve means content availability decays *faster* than demand toward the
+tail — the paper's second headline finding.
+
+Figure 7 is the precursor view: average (z-score normalized) demand as
+a function of review count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "ValueAddCurve",
+    "demand_vs_reviews",
+    "inverse_information_gain",
+    "log2_review_bins",
+    "step_information_gain",
+    "value_add_curve",
+]
+
+
+def inverse_information_gain(n_reviews: np.ndarray) -> np.ndarray:
+    """The paper's I∆(n) = 1/(1+n).
+
+    Motivated by aggregation: in an average over n+1 independent
+    sources, the newest one moves the summary by at most 1/(1+n).
+    """
+    n = np.asarray(n_reviews, dtype=np.float64)
+    if np.any(n < 0):
+        raise ValueError("review counts must be non-negative")
+    return 1.0 / (1.0 + n)
+
+
+def step_information_gain(
+    n_reviews: np.ndarray, cutoff: int = 10
+) -> np.ndarray:
+    """Step-function alternative: full value below ``cutoff``, zero after.
+
+    Section 4.3.1 argues this models "a user reads no more than c
+    reviews" and decays *faster* than 1/(1+n) for head items, so it only
+    strengthens the tail-value conclusion.  Used by the I∆ ablation
+    benchmark.
+    """
+    if cutoff < 1:
+        raise ValueError("cutoff must be >= 1")
+    n = np.asarray(n_reviews, dtype=np.float64)
+    if np.any(n < 0):
+        raise ValueError("review counts must be non-negative")
+    return (n < cutoff).astype(np.float64)
+
+
+def log2_review_bins(
+    n_reviews: np.ndarray, max_bin: int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's log-grouping of review counts (footnote 4).
+
+    "Entities with 0 reviews form the first group, entities with 1-2
+    reviews form the second, and so on.  Entities with 1023 or more
+    reviews form the final group."  That is bin = floor(log2(n+1)),
+    clamped to ``max_bin``.
+
+    Returns:
+        ``(bin_index_per_entity, representative_count_per_bin)`` where
+        the representative is the geometric-ish center used as the x
+        coordinate (0, 1.5, 4.5, ..., and 1023 for the last bin).
+    """
+    n = np.asarray(n_reviews, dtype=np.int64)
+    if np.any(n < 0):
+        raise ValueError("review counts must be non-negative")
+    bins = np.floor(np.log2(n + 1)).astype(np.int64)
+    bins = np.minimum(bins, max_bin)
+    centers = np.empty(max_bin + 1, dtype=np.float64)
+    centers[0] = 0.0
+    for b in range(1, max_bin + 1):
+        lo, hi = 2**b - 1, 2 ** (b + 1) - 2
+        centers[b] = (lo + hi) / 2.0
+    centers[max_bin] = 2**max_bin - 1  # "1023 or more"
+    return bins, centers
+
+
+def demand_vs_reviews(
+    demand: np.ndarray,
+    n_reviews: np.ndarray,
+    normalize: bool = True,
+    max_bin: int = 10,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average (normalized) demand per review-count group (Figure 7).
+
+    Args:
+        demand: Per-entity demand (unique visitors).
+        n_reviews: Per-entity existing review counts.
+        normalize: Z-score the demand within the dataset first, as the
+            paper does to overlay browse and search on one plot.
+        max_bin: Last (open-ended) log2 group.
+
+    Returns:
+        ``(representative_counts, mean_demand)`` per non-empty bin.
+    """
+    demand = np.asarray(demand, dtype=np.float64)
+    n_reviews = np.asarray(n_reviews)
+    if demand.shape != n_reviews.shape:
+        raise ValueError("demand and n_reviews must be aligned")
+    if normalize:
+        std = demand.std()
+        if std == 0:
+            raise ValueError("cannot z-score a constant demand vector")
+        demand = (demand - demand.mean()) / std
+    bins, centers = log2_review_bins(n_reviews, max_bin=max_bin)
+    counts = np.bincount(bins, minlength=max_bin + 1)
+    sums = np.bincount(bins, weights=demand, minlength=max_bin + 1)
+    occupied = counts > 0
+    return centers[occupied], sums[occupied] / counts[occupied]
+
+
+@dataclass(frozen=True)
+class ValueAddCurve:
+    """Figure 8 series: relative value-add per review-count group."""
+
+    label: str
+    review_counts: np.ndarray
+    relative_value_add: np.ndarray
+    group_sizes: np.ndarray
+
+    def is_decreasing_overall(self) -> bool:
+        """Whether the tail (first group) beats the head (last group).
+
+        This is the paper's Yelp/Amazon finding: one more review is
+        worth more for a zero-review entity than for a thousand-review
+        one.
+        """
+        return bool(
+            self.relative_value_add[0] > self.relative_value_add[-1]
+        )
+
+
+def value_add_curve(
+    demand: np.ndarray,
+    n_reviews: np.ndarray,
+    information_gain: Callable[[np.ndarray], np.ndarray] | None = None,
+    label: str = "",
+    max_bin: int = 10,
+) -> ValueAddCurve:
+    """Compute VA(n)/VA(0) per log2 review group (Figure 8).
+
+    Args:
+        demand: Per-entity demand (raw counts — the normalization is by
+            the zero-review group, not a z-score).
+        n_reviews: Per-entity review counts.
+        information_gain: I∆ function; defaults to the paper's 1/(1+n).
+        label: Series label for reporting.
+        max_bin: Last (open-ended) log2 group.
+
+    Returns:
+        The relative value-add curve.  Raises if no entity has zero
+        reviews (the normalizing group must exist).
+    """
+    demand = np.asarray(demand, dtype=np.float64)
+    n_arr = np.asarray(n_reviews)
+    if demand.shape != n_arr.shape:
+        raise ValueError("demand and n_reviews must be aligned")
+    if information_gain is None:
+        information_gain = inverse_information_gain
+    value = demand * information_gain(n_arr)
+    bins, centers = log2_review_bins(n_arr, max_bin=max_bin)
+    counts = np.bincount(bins, minlength=max_bin + 1)
+    sums = np.bincount(bins, weights=value, minlength=max_bin + 1)
+    if counts[0] == 0:
+        raise ValueError("no zero-review entities: VA(0) is undefined")
+    va0 = sums[0] / counts[0]
+    if va0 == 0:
+        raise ValueError("zero-review entities have zero demand: VA(0) = 0")
+    occupied = counts > 0
+    averages = sums[occupied] / counts[occupied]
+    return ValueAddCurve(
+        label=label,
+        review_counts=centers[occupied],
+        relative_value_add=averages / va0,
+        group_sizes=counts[occupied],
+    )

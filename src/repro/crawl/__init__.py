@@ -1,0 +1,31 @@
+"""Web crawl cache substrate.
+
+The paper scans "Web cache data, which contains all webpages crawled by
+Yahoo! search engine", grouping pages by host (Section 3.1).  This
+package is the stand-in: a page store with an in-memory and a
+SQLite-backed implementation, a host-grouped scan API, and the
+host-level entity aggregation the spread analysis consumes.
+
+- :mod:`repro.crawl.store` — :class:`Page`, :class:`MemoryPageStore`,
+  :class:`SqlitePageStore`.
+- :mod:`repro.crawl.cache` — :class:`WebCache`, the host-grouped view.
+- :mod:`repro.crawl.hostindex` — :class:`HostIndex`, host → entity-set
+  aggregation feeding :class:`~repro.core.incidence.BipartiteIncidence`.
+"""
+
+from repro.crawl.cache import WebCache
+from repro.crawl.deepweb import DeepWebProber, DeepWebSite, ProbeResult
+from repro.crawl.hostindex import HostIndex
+from repro.crawl.store import MemoryPageStore, Page, PageStore, SqlitePageStore
+
+__all__ = [
+    "DeepWebProber",
+    "DeepWebSite",
+    "HostIndex",
+    "MemoryPageStore",
+    "Page",
+    "PageStore",
+    "ProbeResult",
+    "SqlitePageStore",
+    "WebCache",
+]

@@ -1,0 +1,58 @@
+"""Host-grouped view over a page store.
+
+:class:`WebCache` is the object the extraction runner scans — the
+analogue of "we go through the entire Web cache and look for the
+identifying attributes of the entities on each page.  We group pages by
+hosts" (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.crawl.store import Page, PageStore
+
+__all__ = ["WebCache"]
+
+
+class WebCache:
+    """Scan API over a crawled corpus, grouped by canonical host."""
+
+    def __init__(self, store: PageStore) -> None:
+        self._store = store
+
+    @property
+    def store(self) -> PageStore:
+        """The underlying page store."""
+        return self._store
+
+    def n_pages(self) -> int:
+        """Total pages in the cache."""
+        return len(self._store)
+
+    def n_hosts(self) -> int:
+        """Number of distinct hosts."""
+        return len(self._store.hosts())
+
+    def hosts(self) -> list[str]:
+        """All hosts, sorted."""
+        return self._store.hosts()
+
+    def scan(self) -> Iterator[tuple[str, list[Page]]]:
+        """Yield ``(host, pages)`` per host — the extraction entry point."""
+        yield from self._store.scan_by_host()
+
+    def scan_pages(self) -> Iterator[Page]:
+        """Yield every page, host-ordered."""
+        for _, pages in self.scan():
+            yield from pages
+
+    def map_hosts(
+        self, fn: Callable[[str, list[Page]], object]
+    ) -> dict[str, object]:
+        """Apply ``fn`` per host and collect the results.
+
+        A convenience for per-host aggregations (the shape of every
+        computation in the spread analysis).
+        """
+        return {host: fn(host, pages) for host, pages in self.scan()}

@@ -1,0 +1,77 @@
+"""Host → entity aggregation.
+
+The final step of the paper's methodology: "for each host, we aggregate
+the set of entities found on all the pages in that host".
+:class:`HostIndex` accumulates per-host entity mentions (with page
+counts, for the aggregate-review analysis) and converts the result into
+the :class:`~repro.core.incidence.BipartiteIncidence` every analysis
+consumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.incidence import BipartiteIncidence
+from repro.entities.catalog import EntityDatabase
+
+__all__ = ["HostIndex"]
+
+
+class HostIndex:
+    """Accumulates (host, entity) mention counts.
+
+    Args:
+        database: The entity database the mentions refer to; it provides
+            the dense entity indexing of the resulting incidence.
+    """
+
+    def __init__(self, database: EntityDatabase) -> None:
+        self._database = database
+        self._mentions: dict[str, Counter[str]] = {}
+
+    def record(self, host: str, entity_id: str, pages: int = 1) -> None:
+        """Record that ``host`` mentions ``entity_id`` on ``pages`` pages."""
+        if pages < 1:
+            raise ValueError("pages must be >= 1")
+        if entity_id not in self._database:
+            raise KeyError(f"unknown entity {entity_id!r}")
+        self._mentions.setdefault(host, Counter())[entity_id] += pages
+
+    def record_page(self, host: str, entity_ids: set[str]) -> None:
+        """Record one page mentioning each entity in ``entity_ids``."""
+        for entity_id in entity_ids:
+            self.record(host, entity_id)
+
+    @property
+    def n_hosts(self) -> int:
+        """Hosts with at least one recorded mention."""
+        return len(self._mentions)
+
+    def entities_of(self, host: str) -> set[str]:
+        """Entity ids mentioned by ``host``."""
+        return set(self._mentions.get(host, ()))
+
+    def to_incidence(self, with_multiplicity: bool = False) -> BipartiteIncidence:
+        """Freeze the accumulated mentions into an incidence structure.
+
+        Args:
+            with_multiplicity: Keep page counts per edge (needed for the
+                aggregate-review curve); otherwise edges are unweighted.
+        """
+        hosts = sorted(self._mentions)
+        sites = []
+        multiplicities = [] if with_multiplicity else None
+        for host in hosts:
+            counter = self._mentions[host]
+            ids = sorted(counter)
+            indices = [self._database.index_of(eid) for eid in ids]
+            sites.append((host, indices))
+            if multiplicities is not None:
+                multiplicities.append([counter[eid] for eid in ids])
+        return BipartiteIncidence.from_site_lists(
+            n_entities=len(self._database),
+            sites=sites,
+            multiplicities=multiplicities,
+            entity_ids=self._database.entity_ids,
+        )

@@ -1,0 +1,160 @@
+"""Page stores: where the synthetic crawl lives.
+
+Two interchangeable backends implement the same small interface:
+
+- :class:`MemoryPageStore` — a dict of lists, for tests and the
+  laptop-scale experiments.
+- :class:`SqlitePageStore` — a SQLite table with a host index, for
+  corpora too large to hold in memory and for persistence between
+  pipeline stages.  SQLite is part of the standard library, so the
+  dependency footprint stays unchanged.
+
+Both store :class:`Page` records and support host-ordered scans, which
+is the only access pattern the analyses need (the paper "groups pages
+by hosts" and aggregates per host).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.entities.ids import host_of_url
+
+__all__ = ["MemoryPageStore", "Page", "PageStore", "SqlitePageStore"]
+
+
+@dataclass(frozen=True)
+class Page:
+    """One crawled page: a URL, its canonical host, and HTML content."""
+
+    url: str
+    host: str
+    content: str
+
+    @classmethod
+    def from_url(cls, url: str, content: str) -> "Page":
+        """Build a page, deriving the canonical host from the URL."""
+        return cls(url=url, host=host_of_url(url), content=content)
+
+
+class PageStore(ABC):
+    """Minimal storage interface for crawled pages."""
+
+    @abstractmethod
+    def add(self, page: Page) -> None:
+        """Insert one page."""
+
+    def add_many(self, pages: Iterable[Page]) -> None:
+        """Insert many pages (override for bulk-optimized backends)."""
+        for page in pages:
+            self.add(page)
+
+    @abstractmethod
+    def hosts(self) -> list[str]:
+        """All distinct hosts, sorted."""
+
+    @abstractmethod
+    def pages_for_host(self, host: str) -> list[Page]:
+        """All pages of one host."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Total number of pages."""
+
+    def scan_by_host(self) -> Iterator[tuple[str, list[Page]]]:
+        """Yield ``(host, pages)`` for every host, sorted by host."""
+        for host in self.hosts():
+            yield host, self.pages_for_host(host)
+
+
+class MemoryPageStore(PageStore):
+    """In-memory page store; the default for experiments and tests."""
+
+    def __init__(self) -> None:
+        self._by_host: dict[str, list[Page]] = {}
+        self._count = 0
+
+    def add(self, page: Page) -> None:
+        self._by_host.setdefault(page.host, []).append(page)
+        self._count += 1
+
+    def hosts(self) -> list[str]:
+        return sorted(self._by_host)
+
+    def pages_for_host(self, host: str) -> list[Page]:
+        return list(self._by_host.get(host, []))
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class SqlitePageStore(PageStore):
+    """SQLite-backed page store.
+
+    Args:
+        path: Database file, or ``":memory:"`` (the default) for an
+            ephemeral database that still exercises the SQL path.
+
+    The table carries a host index so ``pages_for_host`` and the
+    host-ordered scan stay index-driven rather than full scans.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS pages (
+            id INTEGER PRIMARY KEY,
+            url TEXT NOT NULL,
+            host TEXT NOT NULL,
+            content TEXT NOT NULL
+        );
+        CREATE INDEX IF NOT EXISTS idx_pages_host ON pages(host);
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._conn = sqlite3.connect(str(path))
+        self._conn.executescript(self._SCHEMA)
+        self._conn.commit()
+
+    def add(self, page: Page) -> None:
+        self._conn.execute(
+            "INSERT INTO pages (url, host, content) VALUES (?, ?, ?)",
+            (page.url, page.host, page.content),
+        )
+        self._conn.commit()
+
+    def add_many(self, pages: Iterable[Page]) -> None:
+        self._conn.executemany(
+            "INSERT INTO pages (url, host, content) VALUES (?, ?, ?)",
+            ((p.url, p.host, p.content) for p in pages),
+        )
+        self._conn.commit()
+
+    def hosts(self) -> list[str]:
+        rows = self._conn.execute(
+            "SELECT DISTINCT host FROM pages ORDER BY host"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def pages_for_host(self, host: str) -> list[Page]:
+        rows = self._conn.execute(
+            "SELECT url, host, content FROM pages WHERE host = ? ORDER BY id",
+            (host,),
+        ).fetchall()
+        return [Page(url=u, host=h, content=c) for u, h, c in rows]
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM pages").fetchone()
+        return int(count)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "SqlitePageStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,32 @@
+"""Bootstrapping source discovery (the algorithm class behind Section 5).
+
+The paper analyzes the entity–site graph because of what it implies for
+"a general class of bootstrapping-based algorithms, where one starts
+with seed entities, use[s] them to reach all sites covering these
+entities ..., expand[s] the set of entities with all other entities
+covered on these new sites, and iterate[s]".  This package implements
+that "perfect" set-expansion algorithm so the graph-theoretic claims
+(reach = connected component; iterations ≤ d/2) can be validated by
+actually running it.
+"""
+
+from repro.discovery.bootstrap import BootstrapExpansion, ExpansionTrace
+from repro.discovery.crawler import CrawlResult, FocusedCrawler
+from repro.discovery.noisy import NoisyExpansion, NoisyTrace
+from repro.discovery.seeds import (
+    SeedStudy,
+    seed_origin_comparison,
+    seed_success_probability,
+)
+
+__all__ = [
+    "BootstrapExpansion",
+    "CrawlResult",
+    "ExpansionTrace",
+    "FocusedCrawler",
+    "NoisyExpansion",
+    "NoisyTrace",
+    "SeedStudy",
+    "seed_origin_comparison",
+    "seed_success_probability",
+]

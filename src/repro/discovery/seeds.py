@@ -1,0 +1,144 @@
+"""Seed-sensitivity study for bootstrapping discovery.
+
+Section 5's robustness claim: "any seed set of structured entities will
+contain, with high probability, at least one entity from the largest
+component; thus we are all but surely guaranteed to discover and
+extract most of the entities from random seed sets."  This module turns
+that claim into a measurable experiment:
+
+- :func:`seed_success_probability` — over many random trials, the
+  probability that a seed set of size s reaches (nearly) the largest
+  component, as a function of s.  The paper's claim predicts a fast
+  approach to 1 (analytically, ``1 - (1 - p)**s`` with p the largest-
+  component mass).
+- :func:`seed_origin_comparison` — does it matter whether seeds are
+  head entities, tail entities, or uniform?  (Connectivity says no.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import EntitySiteGraph
+from repro.core.incidence import BipartiteIncidence
+from repro.discovery.bootstrap import BootstrapExpansion
+
+__all__ = [
+    "SeedStudy",
+    "seed_origin_comparison",
+    "seed_success_probability",
+]
+
+
+@dataclass(frozen=True)
+class SeedStudy:
+    """Result of one seed-size sensitivity sweep.
+
+    Attributes:
+        seed_sizes: The seed-set sizes tried.
+        success_rate: Fraction of trials reaching the success threshold
+            of largest-component coverage, per seed size.
+        mean_coverage: Mean database fraction discovered, per seed size.
+        predicted: The analytic prediction ``1 - (1 - p)**s`` where p is
+            the largest component's share of mentioned entities.
+    """
+
+    seed_sizes: np.ndarray
+    success_rate: np.ndarray
+    mean_coverage: np.ndarray
+    predicted: np.ndarray
+
+
+def seed_success_probability(
+    incidence: BipartiteIncidence,
+    seed_sizes: tuple[int, ...] = (1, 2, 3, 5, 8),
+    trials: int = 30,
+    success_threshold: float = 0.95,
+    rng: np.random.Generator | int = 0,
+) -> SeedStudy:
+    """Estimate discovery success probability vs. seed-set size.
+
+    A trial succeeds when the expansion discovers at least
+    ``success_threshold`` of the largest component's entities.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    if not 0.0 < success_threshold <= 1.0:
+        raise ValueError("success_threshold must be in (0, 1]")
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    summary = EntitySiteGraph(incidence).components()
+    largest = summary.largest_component_entities
+    if largest == 0:
+        raise ValueError("incidence has no connected content")
+    p_largest = largest / summary.n_present_entities
+    expansion = BootstrapExpansion(incidence)
+    mentioned = incidence.mentioned_entities()
+
+    sizes = np.asarray(seed_sizes, dtype=np.int64)
+    success = np.zeros(len(sizes))
+    coverage = np.zeros(len(sizes))
+    for i, size in enumerate(sizes):
+        if size < 1:
+            raise ValueError("seed sizes must be positive")
+        wins = 0
+        fractions = []
+        for _ in range(trials):
+            seeds = rng.choice(
+                mentioned, size=min(int(size), len(mentioned)), replace=False
+            )
+            trace = expansion.run(seeds)
+            fractions.append(len(trace.entities) / incidence.n_entities)
+            if len(trace.entities) >= success_threshold * largest:
+                wins += 1
+        success[i] = wins / trials
+        coverage[i] = float(np.mean(fractions))
+    predicted = 1.0 - (1.0 - p_largest) ** sizes
+    return SeedStudy(
+        seed_sizes=sizes,
+        success_rate=success,
+        mean_coverage=coverage,
+        predicted=predicted,
+    )
+
+
+def seed_origin_comparison(
+    incidence: BipartiteIncidence,
+    seed_size: int = 3,
+    trials: int = 20,
+    rng: np.random.Generator | int = 0,
+) -> dict[str, float]:
+    """Mean discovered fraction for head / tail / uniform seed origins.
+
+    Head seeds come from the most-mentioned decile of entities, tail
+    seeds from the least-mentioned decile (but still mentioned), and
+    uniform seeds from all mentioned entities.  Connectivity predicts
+    nearly identical outcomes.
+    """
+    if seed_size < 1 or trials < 1:
+        raise ValueError("seed_size and trials must be positive")
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    expansion = BootstrapExpansion(incidence)
+    mentions = incidence.entity_mention_counts()
+    mentioned = incidence.mentioned_entities()
+    ranked = mentioned[np.argsort(mentions[mentioned])[::-1]]
+    decile = max(1, len(ranked) // 10)
+    pools = {
+        "head": ranked[:decile],
+        "tail": ranked[-decile:],
+        "uniform": ranked,
+    }
+    results: dict[str, float] = {}
+    for label, pool in pools.items():
+        fractions = []
+        for _ in range(trials):
+            seeds = rng.choice(
+                pool, size=min(seed_size, len(pool)), replace=False
+            )
+            trace = expansion.run(seeds)
+            fractions.append(len(trace.entities) / incidence.n_entities)
+        results[label] = float(np.mean(fractions))
+    return results

@@ -1,0 +1,56 @@
+"""Entity databases: the paper's proprietary Yahoo! datasets, rebuilt.
+
+The paper uses two entity databases with *identifying attributes*
+(Section 3.1): the Yahoo! Business Listings database (8 local-business
+domains, identified by US phone numbers and homepage URLs) and a book
+database (~1.4M entities identified by ISBN).  This package provides
+deterministic synthetic equivalents:
+
+- :mod:`repro.entities.ids` — the identifier algebra (ISBN checksums,
+  NANP phone handling, URL canonicalization).
+- :mod:`repro.entities.domains` — the domain/attribute registry
+  (Table 1 of the paper).
+- :mod:`repro.entities.business` — US business-listing generator.
+- :mod:`repro.entities.books` — book generator with valid ISBNs.
+- :mod:`repro.entities.catalog` — :class:`EntityDatabase`, the container
+  the analyses consume.
+"""
+
+from repro.entities.books import Book, BookGenerator, generate_books
+from repro.entities.business import (
+    BusinessGenerator,
+    BusinessListing,
+    generate_listings,
+)
+from repro.entities.catalog import Entity, EntityDatabase
+from repro.entities.domains import (
+    ATTRIBUTE_HOMEPAGE,
+    ATTRIBUTE_ISBN,
+    ATTRIBUTE_PHONE,
+    ATTRIBUTE_REVIEWS,
+    DOMAIN_REGISTRY,
+    LOCAL_BUSINESS_DOMAINS,
+    Domain,
+    get_domain,
+    table1_rows,
+)
+
+__all__ = [
+    "ATTRIBUTE_HOMEPAGE",
+    "ATTRIBUTE_ISBN",
+    "ATTRIBUTE_PHONE",
+    "ATTRIBUTE_REVIEWS",
+    "DOMAIN_REGISTRY",
+    "LOCAL_BUSINESS_DOMAINS",
+    "Book",
+    "BookGenerator",
+    "BusinessGenerator",
+    "BusinessListing",
+    "Domain",
+    "Entity",
+    "EntityDatabase",
+    "generate_books",
+    "generate_listings",
+    "get_domain",
+    "table1_rows",
+]

@@ -1,0 +1,134 @@
+"""Synthetic book database with checksum-valid ISBNs.
+
+Substitute for the paper's database of "ISBN numbers of all books
+published before 2007" (~1.4M entities, Section 3.2).  Each generated
+book carries a unique, checksum-valid ISBN-13 (with a derivable ISBN-10
+form, since all generated ISBNs use the 978 prefix), plus title/author/
+year metadata used by the page renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.entities.ids import isbn13_check_digit, isbn13_to_isbn10
+
+__all__ = ["Book", "BookGenerator", "generate_books"]
+
+_TITLE_NOUNS = (
+    "Garden", "Shadow", "River", "Empire", "Algorithm", "Journey",
+    "Silence", "Harvest", "Mirror", "Archive", "Compass", "Winter",
+    "Labyrinth", "Orchard", "Meridian", "Cathedral", "Atlas", "Harbor",
+    "Letter", "Inheritance", "Equation", "Voyage", "Chronicle", "Door",
+)
+
+_TITLE_MODIFIERS = (
+    "Lost", "Hidden", "Last", "First", "Silent", "Burning", "Distant",
+    "Forgotten", "Glass", "Iron", "Paper", "Crimson", "Quiet", "Broken",
+    "Endless", "Golden", "Secret", "Wandering", "Frozen", "Midnight",
+)
+
+_AUTHOR_FIRST = (
+    "Alice", "Benjamin", "Clara", "Daniel", "Elena", "Frederick",
+    "Grace", "Henry", "Iris", "Jonah", "Katherine", "Liam", "Maya",
+    "Nathan", "Olivia", "Peter", "Ruth", "Samuel", "Teresa", "Victor",
+)
+
+_AUTHOR_LAST = (
+    "Abbott", "Blake", "Castellanos", "Drummond", "Eliot", "Faulkner",
+    "Grimaldi", "Hawthorne", "Ivanova", "Jacobs", "Kessler", "Laurent",
+    "Moreno", "Novak", "Okafor", "Petrov", "Quill", "Romero",
+    "Sorensen", "Takahashi", "Ulrich", "Villanueva", "Whitfield",
+)
+
+_PUBLISHERS = (
+    "Harbor Press", "Meridian Books", "Quill & Leaf", "Northgate",
+    "Lanternlight Editions", "Cobblestone Press", "Vellum House",
+    "Bluewater Publishing", "Stonebridge Classics", "Foxglove Press",
+)
+
+
+@dataclass(frozen=True)
+class Book:
+    """One book entity; ``isbn13`` is the identifying attribute."""
+
+    entity_id: str
+    isbn13: str
+    title: str
+    author: str
+    publisher: str
+    year: int
+
+    @property
+    def isbn10(self) -> str:
+        """ISBN-10 form (all generated ISBNs are 978-prefixed)."""
+        return isbn13_to_isbn10(self.isbn13)
+
+
+class BookGenerator:
+    """Deterministic generator of :class:`Book` rows.
+
+    ISBN-13s are minted from a 978 prefix, a synthetic registration
+    group, and a serial counter, so they are unique by construction and
+    always checksum-valid.  Years are drawn from 1950–2006 to match the
+    paper's "published before 2007" cut-off.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._serial = 0
+
+    def _fresh_isbn13(self) -> str:
+        self._serial += 1
+        # 978 + 1-digit group + 8-digit serial = 12-digit body.
+        group = self._serial % 10
+        serial = self._serial // 10
+        body = f"978{group}{serial:08d}"
+        return body + isbn13_check_digit(body)
+
+    def generate_one(self) -> Book:
+        """Generate the next book in the deterministic sequence."""
+        rng = self._rng
+        isbn13 = self._fresh_isbn13()
+        modifier = _TITLE_MODIFIERS[int(rng.integers(len(_TITLE_MODIFIERS)))]
+        noun = _TITLE_NOUNS[int(rng.integers(len(_TITLE_NOUNS)))]
+        style = int(rng.integers(3))
+        if style == 0:
+            title = f"The {modifier} {noun}"
+        elif style == 1:
+            second = _TITLE_NOUNS[int(rng.integers(len(_TITLE_NOUNS)))]
+            title = f"{noun} of the {modifier} {second}"
+        else:
+            title = f"A {modifier} {noun}"
+        author = (
+            f"{_AUTHOR_FIRST[int(rng.integers(len(_AUTHOR_FIRST)))]} "
+            f"{_AUTHOR_LAST[int(rng.integers(len(_AUTHOR_LAST)))]}"
+        )
+        return Book(
+            entity_id=f"books:{self._serial:08d}",
+            isbn13=isbn13,
+            title=title,
+            author=author,
+            publisher=_PUBLISHERS[int(rng.integers(len(_PUBLISHERS)))],
+            year=int(rng.integers(1950, 2007)),
+        )
+
+    def generate(self, count: int) -> list[Book]:
+        """Generate ``count`` books."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.generate_one() for _ in range(count)]
+
+    def stream(self, count: int) -> Iterator[Book]:
+        """Yield ``count`` books lazily."""
+        for _ in range(count):
+            yield self.generate_one()
+
+
+def generate_books(count: int, seed: int = 0) -> list[Book]:
+    """Convenience wrapper: generate ``count`` books."""
+    return BookGenerator(seed=seed).generate(count)

@@ -1,0 +1,234 @@
+"""Synthetic US business-listing generator.
+
+Substitute for the proprietary Yahoo! Business Listings database
+(Section 3.2 of the paper).  The study only relies on three properties
+of that database: it is *comprehensive* for each domain, entities carry
+a (nearly) *unique* phone number, and many carry a homepage URL.  The
+generator reproduces exactly those properties, deterministically from a
+seed, with realistic names/addresses so the rendered HTML pages look
+like real listing pages to the extractors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.entities.domains import Domain, get_domain
+from repro.entities.ids import canonical_url, is_valid_nanp_phone
+
+__all__ = ["BusinessGenerator", "BusinessListing", "generate_listings"]
+
+# Real, geographically-assigned NANP area codes; using genuine codes keeps
+# the phone extractor's validity predicate meaningful.
+_AREA_CODES = (
+    "205", "212", "213", "215", "216", "303", "305", "312", "313", "314",
+    "315", "316", "317", "319", "330", "334", "336", "351", "404", "405",
+    "406", "408", "410", "412", "414", "415", "417", "419", "423", "425",
+    "440", "443", "469", "478", "503", "504", "505", "508", "509", "510",
+    "512", "513", "515", "516", "517", "518", "540", "541", "551", "559",
+    "561", "562", "563", "585", "586", "601", "602", "603", "605", "606",
+    "607", "608", "609", "610", "612", "614", "615", "616", "617", "618",
+    "619", "620", "623", "626", "630", "631", "636", "641", "646", "650",
+    "651", "660", "661", "662", "678", "701", "702", "703", "704", "706",
+    "707", "708", "712", "713", "714", "715", "716", "717", "718", "719",
+    "720", "724", "727", "731", "732", "734", "740", "754", "757", "760",
+    "763", "765", "770", "772", "773", "774", "775", "781", "785", "786",
+    "801", "802", "803", "804", "805", "806", "808", "810", "812", "813",
+    "814", "815", "816", "817", "818", "828", "830", "831", "832", "843",
+    "845", "847", "848", "850", "856", "857", "858", "859", "860", "862",
+    "863", "864", "865", "901", "903", "904", "906", "907", "908", "909",
+    "910", "912", "913", "914", "915", "916", "917", "918", "919", "920",
+    "925", "928", "936", "937", "940", "941", "947", "949", "951", "952",
+    "954", "956", "970", "971", "972", "973", "978", "979", "980", "985",
+)
+
+_CITIES = (
+    ("Springfield", "IL"), ("Portland", "OR"), ("Austin", "TX"),
+    ("Madison", "WI"), ("Boulder", "CO"), ("Savannah", "GA"),
+    ("Ann Arbor", "MI"), ("Santa Clara", "CA"), ("Ithaca", "NY"),
+    ("Asheville", "NC"), ("Burlington", "VT"), ("Tucson", "AZ"),
+    ("Eugene", "OR"), ("Fargo", "ND"), ("Topeka", "KS"),
+    ("Mobile", "AL"), ("Provo", "UT"), ("Dayton", "OH"),
+    ("Tacoma", "WA"), ("Baton Rouge", "LA"), ("Richmond", "VA"),
+    ("Lincoln", "NE"), ("Reno", "NV"), ("Durham", "NC"),
+    ("Syracuse", "NY"), ("Fresno", "CA"), ("Knoxville", "TN"),
+    ("Amarillo", "TX"), ("Worcester", "MA"), ("Des Moines", "IA"),
+)
+
+_STREETS = (
+    "Main St", "Oak Ave", "Maple Dr", "Washington Blvd", "2nd St",
+    "Park Ave", "Elm St", "Lake Rd", "Hill St", "Cedar Ln",
+    "River Rd", "Sunset Blvd", "Broadway", "Church St", "Market St",
+    "Pine St", "Highland Ave", "Center St", "Union Ave", "Grant St",
+)
+
+_FOUNDER_NAMES = (
+    "Anderson", "Bailey", "Carter", "Delgado", "Ellis", "Fischer",
+    "Garcia", "Huang", "Ibrahim", "Jensen", "Kowalski", "Lombardi",
+    "Murphy", "Nguyen", "O'Brien", "Patel", "Quinn", "Rossi",
+    "Schmidt", "Torres", "Ueda", "Vargas", "Walker", "Xu",
+    "Yamamoto", "Zhang", "Bennett", "Chandler", "Donovan", "Eriksen",
+)
+
+_NAME_PREFIXES = (
+    "Golden", "Silver", "Blue", "Red", "Green", "Royal", "Grand",
+    "Little", "Old Town", "Downtown", "Lakeside", "Hillside",
+    "Riverside", "Sunny", "Happy", "First", "Premier", "Family",
+)
+
+_TLDS = (".com", ".com", ".com", ".net", ".org", ".biz", ".us")
+
+
+@dataclass(frozen=True)
+class BusinessListing:
+    """One row of the synthetic business-listings database.
+
+    ``phone`` is the canonical 10-digit identifying attribute; it is
+    unique within a generated database.  ``homepage`` is the canonical
+    URL form (or ``None`` — not every business has a site), unique among
+    businesses that have one.
+    """
+
+    entity_id: str
+    domain_key: str
+    name: str
+    phone: str
+    homepage: str | None
+    street: str
+    city: str
+    state: str
+    zip_code: str
+
+    @property
+    def address(self) -> str:
+        """Single-line postal address, as rendered on listing pages."""
+        return f"{self.street}, {self.city}, {self.state} {self.zip_code}"
+
+
+class BusinessGenerator:
+    """Deterministic generator of :class:`BusinessListing` rows.
+
+    Args:
+        domain: Domain key (one of the 8 local-business domains) or a
+            :class:`~repro.entities.domains.Domain`.
+        seed: Seed for the internal :class:`numpy.random.Generator`;
+            equal seeds yield identical databases.
+        homepage_fraction: Fraction of businesses that own a homepage.
+            The paper's homepage coverage plots implicitly condition on
+            businesses that have one; the remainder simply never match.
+    """
+
+    def __init__(
+        self,
+        domain: str | Domain,
+        seed: int = 0,
+        homepage_fraction: float = 0.8,
+    ) -> None:
+        self.domain = domain if isinstance(domain, Domain) else get_domain(domain)
+        if not self.domain.is_local_business:
+            raise ValueError(
+                f"{self.domain.key!r} is not a local-business domain; "
+                "use BookGenerator for books"
+            )
+        if not 0.0 <= homepage_fraction <= 1.0:
+            raise ValueError("homepage_fraction must be in [0, 1]")
+        self.seed = seed
+        self.homepage_fraction = homepage_fraction
+        self._rng = np.random.default_rng(seed)
+        self._used_phones: set[str] = set()
+        self._used_slugs: set[str] = set()
+        self._serial = 0
+
+    # -- phone allocation ---------------------------------------------------
+
+    def _fresh_phone(self) -> str:
+        """Draw a canonical, unused, valid NANP phone number."""
+        rng = self._rng
+        while True:
+            area = _AREA_CODES[int(rng.integers(len(_AREA_CODES)))]
+            exchange = f"{int(rng.integers(2, 10))}{int(rng.integers(100)):02d}"
+            subscriber = f"{int(rng.integers(10000)):04d}"
+            phone = area + exchange + subscriber
+            if phone not in self._used_phones and is_valid_nanp_phone(phone):
+                self._used_phones.add(phone)
+                return phone
+
+    # -- name / slug --------------------------------------------------------
+
+    def _business_name(self) -> str:
+        rng = self._rng
+        words = self.domain.category_words or ("Services",)
+        category = words[int(rng.integers(len(words)))]
+        style = int(rng.integers(3))
+        if style == 0:
+            prefix = _NAME_PREFIXES[int(rng.integers(len(_NAME_PREFIXES)))]
+            return f"{prefix} {category}"
+        if style == 1:
+            founder = _FOUNDER_NAMES[int(rng.integers(len(_FOUNDER_NAMES)))]
+            return f"{founder}'s {category}"
+        founder = _FOUNDER_NAMES[int(rng.integers(len(_FOUNDER_NAMES)))]
+        return f"{founder} & Sons {category}"
+
+    def _homepage_for(self, name: str) -> str:
+        """Mint a unique canonical homepage URL from the business name."""
+        rng = self._rng
+        slug = "".join(ch for ch in name.lower() if ch.isalnum())[:24]
+        candidate = slug
+        while candidate in self._used_slugs or not candidate:
+            candidate = f"{slug}{int(rng.integers(10000))}"
+        self._used_slugs.add(candidate)
+        tld = _TLDS[int(rng.integers(len(_TLDS)))]
+        return canonical_url(f"http://www.{candidate}{tld}/")
+
+    # -- public API ---------------------------------------------------------
+
+    def generate_one(self) -> BusinessListing:
+        """Generate the next listing in the deterministic sequence."""
+        rng = self._rng
+        self._serial += 1
+        name = self._business_name()
+        city, state = _CITIES[int(rng.integers(len(_CITIES)))]
+        street_no = int(rng.integers(1, 9900))
+        street = f"{street_no} {_STREETS[int(rng.integers(len(_STREETS)))]}"
+        zip_code = f"{int(rng.integers(1, 99999)):05d}"
+        homepage = None
+        if rng.random() < self.homepage_fraction:
+            homepage = self._homepage_for(name)
+        return BusinessListing(
+            entity_id=f"{self.domain.key}:{self._serial:08d}",
+            domain_key=self.domain.key,
+            name=name,
+            phone=self._fresh_phone(),
+            homepage=homepage,
+            street=street,
+            city=city,
+            state=state,
+            zip_code=zip_code,
+        )
+
+    def generate(self, count: int) -> list[BusinessListing]:
+        """Generate ``count`` listings."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.generate_one() for _ in range(count)]
+
+    def stream(self, count: int) -> Iterator[BusinessListing]:
+        """Yield ``count`` listings lazily (for large databases)."""
+        for _ in range(count):
+            yield self.generate_one()
+
+
+def generate_listings(
+    domain: str,
+    count: int,
+    seed: int = 0,
+    homepage_fraction: float = 0.8,
+) -> list[BusinessListing]:
+    """Convenience wrapper: generate ``count`` listings for ``domain``."""
+    generator = BusinessGenerator(
+        domain, seed=seed, homepage_fraction=homepage_fraction
+    )
+    return generator.generate(count)

@@ -1,0 +1,175 @@
+"""Entity database container consumed by the analyses.
+
+The paper's methodology (Section 3.1) reduces web-scale extraction to a
+join: scan every crawled page for *identifying attribute values* of
+entities already in a comprehensive database.  :class:`EntityDatabase`
+is that database — it holds the entities of one domain and exposes the
+reverse maps (attribute value → entity) that the extraction runner uses
+to turn raw matches into entity mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.entities.books import Book
+from repro.entities.business import BusinessListing
+from repro.entities.domains import (
+    ATTRIBUTE_HOMEPAGE,
+    ATTRIBUTE_ISBN,
+    ATTRIBUTE_PHONE,
+    Domain,
+    get_domain,
+)
+from repro.entities.ids import canonical_url, normalize_isbn, normalize_phone
+
+__all__ = ["Entity", "EntityDatabase"]
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A domain entity with its identifying attribute values.
+
+    Attributes:
+        entity_id: Globally unique id, ``<domain>:<serial>``.
+        domain_key: Owning domain.
+        keys: Map from attribute name to the entity's canonical key for
+            that attribute (e.g. ``{"phone": "4155550123"}``).  Entities
+            may lack keys for some attributes (a business without a
+            homepage has no ``homepage`` entry).
+        payload: The source record (a listing or a book), kept for page
+            rendering; the analyses never read it.
+    """
+
+    entity_id: str
+    domain_key: str
+    keys: Mapping[str, str]
+    payload: object | None = field(default=None, compare=False, repr=False)
+
+
+class EntityDatabase:
+    """Indexed collection of the entities of one domain.
+
+    Provides O(1) reverse lookup from a canonical attribute value to the
+    entity carrying it, plus a stable integer index per entity so the
+    analysis layer can work with dense numpy arrays.
+    """
+
+    def __init__(self, domain: str | Domain, entities: Iterable[Entity]) -> None:
+        self.domain = domain if isinstance(domain, Domain) else get_domain(domain)
+        self._entities: list[Entity] = []
+        self._by_id: dict[str, Entity] = {}
+        self._index_of: dict[str, int] = {}
+        # attribute -> canonical key -> entity_id
+        self._reverse: dict[str, dict[str, str]] = {}
+        for entity in entities:
+            self.add(entity)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, entity: Entity) -> None:
+        """Insert an entity; identifying keys must not collide."""
+        if entity.domain_key != self.domain.key:
+            raise ValueError(
+                f"entity {entity.entity_id!r} belongs to domain "
+                f"{entity.domain_key!r}, not {self.domain.key!r}"
+            )
+        if entity.entity_id in self._by_id:
+            raise ValueError(f"duplicate entity_id {entity.entity_id!r}")
+        for attribute, key in entity.keys.items():
+            table = self._reverse.setdefault(attribute, {})
+            if key in table:
+                raise ValueError(
+                    f"duplicate {attribute} key {key!r} "
+                    f"({table[key]!r} vs {entity.entity_id!r})"
+                )
+        self._index_of[entity.entity_id] = len(self._entities)
+        self._entities.append(entity)
+        self._by_id[entity.entity_id] = entity
+        for attribute, key in entity.keys.items():
+            self._reverse[attribute][key] = entity.entity_id
+
+    # -- construction from generators ----------------------------------------
+
+    @classmethod
+    def from_listings(cls, listings: Iterable[BusinessListing]) -> "EntityDatabase":
+        """Build a database from business listings (phone + homepage keys)."""
+        listings = list(listings)
+        if not listings:
+            raise ValueError("cannot build an EntityDatabase from zero listings")
+        domain = get_domain(listings[0].domain_key)
+        entities = []
+        for listing in listings:
+            keys: dict[str, str] = {ATTRIBUTE_PHONE: normalize_phone(listing.phone)}
+            if listing.homepage is not None:
+                keys[ATTRIBUTE_HOMEPAGE] = canonical_url(listing.homepage)
+            entities.append(
+                Entity(
+                    entity_id=listing.entity_id,
+                    domain_key=listing.domain_key,
+                    keys=keys,
+                    payload=listing,
+                )
+            )
+        return cls(domain, entities)
+
+    @classmethod
+    def from_books(cls, books: Iterable[Book]) -> "EntityDatabase":
+        """Build a database from books (ISBN key)."""
+        entities = [
+            Entity(
+                entity_id=book.entity_id,
+                domain_key="books",
+                keys={ATTRIBUTE_ISBN: normalize_isbn(book.isbn13)},
+                payload=book,
+            )
+            for book in books
+        ]
+        if not entities:
+            raise ValueError("cannot build an EntityDatabase from zero books")
+        return cls("books", entities)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, attribute: str, key: str) -> str | None:
+        """Return the entity_id carrying canonical ``key``, or None."""
+        return self._reverse.get(attribute, {}).get(key)
+
+    def key_table(self, attribute: str) -> Mapping[str, str]:
+        """The full canonical-key → entity_id map for ``attribute``."""
+        return self._reverse.get(attribute, {})
+
+    def entities_with(self, attribute: str) -> list[Entity]:
+        """Entities that carry a key for ``attribute``."""
+        return [e for e in self._entities if attribute in e.keys]
+
+    def get(self, entity_id: str) -> Entity:
+        """Fetch an entity by id (KeyError if absent)."""
+        return self._by_id[entity_id]
+
+    def index_of(self, entity_id: str) -> int:
+        """Stable dense index of ``entity_id`` (insertion order)."""
+        return self._index_of[entity_id]
+
+    @property
+    def entity_ids(self) -> list[str]:
+        """Entity ids in insertion (index) order."""
+        return [e.entity_id for e in self._entities]
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._entities)
+
+    def __contains__(self, entity_id: object) -> bool:
+        return entity_id in self._by_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EntityDatabase(domain={self.domain.key!r}, "
+            f"entities={len(self._entities)})"
+        )

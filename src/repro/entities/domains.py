@@ -1,0 +1,186 @@
+"""Domain and attribute registry (Table 1 of the paper).
+
+The paper studies 9 domains: Books (identified by ISBN) and 8
+local-business domains from the Yahoo! Business Listings database
+(identified by phone and homepage).  Restaurants additionally carry a
+``reviews`` attribute.  This module is the single source of truth for
+that inventory; the corpus generator, the extraction runner, and the
+experiment pipeline all iterate over :data:`DOMAIN_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ATTRIBUTE_HOMEPAGE",
+    "ATTRIBUTE_ISBN",
+    "ATTRIBUTE_PHONE",
+    "ATTRIBUTE_REVIEWS",
+    "ALL_ATTRIBUTES",
+    "DOMAIN_REGISTRY",
+    "LOCAL_BUSINESS_DOMAINS",
+    "Domain",
+    "get_domain",
+    "table1_rows",
+]
+
+ATTRIBUTE_PHONE = "phone"
+ATTRIBUTE_HOMEPAGE = "homepage"
+ATTRIBUTE_ISBN = "isbn"
+ATTRIBUTE_REVIEWS = "reviews"
+
+ALL_ATTRIBUTES = (
+    ATTRIBUTE_PHONE,
+    ATTRIBUTE_HOMEPAGE,
+    ATTRIBUTE_ISBN,
+    ATTRIBUTE_REVIEWS,
+)
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One row of the paper's Table 1.
+
+    Attributes:
+        key: Stable identifier used in code and file names.
+        name: Display name as printed in the paper.
+        attributes: Identifying/studied attributes for the domain.
+        is_local_business: True for the 8 Yahoo! Business Listings
+            domains (phone + homepage), False for Books.
+        category_words: Vocabulary used by the listing generator to form
+            business names, and by the page renderer for realistic copy.
+    """
+
+    key: str
+    name: str
+    attributes: tuple[str, ...]
+    is_local_business: bool = True
+    category_words: tuple[str, ...] = field(default_factory=tuple)
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Whether this domain carries ``attribute`` (Table 1)."""
+        return attribute in self.attributes
+
+
+_LOCAL = (ATTRIBUTE_PHONE, ATTRIBUTE_HOMEPAGE)
+
+DOMAIN_REGISTRY: dict[str, Domain] = {
+    domain.key: domain
+    for domain in (
+        Domain(
+            key="books",
+            name="Books",
+            attributes=(ATTRIBUTE_ISBN,),
+            is_local_business=False,
+            category_words=("Press", "Books", "Editions", "Classics"),
+        ),
+        Domain(
+            key="restaurants",
+            name="Restaurants",
+            attributes=_LOCAL + (ATTRIBUTE_REVIEWS,),
+            category_words=(
+                "Grill", "Bistro", "Cafe", "Kitchen", "Diner", "Trattoria",
+                "Cantina", "Steakhouse", "Pizzeria", "Noodle House",
+            ),
+        ),
+        Domain(
+            key="automotive",
+            name="Automotive",
+            attributes=_LOCAL,
+            category_words=(
+                "Auto Repair", "Motors", "Tire Center", "Auto Body",
+                "Car Wash", "Transmission", "Collision Center",
+            ),
+        ),
+        Domain(
+            key="banks",
+            name="Banks",
+            attributes=_LOCAL,
+            category_words=(
+                "Bank", "Credit Union", "Savings", "Trust", "Financial",
+            ),
+        ),
+        Domain(
+            key="libraries",
+            name="Libraries",
+            attributes=_LOCAL,
+            category_words=(
+                "Public Library", "Branch Library", "Community Library",
+                "Memorial Library",
+            ),
+        ),
+        Domain(
+            key="schools",
+            name="Schools",
+            attributes=_LOCAL,
+            category_words=(
+                "Elementary School", "High School", "Middle School",
+                "Academy", "Charter School", "Preparatory School",
+            ),
+        ),
+        Domain(
+            key="hotels",
+            name="Hotels & Lodging",
+            attributes=_LOCAL,
+            category_words=(
+                "Hotel", "Inn", "Suites", "Lodge", "Motel", "Resort",
+                "Bed & Breakfast",
+            ),
+        ),
+        Domain(
+            key="retail",
+            name="Retail & Shopping",
+            attributes=_LOCAL,
+            category_words=(
+                "Outlet", "Boutique", "Emporium", "Market", "Shop",
+                "Department Store", "Gifts", "Outfitters",
+            ),
+        ),
+        Domain(
+            key="home",
+            name="Home & Garden",
+            attributes=_LOCAL,
+            category_words=(
+                "Hardware", "Nursery", "Landscaping", "Plumbing",
+                "Roofing", "Garden Center", "Interiors", "Flooring",
+            ),
+        ),
+    )
+}
+
+#: The 8 Yahoo! Business Listings domains, in the paper's Figure 1 order.
+LOCAL_BUSINESS_DOMAINS: tuple[str, ...] = (
+    "restaurants",
+    "automotive",
+    "banks",
+    "hotels",
+    "libraries",
+    "retail",
+    "home",
+    "schools",
+)
+
+
+def get_domain(key: str) -> Domain:
+    """Look up a domain by key, with a helpful error for typos."""
+    try:
+        return DOMAIN_REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(DOMAIN_REGISTRY))
+        raise KeyError(f"unknown domain {key!r}; known domains: {known}") from None
+
+
+def table1_rows() -> list[tuple[str, str]]:
+    """Return Table 1 of the paper: (domain name, attribute list) rows."""
+    ordered = [  # the paper's Table 1 row order
+        "books", "restaurants", "automotive", "banks", "libraries",
+        "schools", "hotels", "retail", "home",
+    ]
+    rows = []
+    for key in ordered:
+        domain = DOMAIN_REGISTRY[key]
+        label = {"isbn": "ISBN"}.get  # ISBN is upper-cased in the paper
+        attrs = ", ".join(label(a) or a for a in domain.attributes)
+        rows.append((domain.name, attrs))
+    return rows

@@ -1,0 +1,268 @@
+"""Identifier algebra for the entity databases.
+
+The paper (Section 3.1) relies on *identifying attributes* — attributes
+that uniquely (or nearly uniquely) identify an entity — to detect entity
+mentions on webpages without full extraction:
+
+- **ISBN numbers** for books, matched as either 10- or 13-digit forms.
+- **US phone numbers** (NANP) for local businesses.
+- **Homepage URLs** for local businesses, matched against anchor hrefs.
+
+This module implements the algebra those matchers need: checksum
+computation and validation for ISBN-10/ISBN-13, conversion between the
+two forms, NANP phone validation and canonicalization across the
+formatting variants that occur in the wild, and URL/host
+canonicalization used to group crawled pages by host.
+"""
+
+from __future__ import annotations
+
+import re
+from urllib.parse import urlsplit
+
+__all__ = [
+    "canonical_host",
+    "canonical_url",
+    "format_isbn13",
+    "format_phone",
+    "host_of_url",
+    "isbn10_check_digit",
+    "isbn10_to_isbn13",
+    "isbn13_check_digit",
+    "isbn13_to_isbn10",
+    "is_valid_isbn10",
+    "is_valid_isbn13",
+    "is_valid_nanp_phone",
+    "normalize_isbn",
+    "normalize_phone",
+    "PHONE_FORMATS",
+]
+
+# ---------------------------------------------------------------------------
+# ISBN
+# ---------------------------------------------------------------------------
+
+_ISBN_SEPARATORS = re.compile(r"[\s\-]+")
+
+
+def isbn10_check_digit(body: str) -> str:
+    """Return the ISBN-10 check digit for a 9-digit body.
+
+    The ISBN-10 checksum weights digit *i* (1-based, from the left) by
+    ``11 - i`` and requires the weighted sum to be divisible by 11.  The
+    check digit may be ``X`` (representing 10).
+
+    >>> isbn10_check_digit("030640615")
+    '2'
+    """
+    if len(body) != 9 or not body.isdigit():
+        raise ValueError(f"ISBN-10 body must be 9 digits, got {body!r}")
+    total = sum((10 - i) * int(d) for i, d in enumerate(body))
+    check = (11 - total % 11) % 11
+    return "X" if check == 10 else str(check)
+
+
+def isbn13_check_digit(body: str) -> str:
+    """Return the ISBN-13 check digit for a 12-digit body.
+
+    ISBN-13 uses the EAN-13 checksum: alternating weights 1 and 3, and
+    the check digit brings the total to a multiple of 10.
+
+    >>> isbn13_check_digit("978030640615")
+    '7'
+    """
+    if len(body) != 12 or not body.isdigit():
+        raise ValueError(f"ISBN-13 body must be 12 digits, got {body!r}")
+    total = sum((1 if i % 2 == 0 else 3) * int(d) for i, d in enumerate(body))
+    return str((10 - total % 10) % 10)
+
+
+def is_valid_isbn10(isbn: str) -> bool:
+    """Check whether ``isbn`` is a checksum-valid ISBN-10.
+
+    Separators (spaces and hyphens) are ignored.  The final character
+    may be ``X`` or ``x``.
+    """
+    compact = _ISBN_SEPARATORS.sub("", isbn)
+    if len(compact) != 10:
+        return False
+    body, check = compact[:9], compact[9].upper()
+    if not body.isdigit() or (check != "X" and not check.isdigit()):
+        return False
+    return isbn10_check_digit(body) == check
+
+
+def is_valid_isbn13(isbn: str) -> bool:
+    """Check whether ``isbn`` is a checksum-valid ISBN-13.
+
+    Separators (spaces and hyphens) are ignored.
+    """
+    compact = _ISBN_SEPARATORS.sub("", isbn)
+    if len(compact) != 13 or not compact.isdigit():
+        return False
+    return isbn13_check_digit(compact[:12]) == compact[12]
+
+
+def isbn10_to_isbn13(isbn10: str) -> str:
+    """Convert a valid ISBN-10 to its ISBN-13 form (978 prefix)."""
+    compact = _ISBN_SEPARATORS.sub("", isbn10)
+    if not is_valid_isbn10(compact):
+        raise ValueError(f"not a valid ISBN-10: {isbn10!r}")
+    body = "978" + compact[:9]
+    return body + isbn13_check_digit(body)
+
+
+def isbn13_to_isbn10(isbn13: str) -> str:
+    """Convert a valid 978-prefixed ISBN-13 to its ISBN-10 form."""
+    compact = _ISBN_SEPARATORS.sub("", isbn13)
+    if not is_valid_isbn13(compact):
+        raise ValueError(f"not a valid ISBN-13: {isbn13!r}")
+    if not compact.startswith("978"):
+        raise ValueError(f"only 978-prefixed ISBN-13 converts to ISBN-10: {isbn13!r}")
+    body = compact[3:12]
+    return body + isbn10_check_digit(body)
+
+
+def normalize_isbn(isbn: str) -> str:
+    """Canonicalize an ISBN to its compact ISBN-13 form.
+
+    The paper matches ISBNs "formatted either as a 10-digit or a
+    13-digit ISBN"; this is the canonical key both forms map to, so a
+    page mentioning the ISBN-10 form and a database entry in ISBN-13
+    form still join.
+    """
+    compact = _ISBN_SEPARATORS.sub("", isbn).upper()
+    if is_valid_isbn13(compact):
+        return compact
+    if is_valid_isbn10(compact):
+        return isbn10_to_isbn13(compact)
+    raise ValueError(f"not a valid ISBN: {isbn!r}")
+
+
+def format_isbn13(isbn13: str, hyphenate: bool = True) -> str:
+    """Render a compact ISBN-13 with conventional hyphenation.
+
+    Uses a fixed 3-1-4-4-1 grouping; real ISBN hyphenation depends on
+    registration-group tables, but the matchers strip separators, so
+    grouping only affects page realism, not correctness.
+    """
+    compact = _ISBN_SEPARATORS.sub("", isbn13)
+    if not is_valid_isbn13(compact):
+        raise ValueError(f"not a valid ISBN-13: {isbn13!r}")
+    if not hyphenate:
+        return compact
+    parts = (compact[:3], compact[3], compact[4:8], compact[8:12], compact[12])
+    return "-".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# NANP phone numbers
+# ---------------------------------------------------------------------------
+
+_NON_DIGIT = re.compile(r"\D+")
+
+#: Formatting templates for a 10-digit NANP number ``NXX NXX XXXX``.
+#: ``{a}`` is the area code, ``{e}`` the exchange, ``{s}`` the subscriber
+#: number.  These are the variants the synthetic page renderer emits and
+#: the extractor must normalize.
+PHONE_FORMATS: tuple[str, ...] = (
+    "({a}) {e}-{s}",
+    "{a}-{e}-{s}",
+    "{a}.{e}.{s}",
+    "{a} {e} {s}",
+    "{a}{e}{s}",
+    "+1-{a}-{e}-{s}",
+    "1-{a}-{e}-{s}",
+    "({a}) {e} {s}",
+)
+
+
+def is_valid_nanp_phone(digits: str) -> bool:
+    """Check whether a 10-digit string is a plausible NANP number.
+
+    NANP requires the area code and exchange to start with 2–9 and the
+    area code's middle digit historically not to form an N11 service
+    code.  This is the validity predicate the generator and the
+    extractor share.
+    """
+    if len(digits) != 10 or not digits.isdigit():
+        return False
+    area, exchange = digits[:3], digits[3:6]
+    if area[0] in "01" or exchange[0] in "01":
+        return False
+    if area[1] == area[2] == "1":  # N11 service codes (211, 311, ... 911)
+        return False
+    return True
+
+
+def normalize_phone(raw: str) -> str:
+    """Canonicalize a phone mention to its 10-digit key.
+
+    Strips all non-digits and an optional leading country code ``1``.
+    Raises :class:`ValueError` when the result is not a valid NANP
+    number — the extractor uses this to reject false matches such as
+    arbitrary 10-digit numbers with 0/1 prefixes.
+    """
+    digits = _NON_DIGIT.sub("", raw)
+    if len(digits) == 11 and digits.startswith("1"):
+        digits = digits[1:]
+    if not is_valid_nanp_phone(digits):
+        raise ValueError(f"not a valid NANP phone: {raw!r}")
+    return digits
+
+
+def format_phone(digits: str, style: int = 0) -> str:
+    """Render a canonical 10-digit phone in one of :data:`PHONE_FORMATS`.
+
+    ``style`` indexes into :data:`PHONE_FORMATS` (modulo its length), so
+    callers can deterministically vary formatting per mention.
+    """
+    if not is_valid_nanp_phone(digits):
+        raise ValueError(f"not a valid NANP phone: {digits!r}")
+    template = PHONE_FORMATS[style % len(PHONE_FORMATS)]
+    return template.format(a=digits[:3], e=digits[3:6], s=digits[6:])
+
+
+# ---------------------------------------------------------------------------
+# URLs and hosts
+# ---------------------------------------------------------------------------
+
+
+def canonical_host(host: str) -> str:
+    """Canonicalize a hostname: lowercase, strip port and ``www.``.
+
+    The paper groups pages "by hosts" (Section 3.1); this function
+    defines the host equivalence classes used for that grouping and for
+    matching homepage URLs to listings.
+    """
+    host = host.strip().lower().rstrip(".")
+    if ":" in host:
+        host = host.split(":", 1)[0]
+    if host.startswith("www."):
+        host = host[4:]
+    return host
+
+
+def canonical_url(url: str) -> str:
+    """Canonicalize a URL for homepage matching.
+
+    Lowercases scheme and host, strips ``www.``, default ports,
+    fragments, and a trailing slash on the path.  Two URLs that
+    canonicalize equal are treated as the same homepage; the homepage
+    extractor compares hrefs to listing homepages under this map.
+    """
+    url = url.strip()
+    if "://" not in url:
+        url = "http://" + url
+    parts = urlsplit(url)
+    host = canonical_host(parts.netloc)
+    path = parts.path.rstrip("/")
+    query = f"?{parts.query}" if parts.query else ""
+    return f"{host}{path}{query}"
+
+
+def host_of_url(url: str) -> str:
+    """Return the canonical host of a URL."""
+    if "://" not in url:
+        url = "http://" + url
+    return canonical_host(urlsplit(url).netloc)

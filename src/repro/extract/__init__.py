@@ -1,0 +1,57 @@
+"""Extraction over crawled pages (Section 3.2 of the paper).
+
+The paper establishes entity presence on a page by matching
+*identifying attributes*:
+
+- :mod:`repro.extract.phones` — "a standard regular expression based US
+  phone number extractor".
+- :mod:`repro.extract.isbn` — ISBN-10/13 matches "along with the string
+  'ISBN' in a small window near the match".
+- :mod:`repro.extract.homepages` — "the content of href tags of all
+  anchor nodes".
+- :mod:`repro.extract.naive_bayes` — a from-scratch multinomial
+  Naïve-Bayes text classifier.
+- :mod:`repro.extract.reviews` — review detection: phone match plus
+  classifier over the page text.
+- :mod:`repro.extract.runner` — the end-to-end scan of a
+  :class:`~repro.crawl.cache.WebCache` into a
+  :class:`~repro.core.incidence.BipartiteIncidence`.
+"""
+
+from repro.extract.evaluation import (
+    ExtractionScore,
+    evaluate_extraction,
+    per_site_recall,
+)
+from repro.extract.homepages import extract_anchor_urls, extract_homepages
+from repro.extract.isbn import extract_isbns
+from repro.extract.naive_bayes import NaiveBayesClassifier, tokenize
+from repro.extract.addresses import ParsedAddress, extract_addresses, parse_address
+from repro.extract.phones import extract_phones
+from repro.extract.reviews import ReviewDetector
+from repro.extract.runner import ExtractionRunner
+from repro.extract.sentiment import RatingAggregate, influence_bound, polarity
+from repro.extract.wrappers import InducedWrapper, WrapperInducer, WrapperRecord
+
+__all__ = [
+    "ExtractionRunner",
+    "ExtractionScore",
+    "InducedWrapper",
+    "NaiveBayesClassifier",
+    "ParsedAddress",
+    "RatingAggregate",
+    "ReviewDetector",
+    "WrapperInducer",
+    "WrapperRecord",
+    "evaluate_extraction",
+    "extract_addresses",
+    "extract_anchor_urls",
+    "extract_homepages",
+    "extract_isbns",
+    "extract_phones",
+    "influence_bound",
+    "parse_address",
+    "per_site_recall",
+    "polarity",
+    "tokenize",
+]

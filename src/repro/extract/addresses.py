@@ -1,0 +1,117 @@
+"""US postal address extraction from listing text.
+
+The linking machinery scores locality agreement (city/state/zip), which
+requires *parsing* addresses out of free listing text — mentions on
+tail sites do not come pre-fielded.  This module implements a
+pattern-based US address parser for the common single-line form
+
+    <number> <street name> <suffix>, <city>, <ST> <zip>
+
+with tolerances for missing commas and unknown suffixes.  It is a
+deliberately conservative parser: a non-match returns ``None`` rather
+than a garbage split, because downstream blocking treats locality as
+evidence.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["ParsedAddress", "extract_addresses", "parse_address"]
+
+_STREET_SUFFIXES = (
+    "st", "street", "ave", "avenue", "blvd", "boulevard", "dr", "drive",
+    "rd", "road", "ln", "lane", "way", "ct", "court", "pl", "place",
+    "broadway",
+)
+
+_US_STATES = {
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI",
+    "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI",
+    "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC",
+    "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT",
+    "VT", "VA", "WA", "WV", "WI", "WY", "DC",
+}
+
+#: number + street words + comma + city words + comma + STATE + zip
+_ADDRESS_PATTERN = re.compile(
+    r"""
+    (?P<number>\d{1,5})\s+
+    (?P<street>[A-Za-z0-9.' ]{2,40}?)\s*,\s*
+    (?P<city>[A-Za-z.' ]{2,30}?)\s*,\s*
+    (?P<state>[A-Z]{2})\s+
+    (?P<zip>\d{5})(?:-\d{4})?
+    (?!\d)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class ParsedAddress:
+    """A parsed single-line US address."""
+
+    street: str
+    city: str
+    state: str
+    zip_code: str
+
+    @property
+    def single_line(self) -> str:
+        """Re-render in the canonical single-line form."""
+        return f"{self.street}, {self.city}, {self.state} {self.zip_code}"
+
+
+def _plausible_street(street: str) -> bool:
+    tokens = street.lower().split()
+    if not tokens:
+        return False
+    return tokens[-1].rstrip(".") in _STREET_SUFFIXES or len(tokens) >= 2
+
+
+def parse_address(text: str) -> ParsedAddress | None:
+    """Parse the first plausible US address in ``text``, or None.
+
+    Requires a valid two-letter state code; street and city are
+    whitespace-normalized.
+    """
+    for match in _ADDRESS_PATTERN.finditer(text):
+        state = match.group("state")
+        if state not in _US_STATES:
+            continue
+        street = " ".join(
+            (match.group("number") + " " + match.group("street")).split()
+        )
+        if not _plausible_street(match.group("street")):
+            continue
+        city = " ".join(match.group("city").split())
+        return ParsedAddress(
+            street=street,
+            city=city,
+            state=state,
+            zip_code=match.group("zip"),
+        )
+    return None
+
+
+def extract_addresses(text: str) -> list[ParsedAddress]:
+    """All plausible US addresses in ``text``, in document order."""
+    found = []
+    for match in _ADDRESS_PATTERN.finditer(text):
+        if match.group("state") not in _US_STATES:
+            continue
+        if not _plausible_street(match.group("street")):
+            continue
+        street = " ".join(
+            (match.group("number") + " " + match.group("street")).split()
+        )
+        found.append(
+            ParsedAddress(
+                street=street,
+                city=" ".join(match.group("city").split()),
+                state=match.group("state"),
+                zip_code=match.group("zip"),
+            )
+        )
+    return found

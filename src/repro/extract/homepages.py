@@ -1,0 +1,61 @@
+"""Homepage URL extraction from anchor tags.
+
+The paper's homepage matcher "looked at the content of href tags of all
+anchor nodes in pages" (Section 3.2).  We parse HTML with the standard
+library's :class:`html.parser.HTMLParser`, collect every anchor href,
+and canonicalize each so that scheme / ``www.`` / trailing-slash
+variants all join against the canonical homepage keys stored in the
+entity database.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+
+from repro.entities.ids import canonical_url
+
+__all__ = ["extract_anchor_urls", "extract_homepages"]
+
+
+class _AnchorCollector(HTMLParser):
+    """Collects href attribute values from <a> tags."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hrefs: list[str] = []
+
+    def handle_starttag(
+        self, tag: str, attrs: list[tuple[str, str | None]]
+    ) -> None:
+        if tag != "a":
+            return
+        for name, value in attrs:
+            if name == "href" and value:
+                self.hrefs.append(value)
+
+
+def extract_anchor_urls(html: str) -> list[str]:
+    """Raw href values of all anchor nodes, in document order."""
+    collector = _AnchorCollector()
+    collector.feed(html)
+    return collector.hrefs
+
+
+def extract_homepages(html: str) -> set[str]:
+    """Canonicalized anchor URLs of a page.
+
+    Relative links and unparseable hrefs are skipped — a relative link
+    cannot be an external business homepage.
+    """
+    found: set[str] = set()
+    for href in extract_anchor_urls(html):
+        href = href.strip()
+        if not href or href.startswith(("#", "mailto:", "javascript:")):
+            continue
+        if "://" not in href and not href.startswith("www."):
+            continue  # relative link within the site
+        try:
+            found.add(canonical_url(href))
+        except ValueError:
+            continue
+    return found

@@ -1,0 +1,140 @@
+"""Multinomial Naïve-Bayes text classifier, from scratch.
+
+The paper detects review content with "a Naïve-Bayes classifier over
+the textual content" (Section 3.2).  This is that classifier: bag of
+words, multinomial likelihood, Laplace smoothing, log-space scoring.
+No learning library is used — the implementation is ~100 lines and is
+exercised end-to-end by the review-detection pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = ["NaiveBayesClassifier", "tokenize"]
+
+_TOKEN = re.compile(r"[a-z']+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens (letters and apostrophes)."""
+    return _TOKEN.findall(text.lower())
+
+
+class NaiveBayesClassifier:
+    """Binary multinomial Naïve Bayes with Laplace smoothing.
+
+    Labels are booleans (True = positive class, e.g. "is a review").
+
+    Args:
+        smoothing: Laplace/Lidstone pseudo-count added per vocabulary
+            word in each class.
+    """
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.smoothing = smoothing
+        self._fitted = False
+        self._vocabulary: set[str] = set()
+        self._log_prior: dict[bool, float] = {}
+        self._log_likelihood: dict[bool, dict[str, float]] = {}
+        self._log_unseen: dict[bool, float] = {}
+
+    def fit(
+        self, documents: Sequence[str], labels: Sequence[bool]
+    ) -> "NaiveBayesClassifier":
+        """Estimate priors and per-class word distributions.
+
+        Raises:
+            ValueError: On empty or single-class training data — a
+                degenerate classifier would silently label everything
+                one way.
+        """
+        if len(documents) != len(labels):
+            raise ValueError("documents and labels must be aligned")
+        if not documents:
+            raise ValueError("cannot fit on an empty corpus")
+        classes = set(bool(label) for label in labels)
+        if classes != {True, False}:
+            raise ValueError("training data must contain both classes")
+
+        word_counts: dict[bool, Counter[str]] = {True: Counter(), False: Counter()}
+        doc_counts: dict[bool, int] = {True: 0, False: 0}
+        for document, label in zip(documents, labels):
+            label = bool(label)
+            doc_counts[label] += 1
+            word_counts[label].update(tokenize(document))
+
+        self._vocabulary = set(word_counts[True]) | set(word_counts[False])
+        vocab_size = max(len(self._vocabulary), 1)
+        total_docs = len(documents)
+        for label in (True, False):
+            self._log_prior[label] = math.log(doc_counts[label] / total_docs)
+            total_words = sum(word_counts[label].values())
+            denominator = total_words + self.smoothing * vocab_size
+            self._log_likelihood[label] = {
+                word: math.log((count + self.smoothing) / denominator)
+                for word, count in word_counts[label].items()
+            }
+            self._log_unseen[label] = math.log(self.smoothing / denominator)
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+
+    def log_posterior(self, text: str) -> dict[bool, float]:
+        """Unnormalized class log-posteriors for a document.
+
+        Tokens outside the training vocabulary are ignored (they carry
+        no class signal under the smoothed model and would only shift
+        both scores equally).
+        """
+        self._require_fitted()
+        scores = dict(self._log_prior)
+        for token in tokenize(text):
+            if token not in self._vocabulary:
+                continue
+            for label in (True, False):
+                scores[label] += self._log_likelihood[label].get(
+                    token, self._log_unseen[label]
+                )
+        return scores
+
+    def predict(self, text: str) -> bool:
+        """Most likely class for a document."""
+        scores = self.log_posterior(text)
+        return scores[True] >= scores[False]
+
+    def predict_proba(self, text: str) -> float:
+        """P(positive class | document), via a stable log-sum-exp."""
+        scores = self.log_posterior(text)
+        m = max(scores.values())
+        exp_true = math.exp(scores[True] - m)
+        exp_false = math.exp(scores[False] - m)
+        return exp_true / (exp_true + exp_false)
+
+    def accuracy(
+        self, documents: Iterable[str], labels: Iterable[bool]
+    ) -> float:
+        """Fraction of documents classified correctly."""
+        self._require_fitted()
+        total = 0
+        correct = 0
+        for document, label in zip(documents, labels):
+            total += 1
+            if self.predict(document) == bool(label):
+                correct += 1
+        if total == 0:
+            raise ValueError("cannot score an empty evaluation set")
+        return correct / total
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct training tokens."""
+        return len(self._vocabulary)

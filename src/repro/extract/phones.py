@@ -1,0 +1,52 @@
+"""US phone number extraction.
+
+Implements the paper's "standard regular expression based US phone
+number extractor": a NANP-shaped pattern over the page text, followed
+by normalization and validity filtering (area code / exchange rules).
+False-positive behaviour matters for the study's error analysis
+(Section 3.5): a random 10-digit number with a 0/1 prefix must *not*
+match, and numbers that pass the shape test still only count when they
+hit a database key.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.entities.ids import is_valid_nanp_phone
+
+__all__ = ["extract_phones", "PHONE_PATTERN"]
+
+#: NANP phone shapes: optional +1 / 1 country code, optional parentheses
+#: around the area code, separators in {-, ., space, none}.  Guarded so a
+#: match cannot start or end inside a longer digit run.
+PHONE_PATTERN = re.compile(
+    r"""
+    (?<![\d-])                 # no digit (or dash) immediately before
+    (?:\+?1[-.\s]?)?           # optional country code
+    (?:\((\d{3})\)[\s.-]?      # (NXX)
+      | (\d{3})[\s.-]?         # or NXX
+    )
+    (\d{3})                    # exchange
+    [\s.-]?
+    (\d{4})                    # subscriber
+    (?!\d)                     # no digit immediately after
+    """,
+    re.VERBOSE,
+)
+
+
+def extract_phones(text: str) -> set[str]:
+    """Extract canonical 10-digit phone numbers from page text.
+
+    Returns the set of *valid* NANP numbers found; invalid shapes
+    (area code or exchange starting with 0/1, N11 area codes) are
+    dropped by the same validity predicate the database generator uses.
+    """
+    found: set[str] = set()
+    for match in PHONE_PATTERN.finditer(text):
+        area = match.group(1) or match.group(2)
+        digits = f"{area}{match.group(3)}{match.group(4)}"
+        if is_valid_nanp_phone(digits):
+            found.add(digits)
+    return found

@@ -1,0 +1,200 @@
+"""Unsupervised wrapper induction over structured listing pages.
+
+The paper's methodology deliberately avoids full extraction by matching
+identifying attributes, but its discussion leans on the feasibility of
+"unsupervised site extraction" (RoadRunner, Dalvi et al.'s automatic
+wrappers, and friends): aggregator pages are machine-generated from
+templates, so their records share HTML structure, and that *structural
+redundancy within websites* is learnable without labels.
+
+This module implements the core of that idea at small scale:
+
+1. parse a page into a DOM tree (stdlib ``HTMLParser``),
+2. compute a structural *signature* for every subtree,
+3. find the largest set of sibling subtrees with identical signatures —
+   those are the template's records,
+4. emit one record per repeat, with fields keyed by the tag path inside
+   the record, and
+5. type the fields with cheap recognizers (phone, heading/name, other).
+
+On the synthetic aggregator pages this recovers the listing blocks the
+renderer produced — including the per-record phone — without ever being
+told the template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+
+from repro.extract.phones import extract_phones
+
+__all__ = ["InducedWrapper", "WrapperInducer", "WrapperRecord"]
+
+_VOID_TAGS = {
+    "br", "hr", "img", "input", "link", "meta", "area", "base", "col",
+    "embed", "source", "track", "wbr",
+}
+
+
+@dataclass
+class _Node:
+    """One DOM element: tag, class attribute, children, own text chunks."""
+
+    tag: str
+    css_class: str = ""
+    children: list["_Node"] = field(default_factory=list)
+    texts: list[str] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        """Path label: tag plus class (templates key on both)."""
+        return f"{self.tag}.{self.css_class}" if self.css_class else self.tag
+
+
+class _TreeBuilder(HTMLParser):
+    """Builds the ``_Node`` tree, tolerant of unclosed tags."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.root = _Node(tag="#root")
+        self._stack = [self.root]
+
+    def handle_starttag(self, tag, attrs):
+        css_class = dict(attrs).get("class") or ""
+        node = _Node(tag=tag, css_class=css_class)
+        self._stack[-1].children.append(node)
+        if tag not in _VOID_TAGS:
+            self._stack.append(node)
+
+    def handle_endtag(self, tag):
+        for depth in range(len(self._stack) - 1, 0, -1):
+            if self._stack[depth].tag == tag:
+                del self._stack[depth:]
+                return
+        # stray end tag: ignore
+
+    def handle_data(self, data):
+        text = data.strip()
+        if text:
+            self._stack[-1].texts.append(text)
+
+
+def _signature(node: _Node) -> tuple:
+    """Structural signature: label + ordered child signatures.
+
+    Text content is excluded — records share structure, not values.
+    """
+    return (node.label, tuple(_signature(child) for child in node.children))
+
+
+def _subtree_size(node: _Node) -> int:
+    return 1 + sum(_subtree_size(child) for child in node.children)
+
+
+def _collect_fields(node: _Node, prefix: str, out: dict[str, str]) -> None:
+    path = f"{prefix}/{node.label}" if prefix else node.label
+    if node.texts:
+        joined = " ".join(node.texts)
+        out[path] = f"{out[path]} {joined}" if path in out else joined
+    for child in node.children:
+        _collect_fields(child, path, out)
+
+
+@dataclass(frozen=True)
+class WrapperRecord:
+    """One extracted record: raw fields plus typed conveniences."""
+
+    fields: dict[str, str]
+
+    @property
+    def phone(self) -> str | None:
+        """Canonical phone found in any field, if exactly one exists."""
+        phones: set[str] = set()
+        for value in self.fields.values():
+            phones |= extract_phones(value)
+        if len(phones) == 1:
+            return next(iter(phones))
+        return None
+
+    @property
+    def name(self) -> str | None:
+        """Heading-field text (h1/h2/h3), the conventional name slot."""
+        for path in sorted(self.fields):
+            tail = path.rsplit("/", 1)[-1].split(".")[0]
+            if tail in ("h1", "h2", "h3"):
+                return self.fields[path]
+        return None
+
+
+@dataclass(frozen=True)
+class InducedWrapper:
+    """The induction result for one page.
+
+    Attributes:
+        record_signature: Shared structural signature of the records.
+        record_count: Number of template repeats found.
+        records: The extracted records, in document order.
+    """
+
+    record_signature: tuple
+    record_count: int
+    records: list[WrapperRecord]
+
+    @property
+    def field_paths(self) -> list[str]:
+        """Union of field paths across records (the induced schema)."""
+        paths: set[str] = set()
+        for record in self.records:
+            paths.update(record.fields)
+        return sorted(paths)
+
+
+class WrapperInducer:
+    """Finds the dominant repeated structure on a page.
+
+    Args:
+        min_repeats: Minimum sibling repeats to call something a
+            template (2 suffices for aggregator pages; singletons are
+            navigation, not records).
+    """
+
+    def __init__(self, min_repeats: int = 2) -> None:
+        if min_repeats < 2:
+            raise ValueError("min_repeats must be >= 2")
+        self.min_repeats = min_repeats
+
+    def induce(self, html: str) -> InducedWrapper | None:
+        """Induce the page's record template, or None if unstructured."""
+        builder = _TreeBuilder()
+        builder.feed(html)
+        best: tuple[int, tuple, list[_Node]] | None = None
+
+        def visit(node: _Node) -> None:
+            nonlocal best
+            groups: dict[tuple, list[_Node]] = {}
+            for child in node.children:
+                groups.setdefault(_signature(child), []).append(child)
+            for signature, members in groups.items():
+                if len(members) < self.min_repeats:
+                    continue
+                weight = len(members) * _subtree_size(members[0])
+                if best is None or weight > best[0]:
+                    best = (weight, signature, members)
+            for child in node.children:
+                visit(child)
+
+        visit(builder.root)
+        if best is None:
+            return None
+        __, signature, members = best
+        records = []
+        for member in members:
+            fields: dict[str, str] = {}
+            _collect_fields(member, "", fields)
+            records.append(WrapperRecord(fields=fields))
+        return InducedWrapper(
+            record_signature=signature,
+            record_count=len(records),
+            records=records,
+        )

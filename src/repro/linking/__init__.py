@@ -1,0 +1,42 @@
+"""Entity resolution: deduplication and linking of extracted mentions.
+
+The paper's introduction frames the end-to-end challenge as "automatic
+crawling, clustering, extraction, deduplication and linking, all at the
+scale and diversity of the Web".  The spread analysis sidesteps
+dedup/linking by matching *identifying attributes* exactly; this
+package builds the general machinery for the harder case — mentions
+with noisy names, partial addresses, and missing or malformed phones:
+
+- :mod:`repro.linking.similarity` — string comparators (Jaro, Jaro–
+  Winkler, token Jaccard) and the field-weighted mention↔listing score.
+- :mod:`repro.linking.mentions` — a generator of realistically
+  corrupted mentions with ground truth, for evaluation.
+- :mod:`repro.linking.blocking` — candidate generation (phone, name-key
+  and locality blocks) so resolution never does an O(M·N) scan.
+- :mod:`repro.linking.resolution` — the resolver: block, score,
+  threshold, and evaluate against ground truth.
+"""
+
+from repro.linking.blocking import BlockingIndex
+from repro.linking.mentions import Mention, MentionGenerator
+from repro.linking.resolution import EntityResolver, ResolutionReport
+from repro.linking.similarity import (
+    jaro,
+    jaro_winkler,
+    mention_listing_score,
+    name_similarity,
+    token_jaccard,
+)
+
+__all__ = [
+    "BlockingIndex",
+    "EntityResolver",
+    "Mention",
+    "MentionGenerator",
+    "ResolutionReport",
+    "jaro",
+    "jaro_winkler",
+    "mention_listing_score",
+    "name_similarity",
+    "token_jaccard",
+]

@@ -1,0 +1,160 @@
+"""String similarity for entity resolution, from scratch.
+
+Jaro and Jaro–Winkler are the standard comparators for short names in
+record linkage; token Jaccard handles word reordering ("Golden Grill
+Restaurant" vs "Restaurant Golden Grill"); the combined
+:func:`mention_listing_score` weighs name, locality, and phone evidence
+the way a production linker would.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "jaro",
+    "jaro_winkler",
+    "mention_listing_score",
+    "name_similarity",
+    "normalize_name",
+    "token_jaccard",
+]
+
+_NON_ALNUM = re.compile(r"[^a-z0-9 ]+")
+_WHITESPACE = re.compile(r"\s+")
+
+#: Common business-name abbreviations folded to a canonical token.
+_ABBREVIATIONS = {
+    "rest": "restaurant",
+    "restaurnt": "restaurant",
+    "st": "street",
+    "ave": "avenue",
+    "dr": "drive",
+    "co": "company",
+    "inc": "incorporated",
+    "&": "and",
+}
+
+
+def normalize_name(name: str) -> str:
+    """Lowercase, strip punctuation, expand common abbreviations.
+
+    Apostrophes are deleted (not spaced) so "Joe's" stays one token.
+    """
+    lowered = name.lower().replace("&", " and ").replace("'", "")
+    cleaned = _NON_ALNUM.sub(" ", lowered)
+    tokens = [
+        _ABBREVIATIONS.get(token, token)
+        for token in _WHITESPACE.sub(" ", cleaned).strip().split(" ")
+        if token
+    ]
+    return " ".join(tokens)
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1].
+
+    Matches are characters equal within a window of
+    ``max(len)/2 - 1``; the score combines match density and
+    transposition count.
+    """
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_matched = [False] * len(a)
+    b_matched = [False] * len(b)
+    matches = 0
+    for i, char in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not b_matched[j] and b[j] == char:
+                a_matched[i] = b_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    a_stream = [char for char, m in zip(a, a_matched) if m]
+    b_stream = [char for char, m in zip(b, b_matched) if m]
+    transpositions = sum(1 for x, y in zip(a_stream, b_stream) if x != y) // 2
+    m = float(matches)
+    return (m / len(a) + m / len(b) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler: Jaro boosted by a shared prefix (up to 4 chars)."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be in [0, 0.25]")
+    base = jaro(a, b)
+    prefix = 0
+    for x, y in zip(a[:4], b[:4]):
+        if x != y:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard similarity of the token sets of two strings."""
+    tokens_a = set(a.split())
+    tokens_b = set(b.split())
+    if not tokens_a and not tokens_b:
+        return 1.0
+    union = tokens_a | tokens_b
+    if not union:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(union)
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Business-name similarity: max of Jaro–Winkler and token Jaccard
+    over normalized forms (each handles a different corruption mode:
+    typos vs. dropped/reordered words)."""
+    na, nb = normalize_name(a), normalize_name(b)
+    if not na or not nb:
+        return 0.0
+    return max(jaro_winkler(na, nb), token_jaccard(na, nb))
+
+
+def mention_listing_score(
+    name_a: str,
+    name_b: str,
+    same_city: bool,
+    same_zip: bool,
+    phone_match: bool | None,
+    name_weight: float = 0.6,
+    locality_weight: float = 0.2,
+    phone_weight: float = 0.2,
+) -> float:
+    """Field-weighted match score between a mention and a listing.
+
+    Args:
+        name_a, name_b: The two name strings.
+        same_city, same_zip: Locality agreement flags.
+        phone_match: True/False when both sides have a phone; ``None``
+            when the mention lacks one (the phone term is then
+            redistributed onto the name, the strongest field).
+
+    Returns:
+        A score in [0, 1].  An exact phone match is decisive evidence
+        in the NANP world, so it contributes its full weight; a phone
+        *mismatch* actively penalizes.
+    """
+    total = name_weight + locality_weight + phone_weight
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError("weights must sum to 1")
+    name_term = name_similarity(name_a, name_b)
+    locality_term = 0.5 * float(same_city) + 0.5 * float(same_zip)
+    if phone_match is None:
+        return (name_weight + phone_weight) * name_term + (
+            locality_weight * locality_term
+        )
+    phone_term = 1.0 if phone_match else -0.5
+    return (
+        name_weight * name_term
+        + locality_weight * locality_term
+        + phone_weight * phone_term
+    )

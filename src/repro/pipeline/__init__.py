@@ -1,0 +1,66 @@
+"""Experiment pipeline: one runner per table and figure of the paper.
+
+Each ``run_*`` function reproduces one artifact of the paper's
+evaluation on the synthetic substrate, returning a result object that
+can render itself as ASCII (terminal) and export CSV series.  The
+benchmarks in ``benchmarks/`` and the scripts in ``examples/`` are thin
+wrappers over these runners.
+"""
+
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.extensions import (
+    DiscoveryStudy,
+    StalenessStudy,
+    run_discovery_study,
+    run_redundancy_study,
+    run_staleness_study,
+    run_user_tail_study,
+)
+from repro.pipeline.experiments import (
+    ReviewSpreadResult,
+    SetCoverResult,
+    SpreadResult,
+    TrafficDataset,
+    build_traffic_dataset,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_spread,
+    run_spread_via_extraction,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "DiscoveryStudy",
+    "ExperimentConfig",
+    "ReviewSpreadResult",
+    "StalenessStudy",
+    "run_discovery_study",
+    "run_redundancy_study",
+    "run_staleness_study",
+    "run_user_tail_study",
+    "SetCoverResult",
+    "SpreadResult",
+    "TrafficDataset",
+    "build_traffic_dataset",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_spread",
+    "run_spread_via_extraction",
+    "run_table1",
+    "run_table2",
+]

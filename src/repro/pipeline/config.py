@@ -1,0 +1,61 @@
+"""Experiment configuration shared by all runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.webgen.profiles import SCALES, ScalePreset
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment runner.
+
+    Attributes:
+        scale: Corpus scale preset name (``tiny``/``small``/``medium``/
+            ``paper``) for the spread and connectivity experiments.
+        seed: Master seed; every runner derives per-experiment streams.
+        ks: Redundancy levels for the k-coverage curves (paper: 1..10).
+        max_bfs: BFS budget for exact-diameter computation.
+        traffic_entities: Inventory size per site for Figures 6–8.
+        traffic_events: Events per (site, source) log.
+        traffic_cookies: Cookie population size.
+    """
+
+    scale: str = "small"
+    seed: int = 0
+    ks: tuple[int, ...] = field(default=tuple(range(1, 11)))
+    max_bfs: int | None = 64
+    traffic_entities: int = 20000
+    traffic_events: int = 400000
+    traffic_cookies: int = 100000
+
+    def __post_init__(self) -> None:
+        if self.scale not in SCALES:
+            known = ", ".join(sorted(SCALES))
+            raise ValueError(f"unknown scale {self.scale!r}; known: {known}")
+        if not self.ks or any(k < 1 for k in self.ks):
+            raise ValueError("ks must be positive integers")
+        if self.traffic_entities < 1 or self.traffic_events < 1:
+            raise ValueError("traffic sizes must be positive")
+
+    @property
+    def scale_preset(self) -> ScalePreset:
+        """The resolved scale preset."""
+        return SCALES[self.scale]
+
+    def scaled_down(self, factor: int) -> "ExperimentConfig":
+        """A copy with traffic sizes divided by ``factor`` (for tests)."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        return ExperimentConfig(
+            scale=self.scale,
+            seed=self.seed,
+            ks=self.ks,
+            max_bfs=self.max_bfs,
+            traffic_entities=max(1, self.traffic_entities // factor),
+            traffic_events=max(1, self.traffic_events // factor),
+            traffic_cookies=max(1, self.traffic_cookies // factor),
+        )

@@ -1,0 +1,227 @@
+"""Runners for the extension studies (beyond the paper's own figures).
+
+The tables/figures runners live in :mod:`repro.pipeline.experiments`;
+this module gives the extension analyses the same one-call shape, each
+returning a small result object with a ``render()`` method:
+
+- :func:`run_discovery_study` — perfect vs. budgeted bootstrapping
+  against the d/2 bound.
+- :func:`run_redundancy_study` — content-redundancy reports per
+  (domain, attribute).
+- :func:`run_user_tail_study` — per-user tail exposure per site.
+- :func:`run_staleness_study` — snapshot decay and re-crawl policies.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import EntitySiteGraph
+from repro.core.redundancy import RedundancyReport, redundancy_report
+from repro.discovery.bootstrap import BootstrapExpansion
+from repro.discovery.noisy import NoisyExpansion
+from repro.pipeline.config import ExperimentConfig
+from repro.report.tables import ascii_table
+from repro.traffic.demandmodel import get_site_profile
+from repro.traffic.logs import TrafficLogGenerator
+from repro.traffic.users import UserTailReport, user_tail_analysis
+from repro.webgen.evolution import CorpusEvolver, recrawl_comparison, staleness_curve
+from repro.webgen.profiles import get_profile
+
+__all__ = [
+    "DiscoveryStudy",
+    "StalenessStudy",
+    "format_user_tail",
+    "run_discovery_study",
+    "run_redundancy_study",
+    "run_staleness_study",
+    "run_user_tail_study",
+]
+
+
+def _seed(config: ExperimentConfig, label: str) -> int:
+    return (config.seed * 7_368_787 + zlib.crc32(label.encode())) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class DiscoveryStudy:
+    """Perfect vs. budgeted bootstrapping on one corpus."""
+
+    domain: str
+    attribute: str
+    diameter: int
+    perfect_iterations: int
+    perfect_coverage: float
+    budgeted_iterations: int
+    budgeted_coverage: float
+    budgeted_queries: int
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        return "\n".join(
+            [
+                f"Bootstrapping discovery ({self.domain}/{self.attribute}):",
+                f"  diameter d = {self.diameter} (bound d/2 = {self.diameter // 2})",
+                f"  perfect:  {self.perfect_iterations} iterations, "
+                f"{self.perfect_coverage:.1%} coverage",
+                f"  budgeted: {self.budgeted_iterations} iterations, "
+                f"{self.budgeted_coverage:.1%} coverage, "
+                f"{self.budgeted_queries} queries",
+            ]
+        )
+
+
+def run_discovery_study(
+    config: ExperimentConfig,
+    domain: str = "restaurants",
+    attribute: str = "phone",
+    seed_size: int = 5,
+    retrieval_budget: int = 10,
+    extraction_recall: float = 0.9,
+) -> DiscoveryStudy:
+    """Run both expansion variants on a freshly generated corpus."""
+    incidence = get_profile(domain, attribute).generate(
+        config.scale_preset, seed=_seed(config, f"spread:{domain}:{attribute}")
+    )
+    graph = EntitySiteGraph(incidence)
+    diameter = graph.diameter(max_bfs=config.max_bfs)
+    perfect = BootstrapExpansion(incidence).random_seed_trial(
+        seed_size, rng=config.seed
+    )
+    budgeted = NoisyExpansion(
+        incidence,
+        retrieval_budget=retrieval_budget,
+        extraction_recall=extraction_recall,
+        seed=config.seed,
+    ).run(perfect.entities[:seed_size].tolist())
+    n = incidence.n_entities
+    return DiscoveryStudy(
+        domain=domain,
+        attribute=attribute,
+        diameter=diameter,
+        perfect_iterations=perfect.iterations,
+        perfect_coverage=perfect.entity_fraction(n),
+        budgeted_iterations=budgeted.iterations,
+        budgeted_coverage=budgeted.entity_fraction(n),
+        budgeted_queries=budgeted.queries_issued,
+    )
+
+
+def run_redundancy_study(
+    config: ExperimentConfig,
+    pairs: tuple[tuple[str, str], ...] = (
+        ("restaurants", "phone"),
+        ("restaurants", "homepage"),
+        ("books", "isbn"),
+    ),
+) -> dict[tuple[str, str], RedundancyReport]:
+    """Redundancy reports for several (domain, attribute) corpora."""
+    reports = {}
+    for domain, attribute in pairs:
+        incidence = get_profile(domain, attribute).generate(
+            config.scale_preset,
+            seed=_seed(config, f"spread:{domain}:{attribute}"),
+        )
+        reports[(domain, attribute)] = redundancy_report(incidence)
+    return reports
+
+
+def run_user_tail_study(
+    config: ExperimentConfig,
+    source: str = "browse",
+    tail_fraction: float = 0.8,
+) -> dict[str, UserTailReport]:
+    """User-level tail exposure per traffic site."""
+    reports = {}
+    for site in ("imdb", "amazon", "yelp"):
+        generator = TrafficLogGenerator(
+            get_site_profile(site),
+            n_entities=config.traffic_entities,
+            n_cookies=config.traffic_cookies,
+            seed=_seed(config, f"traffic:{site}"),
+        )
+        log = (
+            generator.browse_log(config.traffic_events)
+            if source == "browse"
+            else generator.search_log(config.traffic_events)
+        )
+        reports[site] = user_tail_analysis(log, tail_fraction=tail_fraction)
+    return reports
+
+
+def format_user_tail(reports: dict[str, UserTailReport]) -> str:
+    """Render the user-tail study as a table."""
+    rows = [
+        (
+            site,
+            round(report.tail_demand_share, 3),
+            round(report.users_touching_tail, 3),
+            round(report.users_regular_tail, 3),
+        )
+        for site, report in reports.items()
+    ]
+    return ascii_table(
+        ["site", "tail demand share", "users touching tail", "users regular"],
+        rows,
+        title="User-level tail exposure",
+    )
+
+
+@dataclass(frozen=True)
+class StalenessStudy:
+    """Snapshot decay + re-crawl policy outcomes for one corpus."""
+
+    domain: str
+    attribute: str
+    epochs: int
+    decay: np.ndarray
+    policies: dict[str, float]
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        decay_text = ", ".join(f"{value:.3f}" for value in self.decay)
+        lines = [
+            f"Staleness study ({self.domain}/{self.attribute}, "
+            f"{self.epochs} epochs):",
+            f"  still-true fraction per epoch: {decay_text}",
+            "  final accuracy by re-crawl policy:",
+        ]
+        lines.extend(
+            f"    {policy:<14} {value:.3f}"
+            for policy, value in self.policies.items()
+        )
+        return "\n".join(lines)
+
+
+def run_staleness_study(
+    config: ExperimentConfig,
+    domain: str = "banks",
+    attribute: str = "phone",
+    epochs: int = 5,
+    churn: float = 0.08,
+    budget_per_epoch: int = 30,
+) -> StalenessStudy:
+    """Evolve a corpus and compare re-crawl policies."""
+    incidence = get_profile(domain, attribute).generate(
+        config.scale_preset, seed=_seed(config, f"spread:{domain}:{attribute}")
+    )
+    evolver = CorpusEvolver(edge_drop_rate=churn, edge_add_rate=churn)
+    snapshots = evolver.evolve(incidence, epochs=epochs, rng=config.seed)
+    decay = staleness_curve(snapshots, incidence)
+    policies = recrawl_comparison(
+        incidence,
+        evolver,
+        epochs=epochs,
+        budget_per_epoch=budget_per_epoch,
+        rng=config.seed,
+    )
+    return StalenessStudy(
+        domain=domain,
+        attribute=attribute,
+        epochs=epochs,
+        decay=decay,
+        policies=policies,
+    )

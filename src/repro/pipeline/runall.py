@@ -1,0 +1,152 @@
+"""Regenerate every artifact of the paper in one call.
+
+:func:`run_everything` writes, into one output directory, the ASCII
+rendering and CSV series of every table and figure: the deliverable a
+downstream user runs once to see the whole reproduction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.pipeline import experiments
+from repro.pipeline.config import ExperimentConfig
+from repro.report.figures import ascii_plot, write_csv
+
+__all__ = ["run_everything"]
+
+
+def _write(directory: Path, name: str, text: str) -> None:
+    (directory / f"{name}.txt").write_text(text + "\n")
+
+
+def run_everything(
+    output_dir: str | Path,
+    config: ExperimentConfig | None = None,
+    verbose: bool = True,
+) -> list[str]:
+    """Run every table/figure; write artifacts; return their names.
+
+    Args:
+        output_dir: Directory for ``.txt`` (ASCII) and ``.csv`` files.
+        config: Experiment configuration (default: small scale, seed 0).
+        verbose: Print a progress line per artifact.
+    """
+    config = config or ExperimentConfig()
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+
+    def done(name: str) -> None:
+        written.append(name)
+        if verbose:
+            print(f"  wrote {name}")
+
+    _write(directory, "table1", experiments.run_table1())
+    done("table1")
+
+    for number, runner in ((1, experiments.run_figure1), (2, experiments.run_figure2)):
+        for domain, result in runner(config).items():
+            name = f"figure{number}_{domain}"
+            _write(directory, name, result.render())
+            write_csv(directory / f"{name}.csv", result.series())
+            done(name)
+
+    figure3 = experiments.run_figure3(config)
+    _write(directory, "figure3", figure3.render())
+    write_csv(directory / "figure3.csv", figure3.series())
+    done("figure3")
+
+    figure4 = experiments.run_figure4(config)
+    _write(directory, "figure4", figure4.render())
+    write_csv(directory / "figure4a.csv", figure4.spread.series())
+    write_csv(directory / "figure4b.csv", figure4.aggregate_series())
+    done("figure4")
+
+    figure5 = experiments.run_figure5(config)
+    _write(
+        directory,
+        "figure5",
+        figure5.render()
+        + f"\n\nmax greedy improvement: {figure5.max_improvement():.3f}",
+    )
+    write_csv(directory / "figure5.csv", figure5.series())
+    done("figure5")
+
+    figure6 = experiments.run_figure6(config)
+    for source in ("search", "browse"):
+        cdf = {
+            site: (c.inventory, c.cumulative_share)
+            for site, c in figure6[source].items()
+        }
+        _write(
+            directory,
+            f"figure6_{source}",
+            ascii_plot(
+                cdf,
+                title=f"Figure 6 ({source}): cumulative demand",
+                x_label="normalized inventory",
+                y_label="cumulative demand",
+            ),
+        )
+        write_csv(directory / f"figure6_{source}.csv", cdf)
+        done(f"figure6_{source}")
+
+    figure7 = experiments.run_figure7(config)
+    for site, sources in figure7.items():
+        name = f"figure7_{site}"
+        _write(
+            directory,
+            name,
+            ascii_plot(
+                sources,
+                title=f"Figure 7 ({site}): demand vs #reviews",
+                x_label="# of reviews",
+                y_label="avg normalized demand",
+            ),
+        )
+        write_csv(directory / f"{name}.csv", sources)
+        done(name)
+
+    figure8 = experiments.run_figure8(config)
+    for site, sources in figure8.items():
+        series = {
+            source: (curve.review_counts, curve.relative_value_add)
+            for source, curve in sources.items()
+        }
+        name = f"figure8_{site}"
+        _write(
+            directory,
+            name,
+            ascii_plot(
+                series,
+                log_x=True,
+                title=f"Figure 8 ({site}): VA(n)/VA(0)",
+                x_label="# of reviews",
+                y_label="relative value-add",
+            ),
+        )
+        write_csv(directory / f"{name}.csv", series)
+        done(name)
+
+    table2 = experiments.run_table2(config)
+    _write(directory, "table2", experiments.format_table2(table2))
+    done("table2")
+
+    figure9 = experiments.run_figure9(config)
+    for attribute, by_domain in figure9.items():
+        name = f"figure9_{attribute}"
+        _write(
+            directory,
+            name,
+            ascii_plot(
+                by_domain,
+                title=f"Figure 9 ({attribute}): robustness to top-k removal",
+                x_label="top-k sites removed",
+                y_label="fraction in largest component",
+            ),
+        )
+        write_csv(directory / f"{name}.csv", by_domain)
+        done(name)
+
+    return written

@@ -1,0 +1,11 @@
+"""Rendering of experiment results: ASCII tables, ASCII plots, CSV.
+
+The paper's figures are gnuplot line charts; this package reproduces
+them as terminal-friendly ASCII plots (log-x capable, multi-series) and
+machine-readable CSV series, plus fixed-width tables for Tables 1–2.
+"""
+
+from repro.report.figures import ascii_plot, series_to_csv, write_csv
+from repro.report.tables import ascii_table, format_float
+
+__all__ = ["ascii_plot", "ascii_table", "format_float", "series_to_csv", "write_csv"]

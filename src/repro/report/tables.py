@@ -1,0 +1,68 @@
+"""Fixed-width ASCII tables (Tables 1 and 2 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_table", "format_float"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Render a float compactly (integers lose the trailing zeros)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a boxed fixed-width table.
+
+    Numeric cells are right-aligned, text cells left-aligned; floats go
+    through :func:`format_float`.
+    """
+    rendered: list[list[str]] = []
+    numeric: list[bool] = [True] * len(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        cells = []
+        for column, value in enumerate(row):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                numeric[column] = False
+                cells.append(str(value))
+            elif isinstance(value, float):
+                cells.append(format_float(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for column, cell in enumerate(cells):
+            widths[column] = max(widths[column], len(cell))
+
+    def fmt_row(cells: Sequence[str], is_header: bool = False) -> str:
+        parts = []
+        for column, cell in enumerate(cells):
+            if numeric[column] and not is_header:
+                parts.append(cell.rjust(widths[column]))
+            else:
+                parts.append(cell.ljust(widths[column]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(fmt_row(list(headers), is_header=True))
+    lines.append(separator)
+    lines.extend(fmt_row(cells) for cells in rendered)
+    lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Traffic substrate: search and browse logs over entity pages.
+
+The paper approximates user demand from "one year of user search
+traffic on Yahoo! Search (search) and one year of user browsing
+activities recorded by Yahoo! Toolbar (browse)", extracting clicks on
+URLs that map to unique structured entities on Amazon, Yelp, and IMDb
+(Section 4.1).  This package is the substitute:
+
+- :mod:`repro.traffic.urls` — the paper's URL patterns
+  (``amazon.com/gp/product/[ID]``, ``amazon.com/*/dp/[ID]``,
+  ``yelp.com/biz/[ID]``, ``imdb.com/title/tt[ID]``) with builders and
+  parsers.
+- :mod:`repro.traffic.demandmodel` — per-site demand distributions
+  (IMDb sharpest, Yelp flattest) and the review-availability coupling
+  that makes content decay faster than demand toward the tail.
+- :mod:`repro.traffic.logs` — cookie-level event log generation and the
+  unique-cookie demand aggregation.
+"""
+
+from repro.traffic.conversion import ConversionModel
+from repro.traffic.demandmodel import (
+    EntityPopulation,
+    SITE_PROFILES,
+    SiteDemandProfile,
+    get_site_profile,
+)
+from repro.traffic.logs import TrafficLog, TrafficLogGenerator, unique_cookie_demand
+from repro.traffic.users import UserTailReport, user_tail_analysis
+from repro.traffic.urls import (
+    build_entity_url,
+    parse_entity_url,
+    amazon_product_url,
+    imdb_title_url,
+    yelp_biz_url,
+)
+
+__all__ = [
+    "ConversionModel",
+    "EntityPopulation",
+    "SITE_PROFILES",
+    "SiteDemandProfile",
+    "TrafficLog",
+    "TrafficLogGenerator",
+    "UserTailReport",
+    "user_tail_analysis",
+    "amazon_product_url",
+    "build_entity_url",
+    "get_site_profile",
+    "imdb_title_url",
+    "parse_entity_url",
+    "unique_cookie_demand",
+    "yelp_biz_url",
+]

@@ -1,0 +1,234 @@
+"""Joint model of review availability and user demand per site.
+
+Sections 4.2–4.3 of the paper are statements about the *joint
+distribution* of two per-entity quantities: the number of existing
+reviews n (availability of content) and the demand k (unique visitors).
+The paper's findings, which this model encodes directly:
+
+- Demand is heavy-tailed, with concentration ordered IMDb > Amazon >
+  Yelp ("the demand curve for Yelp is the flattest while that for IMDb
+  is the sharpest").
+- Demand increases with review count (Figure 7) but *sublinearly* on
+  Yelp and Amazon: ``E[k | n] ∝ (1+n)**elasticity`` with elasticity
+  < 1, which is precisely "the decay in content availability is faster
+  than the decay in demand" and makes VA(n)/VA(0) decrease (Figure 8).
+- On IMDb the elasticity is > 1 below a knee and < 1 above it: tail
+  titles lose audience faster than they lose reviews ("a more drastic
+  decay in user interest for tail entities"), producing the
+  mid-popularity value-add peak.
+
+Generatively, each entity draws a review count from a Pareto-tailed
+law (plus extra mass at zero), then a demand weight
+``(1+n)**elasticity`` with lognormal noise, mixed with a uniform
+demand floor (base interest in every entity).  Browse traffic sharpens
+the search weights (the paper finds browse more head-concentrated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "EntityPopulation",
+    "SITE_PROFILES",
+    "SiteDemandProfile",
+    "get_site_profile",
+]
+
+
+@dataclass(frozen=True)
+class EntityPopulation:
+    """Sampled per-entity state for one site.
+
+    Attributes:
+        reviews: ``int64[M]`` existing review counts.
+        search_weights: ``float64[M]`` search-demand weights (sum 1).
+        browse_weights: ``float64[M]`` browse-demand weights (sum 1).
+    """
+
+    reviews: np.ndarray
+    search_weights: np.ndarray
+    browse_weights: np.ndarray
+
+    @property
+    def n_entities(self) -> int:
+        """Inventory size."""
+        return len(self.reviews)
+
+
+@dataclass(frozen=True)
+class SiteDemandProfile:
+    """Joint (reviews, demand) distribution for one site.
+
+    Attributes:
+        name: Site key (``amazon``, ``yelp``, ``imdb``).
+        review_tail_exponent: Pareto tail index a of review counts,
+            ``P(n >= x) ~ x**-a``; smaller ⇒ heavier tail.
+        review_scale: Scale of the review distribution (roughly the
+            transition from "a few" to "many" reviews).
+        zero_review_fraction: Extra point mass forced to zero reviews
+            (brand-new / never-reviewed inventory).
+        max_reviews: Cap on review counts (UI/sample truncation; the
+            paper's final bin is "1023 or more").
+        elasticity_tail: d log E[k] / d log (1+n) below the knee.
+        elasticity_head: Same above the knee.
+        elasticity_knee: Review count at which elasticity switches.
+        demand_noise: Lognormal sigma of per-entity demand around the
+            elasticity curve.
+        demand_floor: Fraction of total demand spread uniformly over
+            the inventory — base interest that keeps tail demand alive
+            while tail content runs out.
+        browse_sharpen: Exponent applied to search weights to obtain
+            browse weights (> 1 ⇒ browse more head-biased).
+    """
+
+    name: str
+    review_tail_exponent: float
+    review_scale: float
+    zero_review_fraction: float
+    max_reviews: int
+    elasticity_tail: float
+    elasticity_head: float
+    elasticity_knee: float
+    demand_noise: float
+    demand_floor: float
+    browse_sharpen: float
+
+    def __post_init__(self) -> None:
+        if self.review_tail_exponent <= 0:
+            raise ValueError("review_tail_exponent must be positive")
+        if self.review_scale <= 0:
+            raise ValueError("review_scale must be positive")
+        if not 0.0 <= self.zero_review_fraction < 1.0:
+            raise ValueError("zero_review_fraction must be in [0, 1)")
+        if self.max_reviews < 1:
+            raise ValueError("max_reviews must be >= 1")
+        if not 0.0 <= self.demand_floor < 1.0:
+            raise ValueError("demand_floor must be in [0, 1)")
+
+    # -- sampling ---------------------------------------------------------------
+
+    def sample_reviews(
+        self, n_entities: int, rng: np.random.Generator | int
+    ) -> np.ndarray:
+        """Sample per-entity review counts.
+
+        A shifted Pareto: ``n = floor(scale * (U**(-1/a) - 1))``, so
+        zero is the modal value and the tail follows ``x**-a``; an extra
+        ``zero_review_fraction`` of entities is forced to zero.
+        """
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        if n_entities < 1:
+            raise ValueError("n_entities must be positive")
+        uniforms = rng.random(n_entities)
+        counts = np.floor(
+            self.review_scale
+            * (uniforms ** (-1.0 / self.review_tail_exponent) - 1.0)
+        ).astype(np.int64)
+        counts = np.minimum(counts, self.max_reviews)
+        forced_zero = rng.random(n_entities) < self.zero_review_fraction
+        counts[forced_zero] = 0
+        return counts
+
+    def expected_demand(self, reviews: np.ndarray) -> np.ndarray:
+        """The elasticity curve E[k | n] (up to normalization).
+
+        Piecewise power law in (1+n), continuous at the knee.
+        """
+        n = np.asarray(reviews, dtype=np.float64)
+        if np.any(n < 0):
+            raise ValueError("review counts must be non-negative")
+        knee = 1.0 + self.elasticity_knee
+        base = (1.0 + n) ** self.elasticity_tail
+        above = knee**self.elasticity_tail * ((1.0 + n) / knee) ** (
+            self.elasticity_head
+        )
+        return np.where(1.0 + n <= knee, base, above)
+
+    def demand_weights(
+        self, reviews: np.ndarray, rng: np.random.Generator | int
+    ) -> np.ndarray:
+        """Per-entity search-demand weights given review counts (sum 1)."""
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        n_entities = len(reviews)
+        noise = np.exp(
+            self.demand_noise * rng.standard_normal(n_entities)
+            - self.demand_noise**2 / 2.0
+        )
+        weights = self.expected_demand(reviews) * noise
+        weights = weights / weights.sum()
+        if self.demand_floor > 0:
+            weights = (1.0 - self.demand_floor) * weights + (
+                self.demand_floor / n_entities
+            )
+        return weights
+
+    def sample_population(
+        self, n_entities: int, rng: np.random.Generator | int
+    ) -> EntityPopulation:
+        """Sample the full per-entity state (reviews + demand weights)."""
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        reviews = self.sample_reviews(n_entities, rng)
+        search = self.demand_weights(reviews, rng)
+        browse = search**self.browse_sharpen
+        browse = browse / browse.sum()
+        return EntityPopulation(
+            reviews=reviews, search_weights=search, browse_weights=browse
+        )
+
+
+SITE_PROFILES: dict[str, SiteDemandProfile] = {
+    "imdb": SiteDemandProfile(
+        name="imdb",
+        review_tail_exponent=0.75,
+        review_scale=2.0,
+        zero_review_fraction=0.30,
+        max_reviews=20000,
+        elasticity_tail=1.35,
+        elasticity_head=0.35,
+        elasticity_knee=40.0,
+        demand_noise=0.8,
+        demand_floor=0.01,
+        browse_sharpen=1.15,
+    ),
+    "amazon": SiteDemandProfile(
+        name="amazon",
+        review_tail_exponent=0.85,
+        review_scale=3.0,
+        zero_review_fraction=0.25,
+        max_reviews=8000,
+        elasticity_tail=0.80,
+        elasticity_head=0.80,
+        elasticity_knee=50.0,
+        demand_noise=0.9,
+        demand_floor=0.05,
+        browse_sharpen=1.12,
+    ),
+    "yelp": SiteDemandProfile(
+        name="yelp",
+        review_tail_exponent=1.05,
+        review_scale=4.0,
+        zero_review_fraction=0.20,
+        max_reviews=4000,
+        elasticity_tail=0.60,
+        elasticity_head=0.60,
+        elasticity_knee=50.0,
+        demand_noise=0.7,
+        demand_floor=0.10,
+        browse_sharpen=1.10,
+    ),
+}
+
+
+def get_site_profile(name: str) -> SiteDemandProfile:
+    """Fetch a site profile, with a helpful error for typos."""
+    try:
+        return SITE_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(SITE_PROFILES))
+        raise KeyError(f"unknown site {name!r}; known sites: {known}") from None

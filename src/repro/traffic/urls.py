@@ -1,0 +1,97 @@
+"""Entity URL patterns for Amazon, Yelp, and IMDb.
+
+Section 4.1 of the paper defines how entity pages are recognized in the
+traffic logs:
+
+- Amazon: ``amazon.com/gp/product/[ID]`` or ``amazon.com/*/dp/[ID]``,
+  keyed by the 10-character product ID.
+- Yelp: ``yelp.com/biz/[ID]``.
+- IMDb: ``imdb.com/title/tt[ID]``.
+
+This module provides both directions: building a URL from an entity
+index (used by the log generator) and parsing an observed URL back to
+``(site, key)`` (used by the aggregation — the real code path the paper
+ran over its logs).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "amazon_product_url",
+    "build_entity_url",
+    "imdb_title_url",
+    "parse_entity_url",
+    "yelp_biz_url",
+]
+
+_AMAZON_ALPHABET = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+_AMAZON_GP = re.compile(r"amazon\.com/gp/product/([0-9A-Z]{10})(?:[/?]|$)")
+_AMAZON_DP = re.compile(r"amazon\.com/(?:[^/]+/)?dp/([0-9A-Z]{10})(?:[/?]|$)")
+_YELP_BIZ = re.compile(r"yelp\.com/biz/([a-z0-9-]+)(?:[/?]|$)")
+_IMDB_TITLE = re.compile(r"imdb\.com/title/(tt\d{7,8})(?:[/?]|$)")
+
+
+def _amazon_id(index: int) -> str:
+    """Deterministic 10-character product id for entity ``index``."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    chars = []
+    value = index
+    for _ in range(9):
+        chars.append(_AMAZON_ALPHABET[value % 36])
+        value //= 36
+    return "B" + "".join(reversed(chars))
+
+
+def amazon_product_url(index: int, style: int = 0) -> str:
+    """An Amazon product URL in one of the paper's two patterns."""
+    product_id = _amazon_id(index)
+    if style % 2 == 0:
+        return f"http://www.amazon.com/gp/product/{product_id}"
+    return f"http://www.amazon.com/some-product-title/dp/{product_id}"
+
+
+def yelp_biz_url(index: int) -> str:
+    """A Yelp business URL."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    return f"http://www.yelp.com/biz/business-{index:08d}"
+
+
+def imdb_title_url(index: int) -> str:
+    """An IMDb title URL."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    return f"http://www.imdb.com/title/tt{index:07d}/"
+
+
+def build_entity_url(site: str, index: int, style: int = 0) -> str:
+    """Entity URL for ``site`` ∈ {amazon, yelp, imdb}."""
+    if site == "amazon":
+        return amazon_product_url(index, style=style)
+    if site == "yelp":
+        return yelp_biz_url(index)
+    if site == "imdb":
+        return imdb_title_url(index)
+    raise ValueError(f"unknown site {site!r}")
+
+
+def parse_entity_url(url: str) -> tuple[str, str] | None:
+    """Parse a URL to ``(site, entity_key)``; None when not an entity page.
+
+    The keys are the raw IDs from the URL (product id, biz slug,
+    ttXXXXXXX), matching how the paper keys its demand counters.
+    """
+    for pattern, site in (
+        (_AMAZON_GP, "amazon"),
+        (_AMAZON_DP, "amazon"),
+        (_YELP_BIZ, "yelp"),
+        (_IMDB_TITLE, "imdb"),
+    ):
+        match = pattern.search(url)
+        if match:
+            return site, match.group(1)
+    return None

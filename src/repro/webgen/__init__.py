@@ -1,0 +1,60 @@
+"""Generative model of structured data on the Web.
+
+The paper measures a proprietary web crawl.  This package is the
+substitute substrate: a generative model of the entity–site incidence
+structure whose knobs map one-to-one onto the phenomena the paper
+reports — power-law site sizes (head aggregators vs. the long tail),
+Zipfian entity popularity, popularity-biased site content, niche "local"
+sites, and tiny isolated islands of tail entities (the paper's
+"components [containing] at most one or two entities mentioned only by
+tail web sites").
+
+- :mod:`repro.webgen.sitemodel` — site-size power law and calibration
+  of its exponent against Table 2's average-sites-per-entity targets.
+- :mod:`repro.webgen.assignment` — sampling of the bipartite incidence.
+- :mod:`repro.webgen.profiles` — per-(domain, attribute) parameter
+  presets calibrated to the paper's figures and Table 2.
+- :mod:`repro.webgen.text` — review / non-review page text generator.
+- :mod:`repro.webgen.html` — HTML page renderer.
+- :mod:`repro.webgen.corpus` — renders a full synthetic crawl from an
+  incidence + entity database.
+"""
+
+from repro.webgen.assignment import AssignmentModel, attach_review_multiplicity
+from repro.webgen.corpus import CorpusBuilder, SyntheticCorpus
+from repro.webgen.evolution import (
+    CorpusEvolver,
+    recrawl_comparison,
+    staleness_curve,
+)
+from repro.webgen.html import PageRenderer
+from repro.webgen.profiles import (
+    PROFILES,
+    ScalePreset,
+    SpreadProfile,
+    get_profile,
+    profile_keys,
+    SCALES,
+)
+from repro.webgen.sitemodel import SiteSizeModel, calibrate_size_exponent
+from repro.webgen.text import ReviewTextGenerator
+
+__all__ = [
+    "AssignmentModel",
+    "CorpusBuilder",
+    "CorpusEvolver",
+    "recrawl_comparison",
+    "staleness_curve",
+    "PROFILES",
+    "PageRenderer",
+    "ReviewTextGenerator",
+    "SCALES",
+    "ScalePreset",
+    "SiteSizeModel",
+    "SpreadProfile",
+    "SyntheticCorpus",
+    "attach_review_multiplicity",
+    "calibrate_size_exponent",
+    "get_profile",
+    "profile_keys",
+]

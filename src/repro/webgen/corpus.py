@@ -1,0 +1,217 @@
+"""Render a sampled incidence into a full synthetic crawl.
+
+This closes the loop of the substitution: the generative model says
+*which* site mentions *which* entity; :class:`CorpusBuilder` renders
+those mentions into actual HTML pages in a page store, so the
+extraction pipeline (:mod:`repro.extract`) can re-discover the incidence
+from raw markup exactly the way the paper scans the Yahoo! web cache.
+The ground-truth incidence is kept alongside the rendered cache so
+integration tests can measure extraction fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.incidence import BipartiteIncidence
+from repro.crawl.cache import WebCache
+from repro.crawl.store import MemoryPageStore, Page, PageStore
+from repro.entities.catalog import EntityDatabase
+from repro.entities.domains import (
+    ATTRIBUTE_HOMEPAGE,
+    ATTRIBUTE_ISBN,
+    ATTRIBUTE_PHONE,
+    ATTRIBUTE_REVIEWS,
+)
+from repro.webgen.html import PageRenderer
+from repro.webgen.text import ReviewTextGenerator
+
+__all__ = ["CorpusBuilder", "SyntheticCorpus"]
+
+
+@dataclass
+class SyntheticCorpus:
+    """A rendered crawl plus the ground truth it encodes.
+
+    Attributes:
+        cache: The crawlable page corpus.
+        database: The entity database whose keys are embedded in pages.
+        attribute: The identifying attribute rendered.
+        truth: The incidence the corpus was rendered from, restricted to
+            edges that were actually renderable (e.g. a business without
+            a homepage cannot be linked to).
+        n_noise_pages: Distractor pages included in the cache.
+    """
+
+    cache: WebCache
+    database: EntityDatabase
+    attribute: str
+    truth: BipartiteIncidence
+    n_noise_pages: int
+
+
+class CorpusBuilder:
+    """Renders (incidence, database) pairs into HTML corpora.
+
+    Args:
+        database: Entities to render; the incidence's entity index i
+            refers to the database's i-th entity.
+        attribute: Which identifying attribute to embed.
+        entities_per_page: Listing-page fan-out; sites with more
+            entities get multiple pages (hosts aggregate across pages,
+            per the paper's methodology).
+        noise_page_rate: Noise pages per content page, exercising the
+            extractors' false-match rejection.
+        review_purity: For review corpora: probability that a rendered
+            page on a review edge is actually a review (the rest are
+            directory pages that mention the phone but must be filtered
+            out by the classifier).
+        seed: RNG seed for all formatting choices.
+    """
+
+    def __init__(
+        self,
+        database: EntityDatabase,
+        attribute: str,
+        entities_per_page: int = 10,
+        noise_page_rate: float = 0.1,
+        review_purity: float = 0.85,
+        seed: int = 0,
+    ) -> None:
+        if entities_per_page < 1:
+            raise ValueError("entities_per_page must be >= 1")
+        if not 0.0 <= noise_page_rate <= 10.0:
+            raise ValueError("noise_page_rate must be in [0, 10]")
+        if not 0.0 < review_purity <= 1.0:
+            raise ValueError("review_purity must be in (0, 1]")
+        if attribute not in (
+            ATTRIBUTE_PHONE,
+            ATTRIBUTE_HOMEPAGE,
+            ATTRIBUTE_ISBN,
+            ATTRIBUTE_REVIEWS,
+        ):
+            raise ValueError(f"unsupported attribute {attribute!r}")
+        self.database = database
+        self.attribute = attribute
+        self.entities_per_page = entities_per_page
+        self.noise_page_rate = noise_page_rate
+        self.review_purity = review_purity
+        self._rng = np.random.default_rng(seed)
+        self._renderer = PageRenderer(self._rng)
+        self._text = ReviewTextGenerator(self._rng)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _renderable(self, entity_index: int) -> bool:
+        entity = self.database.get(self.database.entity_ids[entity_index])
+        if self.attribute == ATTRIBUTE_REVIEWS:
+            return ATTRIBUTE_PHONE in entity.keys
+        if self.attribute == ATTRIBUTE_HOMEPAGE:
+            return ATTRIBUTE_HOMEPAGE in entity.keys
+        return self.attribute in entity.keys
+
+    def _payloads(self, entity_indices: np.ndarray) -> list[object]:
+        ids = self.database.entity_ids
+        return [self.database.get(ids[int(i)]).payload for i in entity_indices]
+
+    def _render_site(
+        self, host: str, entities: np.ndarray, multiplicities: np.ndarray
+    ) -> list[Page]:
+        pages: list[Page] = []
+        page_no = 0
+        if self.attribute == ATTRIBUTE_REVIEWS:
+            for index, pages_here in zip(entities.tolist(), multiplicities.tolist()):
+                listing = self.database.get(
+                    self.database.entity_ids[index]
+                ).payload
+                for _ in range(int(pages_here)):
+                    is_review = bool(self._rng.random() < self.review_purity)
+                    content = self._renderer.review_page(
+                        host, listing, self._text, is_review=is_review
+                    )
+                    pages.append(
+                        Page.from_url(
+                            f"http://{host}/review{page_no}.html", content
+                        )
+                    )
+                    page_no += 1
+            return pages
+
+        for start in range(0, len(entities), self.entities_per_page):
+            chunk = entities[start:start + self.entities_per_page]
+            payloads = self._payloads(chunk)
+            if self.attribute == ATTRIBUTE_PHONE:
+                content = self._renderer.listing_page(host, payloads)
+            elif self.attribute == ATTRIBUTE_HOMEPAGE:
+                content = self._renderer.link_page(host, payloads)
+            else:
+                content = self._renderer.book_page(host, payloads)
+            pages.append(
+                Page.from_url(f"http://{host}/page{page_no}.html", content)
+            )
+            page_no += 1
+        return pages
+
+    # -- main entry point -----------------------------------------------------------
+
+    def build(
+        self,
+        incidence: BipartiteIncidence,
+        store: PageStore | None = None,
+    ) -> SyntheticCorpus:
+        """Render every site of ``incidence`` into a page store.
+
+        Returns:
+            The corpus, including the renderable-edge ground truth.
+        """
+        if incidence.n_entities != len(self.database):
+            raise ValueError(
+                "incidence and database disagree on the number of entities"
+            )
+        store = store if store is not None else MemoryPageStore()
+        renderable = np.fromiter(
+            (self._renderable(i) for i in range(len(self.database))),
+            dtype=bool,
+            count=len(self.database),
+        )
+
+        truth_sites = []
+        truth_mults = []
+        n_noise = 0
+        for site in range(incidence.n_sites):
+            host = incidence.site_hosts[site]
+            entities = incidence.site_entities(site)
+            mults = incidence.site_multiplicities(site)
+            keep = renderable[entities]
+            entities, mults = entities[keep], mults[keep]
+            pages = self._render_site(host, entities, mults)
+            store.add_many(pages)
+            truth_sites.append((host, entities.tolist()))
+            if self.attribute == ATTRIBUTE_REVIEWS:
+                truth_mults.append(mults.tolist())
+            expected_noise = self.noise_page_rate * max(len(pages), 1)
+            noise_here = int(self._rng.poisson(expected_noise))
+            for j in range(noise_here):
+                store.add(
+                    Page.from_url(
+                        f"http://{host}/archive{j}.html",
+                        self._renderer.noise_page(host, j),
+                    )
+                )
+            n_noise += noise_here
+
+        truth = BipartiteIncidence.from_site_lists(
+            n_entities=len(self.database),
+            sites=truth_sites,
+            multiplicities=truth_mults if self.attribute == ATTRIBUTE_REVIEWS else None,
+            entity_ids=self.database.entity_ids,
+        )
+        return SyntheticCorpus(
+            cache=WebCache(store),
+            database=self.database,
+            attribute=self.attribute,
+            truth=truth,
+            n_noise_pages=n_noise,
+        )

@@ -1,0 +1,161 @@
+"""HTML page renderer for the synthetic crawl.
+
+Turns entity records into the kinds of pages the paper's extractors
+scan: aggregator listing pages (name + address + phone, in varied
+formats), link directories (anchor hrefs pointing at business
+homepages), book catalogue pages (ISBN-10 or ISBN-13 with the "ISBN"
+marker nearby), review pages (review prose plus the restaurant's phone),
+and *noise pages* whose number-like tokens must be rejected by the
+extractors (invalid NANP prefixes, checksum-failing ISBNs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.entities.books import Book
+from repro.entities.business import BusinessListing
+from repro.entities.ids import PHONE_FORMATS, format_isbn13, format_phone
+from repro.webgen.text import ReviewTextGenerator
+
+__all__ = ["PageRenderer"]
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head><title>{title}</title></head>
+<body>
+<h1>{title}</h1>
+{body}
+</body>
+</html>
+"""
+
+
+class PageRenderer:
+    """Renders entity mentions into HTML pages.
+
+    All formatting choices (phone style, ISBN-10 vs -13, hyphenation)
+    are drawn from the generator's RNG, so a rendered corpus exercises
+    every normalization path in :mod:`repro.extract`.
+    """
+
+    def __init__(self, rng: np.random.Generator | int = 0) -> None:
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        self._rng = rng
+
+    # -- listing pages (phone attribute) --------------------------------------
+
+    def listing_block(self, listing: BusinessListing) -> str:
+        """One business entry with a randomly formatted phone."""
+        style = int(self._rng.integers(len(PHONE_FORMATS)))
+        phone = format_phone(listing.phone, style=style)
+        label = ("Phone", "Tel", "Call us at", "Contact")[
+            int(self._rng.integers(4))
+        ]
+        return (
+            f'<div class="listing"><h2>{listing.name}</h2>'
+            f"<p>{listing.address}</p>"
+            f"<p>{label}: {phone}</p></div>"
+        )
+
+    def listing_page(self, host: str, listings: list[BusinessListing]) -> str:
+        """A directory page with one block per listing."""
+        body = "\n".join(self.listing_block(entry) for entry in listings)
+        return _PAGE_TEMPLATE.format(title=f"Local directory — {host}", body=body)
+
+    # -- link pages (homepage attribute) ---------------------------------------
+
+    def link_block(self, listing: BusinessListing) -> str:
+        """An anchor pointing at the business homepage."""
+        if listing.homepage is None:
+            raise ValueError(f"{listing.entity_id} has no homepage")
+        # Vary scheme / www / trailing slash; the canonicalizer unifies them.
+        prefix = ("http://", "http://www.", "https://", "https://www.")[
+            int(self._rng.integers(4))
+        ]
+        suffix = ("", "/")[int(self._rng.integers(2))]
+        return (
+            f'<li><a href="{prefix}{listing.homepage}{suffix}">'
+            f"{listing.name}</a></li>"
+        )
+
+    def link_page(self, host: str, listings: list[BusinessListing]) -> str:
+        """A links/resources page with one anchor per business."""
+        items = "\n".join(
+            self.link_block(entry) for entry in listings if entry.homepage
+        )
+        body = f"<ul>\n{items}\n</ul>"
+        return _PAGE_TEMPLATE.format(title=f"Useful links — {host}", body=body)
+
+    # -- book pages (ISBN attribute) ----------------------------------------------
+
+    def book_block(self, book: Book) -> str:
+        """A catalogue entry with the ISBN in one of its surface forms."""
+        roll = self._rng.random()
+        if roll < 0.4:
+            isbn_text = format_isbn13(book.isbn13, hyphenate=True)
+        elif roll < 0.7:
+            isbn_text = book.isbn13
+        else:
+            isbn_text = book.isbn10
+        label = ("ISBN", "ISBN:", "ISBN-13:", "ISBN-10:")[
+            int(self._rng.integers(4))
+        ]
+        return (
+            f'<div class="book"><h2>{book.title}</h2>'
+            f"<p>by {book.author} ({book.year}), {book.publisher}</p>"
+            f"<p>{label} {isbn_text}</p></div>"
+        )
+
+    def book_page(self, host: str, books: list[Book]) -> str:
+        """A catalogue page with one block per book."""
+        body = "\n".join(self.book_block(book) for book in books)
+        return _PAGE_TEMPLATE.format(title=f"Book catalogue — {host}", body=body)
+
+    # -- review pages -----------------------------------------------------------------
+
+    def review_page(
+        self,
+        host: str,
+        listing: BusinessListing,
+        text_generator: ReviewTextGenerator,
+        is_review: bool = True,
+    ) -> str:
+        """A page carrying the restaurant's phone plus prose.
+
+        ``is_review`` selects review prose versus directory boilerplate;
+        both mention the phone, so only the classifier separates them —
+        exactly the paper's detection setup.
+        """
+        style = int(self._rng.integers(len(PHONE_FORMATS)))
+        phone = format_phone(listing.phone, style=style)
+        if is_review:
+            prose = text_generator.review(listing.name)
+            title = f"Review: {listing.name}"
+        else:
+            prose = text_generator.non_review(listing.name)
+            title = f"{listing.name} — info"
+        body = f"<p>{prose}</p>\n<p>Phone: {phone}</p>"
+        return _PAGE_TEMPLATE.format(title=title, body=body)
+
+    # -- noise pages -------------------------------------------------------------------
+
+    def noise_page(self, host: str, page_no: int) -> str:
+        """A page of number-like tokens that extractors must reject.
+
+        Contains a 10-digit number with an invalid NANP prefix, an
+        order-number that fails the ISBN checksum, and a plain integer —
+        none should survive validation, and none match database keys.
+        """
+        rng = self._rng
+        bogus_phone = f"0{rng.integers(10**8, 10**9)}1"
+        bogus_isbn = f"978{int(rng.integers(10**9)):09d}"  # checksum almost surely wrong
+        big_number = str(int(rng.integers(10**11, 10**12)))  # 12 digits: not NANP-shaped
+        body = (
+            f"<p>Invoice {big_number} processed on ref {bogus_phone}.</p>"
+            f"<p>Catalog item ISBN {bogus_isbn} unavailable.</p>"
+        )
+        return _PAGE_TEMPLATE.format(
+            title=f"Archive page {page_no} — {host}", body=body
+        )

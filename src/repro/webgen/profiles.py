@@ -1,0 +1,293 @@
+"""Per-(domain, attribute) generation profiles and scale presets.
+
+Each :class:`SpreadProfile` packages the generative parameters for one
+(domain, attribute) pair, calibrated against the paper:
+
+- ``target_sites_per_entity`` comes straight from Table 2 ("Avg. #sites
+  per entity": 8 for book ISBNs up to 251 for library homepages).
+- ``head_coverage`` is read off the k=1 curves of Figures 1–4 (the top
+  restaurant-phone site covers well over half the database; homepage
+  head sites cover far less).
+- ``popularity_exponent`` encodes how strongly tail sites skew popular;
+  homepages use larger exponents than phones, which is what pushes the
+  95%-coverage point from ~100 sites (phones) to ~10,000 (homepages).
+- ``island_fraction`` is (100 − "% entities in largest comp") / 100
+  from Table 2; islands of one or two entities create the extra
+  connected components the paper counts.
+
+Scale presets shrink the paper's web-scale corpora to laptop sizes
+while keeping all the *relative* quantities (head coverage, average
+mentions per entity, island fractions) intact, so curve shapes and
+crossovers survive the down-scaling even though absolute site counts do
+not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.incidence import BipartiteIncidence
+from repro.entities.domains import (
+    ATTRIBUTE_HOMEPAGE,
+    ATTRIBUTE_ISBN,
+    ATTRIBUTE_PHONE,
+    ATTRIBUTE_REVIEWS,
+    LOCAL_BUSINESS_DOMAINS,
+)
+from repro.webgen.assignment import AssignmentModel, attach_review_multiplicity
+from repro.webgen.sitemodel import SiteSizeModel
+
+__all__ = [
+    "PROFILES",
+    "SCALES",
+    "ScalePreset",
+    "SpreadProfile",
+    "get_profile",
+    "profile_keys",
+]
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """A corpus size: how far the paper's web scale is shrunk.
+
+    Attributes:
+        name: Preset key.
+        n_entities: Database size per domain.
+        site_factor: Number of sites as a multiple of ``n_entities``.
+        mention_factor: Multiplier on the Table 2 sites-per-entity
+            targets.  1.0 preserves the paper's averages; the tiny
+            preset shrinks them because a 600-site corpus cannot give
+            every entity 251 mentions.
+        localities_per_thousand: Niche localities per 1000 entities.
+    """
+
+    name: str
+    n_entities: int
+    site_factor: float = 2.0
+    mention_factor: float = 1.0
+    localities_per_thousand: float = 25.0
+
+    @property
+    def n_sites(self) -> int:
+        """Site count implied by the preset."""
+        return max(1, int(round(self.site_factor * self.n_entities)))
+
+    @property
+    def n_localities(self) -> int:
+        """Locality count implied by the preset."""
+        return max(1, int(round(self.localities_per_thousand * self.n_entities / 1000)))
+
+
+SCALES: dict[str, ScalePreset] = {
+    "tiny": ScalePreset("tiny", n_entities=300, site_factor=2.0, mention_factor=0.3),
+    "small": ScalePreset("small", n_entities=2000, site_factor=2.0),
+    "medium": ScalePreset("medium", n_entities=8000, site_factor=2.0),
+    "paper": ScalePreset("paper", n_entities=40000, site_factor=2.5),
+}
+
+
+@dataclass(frozen=True)
+class SpreadProfile:
+    """Generative parameters for one (domain, attribute) pair.
+
+    ``site_factor`` optionally overrides the scale preset's site count
+    (as a multiple of the entity count); the books corpus uses fewer
+    sites per entity than the local-business ones, matching the x-axis
+    extents of Figure 3 vs. Figures 1–2.
+    """
+
+    domain: str
+    attribute: str
+    target_sites_per_entity: float
+    head_coverage: float
+    popularity_exponent: float
+    island_fraction: float
+    niche_fraction: float = 0.3
+    review_base_extra: float = 0.0
+    site_factor: float | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Registry key, ``(domain, attribute)``."""
+        return (self.domain, self.attribute)
+
+    def assignment_model(self, scale: ScalePreset) -> AssignmentModel:
+        """Instantiate the generative model at a given scale."""
+        target = self.target_sites_per_entity * scale.mention_factor
+        n_sites = scale.n_sites
+        if self.site_factor is not None:
+            n_sites = max(1, int(round(self.site_factor * scale.n_entities)))
+        size_model = SiteSizeModel.calibrated(
+            n_entities=scale.n_entities,
+            n_sites=n_sites,
+            head_coverage=self.head_coverage,
+            target_edges_per_entity=target,
+        )
+        return AssignmentModel(
+            size_model=size_model,
+            popularity_exponent=self.popularity_exponent,
+            island_fraction=self.island_fraction,
+            niche_fraction=self.niche_fraction,
+            n_localities=scale.n_localities,
+            host_suffix=f"{self.domain}-{self.attribute}.example.com",
+        )
+
+    def generate(
+        self, scale: ScalePreset | str, seed: int = 0
+    ) -> BipartiteIncidence:
+        """Generate the incidence for this profile at ``scale``.
+
+        Review profiles also attach page multiplicities (several review
+        pages per (site, entity) edge on head sites).
+        """
+        if isinstance(scale, str):
+            scale = SCALES[scale]
+        rng = np.random.default_rng(_profile_seed(self, seed))
+        incidence = self.assignment_model(scale).generate(rng)
+        if self.review_base_extra > 0:
+            incidence = attach_review_multiplicity(
+                incidence, rng, base_extra=self.review_base_extra
+            )
+        return incidence
+
+
+def _profile_seed(profile: SpreadProfile, seed: int) -> int:
+    """Stable per-profile seed so domains get independent corpora.
+
+    Uses CRC32 rather than ``hash()``: Python string hashing is salted
+    per process, which would break run-to-run reproducibility.
+    """
+    import zlib
+
+    mix = zlib.crc32(f"{profile.domain}/{profile.attribute}".encode())
+    return (seed * 1_000_003 + mix) & 0x7FFFFFFF
+
+
+def _phone(domain: str, avg: float, head: float, islands: float) -> SpreadProfile:
+    return SpreadProfile(
+        domain=domain,
+        attribute=ATTRIBUTE_PHONE,
+        target_sites_per_entity=avg,
+        head_coverage=head,
+        popularity_exponent=0.6,
+        island_fraction=islands,
+    )
+
+
+def _homepage(domain: str, avg: float, head: float, islands: float) -> SpreadProfile:
+    return SpreadProfile(
+        domain=domain,
+        attribute=ATTRIBUTE_HOMEPAGE,
+        target_sites_per_entity=avg,
+        head_coverage=head,
+        popularity_exponent=1.05,
+        island_fraction=islands,
+        niche_fraction=0.35,
+    )
+
+
+# Table 2 columns: (avg sites/entity, % entities in largest component).
+_PHONE_TABLE2 = {
+    "restaurants": (32.0, 99.99),
+    "automotive": (13.0, 99.99),
+    "banks": (22.0, 99.99),
+    "hotels": (56.0, 99.99),
+    "libraries": (47.0, 99.99),
+    "retail": (19.0, 99.93),
+    "home": (13.0, 99.76),
+    "schools": (37.0, 99.97),
+}
+
+_HOMEPAGE_TABLE2 = {
+    "restaurants": (46.0, 99.82),
+    "automotive": (115.0, 98.52),
+    "banks": (68.0, 99.57),
+    "hotels": (56.0, 99.90),
+    "libraries": (251.0, 99.86),
+    "retail": (45.0, 99.20),
+    "home": (20.0, 97.87),
+    "schools": (74.0, 99.57),
+}
+
+# Head-site 1-coverage, read off the k=1 curves at t=1 in Figures 1-3.
+_PHONE_HEAD_COVERAGE = {
+    "restaurants": 0.62,
+    "automotive": 0.45,
+    "banks": 0.55,
+    "hotels": 0.60,
+    "libraries": 0.58,
+    "retail": 0.40,
+    "home": 0.38,
+    "schools": 0.55,
+}
+
+_HOMEPAGE_HEAD_COVERAGE = {
+    "restaurants": 0.35,
+    "automotive": 0.40,
+    "banks": 0.42,
+    "hotels": 0.40,
+    "libraries": 0.50,
+    "retail": 0.30,
+    "home": 0.25,
+    "schools": 0.40,
+}
+
+
+def _build_registry() -> dict[tuple[str, str], SpreadProfile]:
+    registry: dict[tuple[str, str], SpreadProfile] = {}
+    for domain in LOCAL_BUSINESS_DOMAINS:
+        avg, pct = _PHONE_TABLE2[domain]
+        profile = _phone(
+            domain, avg, _PHONE_HEAD_COVERAGE[domain], (100.0 - pct) / 100.0
+        )
+        registry[profile.key] = profile
+        avg, pct = _HOMEPAGE_TABLE2[domain]
+        profile = _homepage(
+            domain, avg, _HOMEPAGE_HEAD_COVERAGE[domain], (100.0 - pct) / 100.0
+        )
+        registry[profile.key] = profile
+    registry[("books", ATTRIBUTE_ISBN)] = SpreadProfile(
+        domain="books",
+        attribute=ATTRIBUTE_ISBN,
+        target_sites_per_entity=8.0,
+        head_coverage=0.50,
+        popularity_exponent=0.55,
+        island_fraction=(100.0 - 99.96) / 100.0,
+        niche_fraction=0.15,
+        site_factor=1.0,
+    )
+    registry[("restaurants", ATTRIBUTE_REVIEWS)] = SpreadProfile(
+        domain="restaurants",
+        attribute=ATTRIBUTE_REVIEWS,
+        target_sites_per_entity=15.0,
+        head_coverage=0.40,
+        popularity_exponent=0.9,
+        island_fraction=0.001,
+        review_base_extra=2.5,
+    )
+    return registry
+
+
+PROFILES: dict[tuple[str, str], SpreadProfile] = _build_registry()
+
+
+def get_profile(domain: str, attribute: str) -> SpreadProfile:
+    """Fetch a profile, with a helpful error for unknown pairs."""
+    try:
+        return PROFILES[(domain, attribute)]
+    except KeyError:
+        known = ", ".join(f"{d}/{a}" for d, a in sorted(PROFILES))
+        raise KeyError(
+            f"no profile for {domain!r}/{attribute!r}; known: {known}"
+        ) from None
+
+
+def profile_keys(attribute: str | None = None) -> list[tuple[str, str]]:
+    """All (domain, attribute) keys, optionally filtered by attribute."""
+    keys = sorted(PROFILES)
+    if attribute is None:
+        return keys
+    return [key for key in keys if key[1] == attribute]

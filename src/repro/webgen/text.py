@@ -1,0 +1,136 @@
+"""Review / non-review page text generator.
+
+The paper detects restaurant reviews by taking every page containing a
+matching restaurant phone number and running "a Naïve-Bayes classifier
+over the textual content" (Section 3.2).  To exercise that path we need
+page text in two classes that are *separable but noisy*: review prose
+(first-person, sentiment-laden, aspect words) and directory boilerplate
+(hours, categories, payment methods).  The two classes deliberately
+share a common vocabulary so the classifier operates below 100%
+accuracy, as any real classifier would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReviewTextGenerator"]
+
+_COMMON = (
+    "the", "a", "and", "to", "of", "in", "for", "with", "on", "at",
+    "restaurant", "place", "food", "menu", "location", "staff", "table",
+    "local", "open", "day", "time", "city", "street", "area",
+)
+
+_REVIEW_OPENERS = (
+    "i visited last weekend and",
+    "my wife and i stopped by and",
+    "we came here for dinner and",
+    "after reading other reviews i",
+    "honestly i did not expect much but",
+    "this was our third visit and",
+)
+
+_REVIEW_CORE = (
+    "loved", "enjoyed", "hated", "recommend", "disappointed", "amazing",
+    "delicious", "terrible", "friendly", "rude", "cozy", "noisy",
+    "overpriced", "fresh", "bland", "fantastic", "awful", "perfect",
+    "slow", "attentive", "flavorful", "greasy", "charming", "mediocre",
+)
+
+_REVIEW_ASPECTS = (
+    "service", "ambiance", "portions", "dessert", "appetizers", "wine",
+    "pasta", "steak", "seafood", "brunch", "cocktails", "atmosphere",
+)
+
+_REVIEW_CLOSERS = (
+    "will definitely come back.",
+    "would not return.",
+    "five stars from me.",
+    "two stars at best.",
+    "worth every penny.",
+    "save your money.",
+)
+
+_LISTING_CORE = (
+    "hours", "monday", "friday", "sunday", "directions", "parking",
+    "accepts", "credit", "cards", "categories", "established", "owner",
+    "contact", "fax", "website", "zip", "suite", "county", "license",
+    "wheelchair", "accessible", "reservations", "takeout", "delivery",
+)
+
+_LISTING_TEMPLATES = (
+    "business hours monday through friday 9am to 5pm.",
+    "categories listed under local services directory.",
+    "accepts all major credit cards and cash.",
+    "parking available on premises and street.",
+    "contact the owner for reservations and directions.",
+    "established business serving the local area.",
+)
+
+
+class ReviewTextGenerator:
+    """Deterministic generator of review and directory page text."""
+
+    def __init__(self, rng: np.random.Generator | int = 0) -> None:
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        self._rng = rng
+
+    def _pick(self, words: tuple[str, ...], count: int) -> list[str]:
+        idx = self._rng.integers(len(words), size=count)
+        return [words[int(i)] for i in idx]
+
+    def review(self, entity_name: str, sentences: int = 4) -> str:
+        """First-person review prose about ``entity_name``."""
+        rng = self._rng
+        parts = [
+            _REVIEW_OPENERS[int(rng.integers(len(_REVIEW_OPENERS)))],
+            f"the {self._pick(_REVIEW_ASPECTS, 1)[0]} at {entity_name} was",
+        ]
+        for _ in range(max(1, sentences - 2)):
+            words = (
+                self._pick(_REVIEW_CORE, 2)
+                + self._pick(_REVIEW_ASPECTS, 1)
+                + self._pick(_COMMON, 3)
+            )
+            rng.shuffle(words)
+            parts.append(" ".join(words) + ".")
+        parts.append(_REVIEW_CLOSERS[int(rng.integers(len(_REVIEW_CLOSERS)))])
+        return " ".join(parts)
+
+    def non_review(self, entity_name: str, sentences: int = 4) -> str:
+        """Directory/listing boilerplate mentioning ``entity_name``."""
+        rng = self._rng
+        parts = [f"{entity_name} business listing."]
+        for _ in range(max(1, sentences - 1)):
+            if rng.random() < 0.6:
+                template = _LISTING_TEMPLATES[
+                    int(rng.integers(len(_LISTING_TEMPLATES)))
+                ]
+                parts.append(template)
+            else:
+                words = self._pick(_LISTING_CORE, 3) + self._pick(_COMMON, 3)
+                rng.shuffle(words)
+                parts.append(" ".join(words) + ".")
+        return " ".join(parts)
+
+    def labeled_corpus(
+        self, n_documents: int, review_fraction: float = 0.5
+    ) -> list[tuple[str, bool]]:
+        """Labeled (text, is_review) pairs for classifier training.
+
+        Args:
+            n_documents: Total documents to generate.
+            review_fraction: Probability a document is a review.
+        """
+        if not 0.0 <= review_fraction <= 1.0:
+            raise ValueError("review_fraction must be in [0, 1]")
+        documents = []
+        for i in range(n_documents):
+            name = f"sample business {i}"
+            if self._rng.random() < review_fraction:
+                documents.append((self.review(name), True))
+            else:
+                documents.append((self.non_review(name), False))
+        return documents

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (hundreds of entities, thousands of
+edges) so the whole suite runs in seconds; shape-sensitive assertions
+live in the integration tests, which use the ``tiny``/``small`` scale
+presets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incidence import BipartiteIncidence
+from repro.entities.books import BookGenerator
+from repro.entities.business import BusinessGenerator
+from repro.entities.catalog import EntityDatabase
+
+
+@pytest.fixture(scope="session")
+def restaurant_db() -> EntityDatabase:
+    """300 restaurant listings, 90% with homepages."""
+    listings = BusinessGenerator(
+        "restaurants", seed=101, homepage_fraction=0.9
+    ).generate(300)
+    return EntityDatabase.from_listings(listings)
+
+
+@pytest.fixture(scope="session")
+def book_db() -> EntityDatabase:
+    """200 books with valid ISBNs."""
+    return EntityDatabase.from_books(BookGenerator(seed=202).generate(200))
+
+
+@pytest.fixture()
+def tiny_incidence() -> BipartiteIncidence:
+    """A hand-built 6-entity, 4-site incidence with known structure.
+
+    Site layout (entity indices):
+        big.example    -> 0 1 2 3
+        mid.example    -> 2 3 4
+        small.example  -> 4
+        island.example -> 5
+    Entity 5 + island.example form a separate component.
+    """
+    return BipartiteIncidence.from_site_lists(
+        n_entities=6,
+        sites=[
+            ("big.example", [0, 1, 2, 3]),
+            ("mid.example", [2, 3, 4]),
+            ("small.example", [4]),
+            ("island.example", [5]),
+        ],
+    )
+
+
+@pytest.fixture()
+def random_incidence() -> BipartiteIncidence:
+    """A moderately sized random incidence for algorithmic tests."""
+    rng = np.random.default_rng(7)
+    n_entities, n_sites = 120, 60
+    sites = []
+    for s in range(n_sites):
+        size = int(rng.integers(1, 30))
+        entities = rng.choice(n_entities, size=min(size, n_entities), replace=False)
+        sites.append((f"site{s}.example", entities.tolist()))
+    return BipartiteIncidence.from_site_lists(n_entities=n_entities, sites=sites)

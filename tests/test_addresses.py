@@ -1,0 +1,71 @@
+"""Tests for the US address parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities.business import generate_listings
+from repro.extract.addresses import extract_addresses, parse_address
+
+
+def test_parses_canonical_form():
+    parsed = parse_address("5725 Pine St, Knoxville, TN 83364")
+    assert parsed is not None
+    assert parsed.street == "5725 Pine St"
+    assert parsed.city == "Knoxville"
+    assert parsed.state == "TN"
+    assert parsed.zip_code == "83364"
+
+
+def test_single_line_roundtrip():
+    text = "1179 Cedar Ln, Durham, NC 81645"
+    parsed = parse_address(text)
+    assert parsed.single_line == text
+
+
+def test_embedded_in_prose():
+    text = "Visit us at 42 Main St, Springfield, IL 62704 for lunch."
+    parsed = parse_address(text)
+    assert parsed is not None
+    assert parsed.city == "Springfield"
+
+
+def test_zip_plus_four():
+    parsed = parse_address("9 Oak Ave, Reno, NV 89501-1234")
+    assert parsed is not None
+    assert parsed.zip_code == "89501"
+
+
+def test_invalid_state_rejected():
+    assert parse_address("12 Oak Ave, Nowhere, ZZ 12345") is None
+
+
+def test_no_address_returns_none():
+    assert parse_address("call 415-555-0123 for details") is None
+    assert parse_address("") is None
+
+
+def test_multi_word_city():
+    parsed = parse_address("100 Lake Rd, Baton Rouge, LA 70801")
+    assert parsed is not None
+    assert parsed.city == "Baton Rouge"
+
+
+def test_extract_multiple():
+    text = (
+        "A: 1 Main St, Austin, TX 78701. "
+        "B: 2 Oak Ave, Boulder, CO 80301."
+    )
+    found = extract_addresses(text)
+    assert [a.city for a in found] == ["Austin", "Boulder"]
+
+
+def test_generated_listings_all_parse():
+    """Every generated business address parses back to its fields."""
+    for listing in generate_listings("hotels", 100, seed=91):
+        parsed = parse_address(listing.address)
+        assert parsed is not None, listing.address
+        assert parsed.city == listing.city
+        assert parsed.state == listing.state
+        assert parsed.zip_code == listing.zip_code
+        assert parsed.street == listing.street

@@ -1,0 +1,134 @@
+"""Tests for the entity→site assignment model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.graph import EntitySiteGraph
+from repro.webgen.assignment import (
+    AssignmentModel,
+    _calibrate_bernoulli_scale,
+    attach_review_multiplicity,
+)
+from repro.webgen.sitemodel import SiteSizeModel
+
+
+def small_model(**overrides) -> AssignmentModel:
+    size_model = SiteSizeModel.calibrated(
+        n_entities=500, n_sites=800, head_coverage=0.5, target_edges_per_entity=8.0
+    )
+    defaults = dict(
+        size_model=size_model,
+        popularity_exponent=0.7,
+        island_fraction=0.01,
+        niche_fraction=0.3,
+        n_localities=20,
+    )
+    defaults.update(overrides)
+    return AssignmentModel(**defaults)
+
+
+def test_deterministic_given_seed():
+    a = small_model().generate(42)
+    b = small_model().generate(42)
+    assert a.site_hosts == b.site_hosts
+    assert np.array_equal(a.entity_idx, b.entity_idx)
+    assert np.array_equal(a.site_ptr, b.site_ptr)
+
+
+def test_edge_budget_respected():
+    inc = small_model().generate(1)
+    target = 8.0 * 500
+    assert 0.7 * target <= inc.n_edges <= 1.2 * target
+
+
+def test_head_site_near_target_size():
+    inc = small_model().generate(2)
+    # first (largest) model site should mention close to half the entities
+    assert inc.site_sizes()[0] >= 0.4 * 500
+
+
+def test_island_entities_isolated():
+    inc = small_model(island_fraction=0.02).generate(3)
+    island_hosts = [h for h in inc.site_hosts if h.startswith("island-")]
+    assert island_hosts, "expected island sites"
+    summary = EntitySiteGraph(inc).components()
+    assert summary.n_components > 1
+    # islands hold 1-2 entities each
+    for s, host in enumerate(inc.site_hosts):
+        if host.startswith("island-"):
+            assert 1 <= len(inc.site_entities(s)) <= 2
+
+
+def test_min_island_floor_applies():
+    inc = small_model(island_fraction=0.0001, min_island_entities=4).generate(4)
+    island_entities = set()
+    for s, host in enumerate(inc.site_hosts):
+        if host.startswith("island-"):
+            island_entities.update(inc.site_entities(s).tolist())
+    assert len(island_entities) >= 4
+
+
+def test_no_islands_when_fraction_zero():
+    inc = small_model(island_fraction=0.0).generate(5)
+    assert not any(h.startswith("island-") for h in inc.site_hosts)
+
+
+def test_niche_sites_use_local_hosts():
+    inc = small_model(niche_fraction=1.0, niche_size_threshold=10**9).generate(6)
+    assert any(h.startswith("local-") for h in inc.site_hosts)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        small_model(island_fraction=0.9)
+    with pytest.raises(ValueError):
+        small_model(max_island_size=0)
+    with pytest.raises(ValueError):
+        small_model(niche_fraction=1.5)
+    with pytest.raises(ValueError):
+        small_model(n_localities=0)
+
+
+def test_popularity_bias():
+    """Popular entities (low index) collect more mentions than tail ones."""
+    inc = small_model(popularity_exponent=1.0).generate(7)
+    counts = inc.entity_mention_counts()
+    head_mean = counts[:50].mean()
+    tail_mean = counts[-100:].mean()
+    assert head_mean > 2 * tail_mean
+
+
+def test_bernoulli_scale_calibration():
+    weights = np.array([0.5, 0.25, 0.125, 0.125])
+    scale = _calibrate_bernoulli_scale(weights, 2.0)
+    probabilities = np.minimum(1.0, scale * weights)
+    assert probabilities.sum() == pytest.approx(2.0, abs=1e-6)
+
+
+def test_bernoulli_scale_target_at_capacity():
+    weights = np.array([1.0, 1.0])
+    assert _calibrate_bernoulli_scale(weights, 2.0) == np.inf
+
+
+def test_review_multiplicity():
+    inc = small_model().generate(8)
+    with_reviews = attach_review_multiplicity(inc, rng=9, base_extra=2.0)
+    assert with_reviews.multiplicity is not None
+    assert with_reviews.multiplicity.min() >= 1
+    assert with_reviews.total_pages() > with_reviews.n_edges  # some extras
+    # structure untouched
+    assert np.array_equal(with_reviews.entity_idx, inc.entity_idx)
+
+
+def test_review_multiplicity_zero_base():
+    inc = small_model().generate(10)
+    flat = attach_review_multiplicity(inc, rng=11, base_extra=0.0)
+    assert flat.total_pages() == flat.n_edges
+
+
+def test_review_multiplicity_rejects_negative_base():
+    inc = small_model().generate(12)
+    with pytest.raises(ValueError):
+        attach_review_multiplicity(inc, rng=13, base_extra=-1.0)

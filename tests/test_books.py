@@ -1,0 +1,46 @@
+"""Tests for the book generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities.books import BookGenerator, generate_books
+from repro.entities.ids import is_valid_isbn10, is_valid_isbn13, normalize_isbn
+
+
+def test_deterministic():
+    assert generate_books(30, seed=1) == generate_books(30, seed=1)
+
+
+def test_isbns_unique_and_valid():
+    books = generate_books(1000, seed=2)
+    isbns = [book.isbn13 for book in books]
+    assert len(set(isbns)) == len(isbns)
+    assert all(is_valid_isbn13(i) for i in isbns)
+
+
+def test_isbn10_derivation():
+    book = generate_books(1, seed=3)[0]
+    assert is_valid_isbn10(book.isbn10)
+    assert normalize_isbn(book.isbn10) == book.isbn13
+
+
+def test_years_before_2007():
+    books = generate_books(200, seed=4)
+    assert all(1950 <= book.year <= 2006 for book in books)
+
+
+def test_metadata_nonempty():
+    for book in generate_books(50, seed=5):
+        assert book.title
+        assert book.author
+        assert book.publisher
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        BookGenerator().generate(-5)
+
+
+def test_stream_matches_generate():
+    assert list(BookGenerator(seed=8).stream(25)) == BookGenerator(seed=8).generate(25)

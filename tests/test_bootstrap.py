@@ -1,0 +1,103 @@
+"""Tests for the bootstrapping set-expansion simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.graph import EntitySiteGraph
+from repro.discovery.bootstrap import BootstrapExpansion
+
+
+def test_expansion_reaches_component(tiny_incidence):
+    expansion = BootstrapExpansion(tiny_incidence)
+    trace = expansion.run([0])
+    # entity 0's component holds entities 0-4 and 3 sites
+    assert trace.entities.tolist() == [0, 1, 2, 3, 4]
+    assert len(trace.sites) == 3
+    assert trace.entity_fraction(6) == pytest.approx(5 / 6)
+
+
+def test_expansion_stays_in_island(tiny_incidence):
+    trace = BootstrapExpansion(tiny_incidence).run([5])
+    assert trace.entities.tolist() == [5]
+    assert len(trace.sites) == 1
+
+
+def test_iterations_bounded_by_half_diameter(tiny_incidence):
+    graph = EntitySiteGraph(tiny_incidence)
+    diameter = graph.diameter()
+    for seed in range(5):
+        trace = BootstrapExpansion(tiny_incidence).run([seed])
+        assert trace.iterations <= diameter / 2 + 1
+
+
+def test_counts_monotone(tiny_incidence):
+    trace = BootstrapExpansion(tiny_incidence).run([0])
+    assert all(
+        a <= b for a, b in zip(trace.entity_counts, trace.entity_counts[1:])
+    )
+    assert all(a <= b for a, b in zip(trace.site_counts, trace.site_counts[1:]))
+
+
+def test_seed_union(tiny_incidence):
+    """Multiple seeds reach the union of their components."""
+    trace = BootstrapExpansion(tiny_incidence).run([0, 5])
+    assert trace.entities.tolist() == [0, 1, 2, 3, 4, 5]
+
+
+def test_max_iterations_cap(tiny_incidence):
+    trace = BootstrapExpansion(tiny_incidence).run([0], max_iterations=1)
+    assert trace.iterations == 1
+    # one hop: big.example -> entities 0..3 (not yet 4)
+    assert 4 not in trace.entities.tolist() or len(trace.entity_counts) == 2
+
+
+def test_validation(tiny_incidence):
+    expansion = BootstrapExpansion(tiny_incidence)
+    with pytest.raises(ValueError):
+        expansion.run([])
+    with pytest.raises(ValueError):
+        expansion.run([99])
+    with pytest.raises(ValueError):
+        expansion.run([-1])
+
+
+def test_sites_of_entities_transpose(tiny_incidence):
+    expansion = BootstrapExpansion(tiny_incidence)
+    assert expansion.sites_of_entities(np.array([4])).tolist() == [1, 2]
+    assert expansion.entities_of_sites(np.array([0])).tolist() == [0, 1, 2, 3]
+
+
+def test_random_seed_trial(random_incidence):
+    expansion = BootstrapExpansion(random_incidence)
+    trace = expansion.random_seed_trial(seed_size=3, rng=5)
+    assert len(trace.entities) >= 3
+
+
+def test_random_seed_reaches_largest_component(random_incidence):
+    """With a few seeds, expansion should find the dominant component."""
+    summary = EntitySiteGraph(random_incidence).components()
+    trace = BootstrapExpansion(random_incidence).random_seed_trial(
+        seed_size=5, rng=6
+    )
+    assert len(trace.entities) >= summary.largest_component_entities * 0.9
+
+
+def test_property_expansion_equals_component(random_incidence):
+    """Expansion from any single seed discovers exactly the entities of
+    that seed's connected component (the Section 5 equivalence)."""
+    import networkx as nx
+
+    graph = nx.Graph()
+    for s in range(random_incidence.n_sites):
+        for e in random_incidence.site_entities(s).tolist():
+            graph.add_edge(e, random_incidence.n_entities + s)
+    expansion = BootstrapExpansion(random_incidence)
+    for seed in random_incidence.mentioned_entities()[:10].tolist():
+        component = nx.node_connected_component(graph, seed)
+        expected_entities = sorted(
+            node for node in component if node < random_incidence.n_entities
+        )
+        trace = expansion.run([seed])
+        assert trace.entities.tolist() == expected_entities

@@ -1,0 +1,80 @@
+"""Tests for the business-listing generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities.business import BusinessGenerator, generate_listings
+from repro.entities.ids import canonical_url, is_valid_nanp_phone
+
+
+def test_deterministic_for_equal_seeds():
+    a = BusinessGenerator("restaurants", seed=5).generate(50)
+    b = BusinessGenerator("restaurants", seed=5).generate(50)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = BusinessGenerator("restaurants", seed=5).generate(50)
+    b = BusinessGenerator("restaurants", seed=6).generate(50)
+    assert a != b
+
+
+def test_phones_are_unique_and_valid():
+    listings = generate_listings("banks", 500, seed=1)
+    phones = [entry.phone for entry in listings]
+    assert len(set(phones)) == len(phones)
+    assert all(is_valid_nanp_phone(p) for p in phones)
+
+
+def test_homepages_unique_and_canonical():
+    listings = generate_listings("hotels", 400, seed=2, homepage_fraction=1.0)
+    homepages = [entry.homepage for entry in listings]
+    assert all(h is not None for h in homepages)
+    assert len(set(homepages)) == len(homepages)
+    assert all(canonical_url(h) == h for h in homepages)
+
+
+def test_homepage_fraction_zero():
+    listings = generate_listings("schools", 100, seed=3, homepage_fraction=0.0)
+    assert all(entry.homepage is None for entry in listings)
+
+
+def test_homepage_fraction_respected_approximately():
+    listings = generate_listings("retail", 1000, seed=4, homepage_fraction=0.5)
+    with_homepage = sum(1 for entry in listings if entry.homepage)
+    assert 400 <= with_homepage <= 600
+
+
+def test_entity_ids_unique_and_prefixed():
+    listings = generate_listings("automotive", 100, seed=5)
+    ids = [entry.entity_id for entry in listings]
+    assert len(set(ids)) == len(ids)
+    assert all(i.startswith("automotive:") for i in ids)
+
+
+def test_address_renders():
+    listing = generate_listings("home", 1, seed=6)[0]
+    assert listing.city in listing.address
+    assert listing.zip_code in listing.address
+
+
+def test_books_domain_rejected():
+    with pytest.raises(ValueError, match="not a local-business domain"):
+        BusinessGenerator("books")
+
+
+def test_bad_homepage_fraction_rejected():
+    with pytest.raises(ValueError):
+        BusinessGenerator("banks", homepage_fraction=1.5)
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        BusinessGenerator("banks").generate(-1)
+
+
+def test_stream_matches_generate():
+    gen_a = BusinessGenerator("libraries", seed=9)
+    gen_b = BusinessGenerator("libraries", seed=9)
+    assert list(gen_a.stream(20)) == gen_b.generate(20)

@@ -1,0 +1,45 @@
+"""Tests for the host-grouped web cache view."""
+
+from __future__ import annotations
+
+from repro.crawl.cache import WebCache
+from repro.crawl.store import MemoryPageStore, Page
+
+
+def build_cache() -> WebCache:
+    store = MemoryPageStore()
+    store.add(Page.from_url("http://a.example/1", "alpha"))
+    store.add(Page.from_url("http://a.example/2", "beta"))
+    store.add(Page.from_url("http://b.example/1", "gamma"))
+    return WebCache(store)
+
+
+def test_counts():
+    cache = build_cache()
+    assert cache.n_pages() == 3
+    assert cache.n_hosts() == 2
+    assert cache.hosts() == ["a.example", "b.example"]
+
+
+def test_scan_groups_by_host():
+    cache = build_cache()
+    groups = dict(cache.scan())
+    assert set(groups) == {"a.example", "b.example"}
+    assert len(groups["a.example"]) == 2
+
+
+def test_scan_pages_flat():
+    cache = build_cache()
+    contents = [page.content for page in cache.scan_pages()]
+    assert contents == ["alpha", "beta", "gamma"]
+
+
+def test_map_hosts():
+    cache = build_cache()
+    counts = cache.map_hosts(lambda host, pages: len(pages))
+    assert counts == {"a.example": 2, "b.example": 1}
+
+
+def test_store_accessor():
+    cache = build_cache()
+    assert len(cache.store) == 3

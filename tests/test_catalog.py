@@ -1,0 +1,98 @@
+"""Tests for the EntityDatabase container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities.books import generate_books
+from repro.entities.business import generate_listings
+from repro.entities.catalog import Entity, EntityDatabase
+from repro.entities.domains import ATTRIBUTE_HOMEPAGE, ATTRIBUTE_ISBN, ATTRIBUTE_PHONE
+
+
+def test_from_listings_lookup_by_phone(restaurant_db):
+    listing = restaurant_db.get(restaurant_db.entity_ids[0]).payload
+    assert restaurant_db.lookup(ATTRIBUTE_PHONE, listing.phone) == listing.entity_id
+
+
+def test_from_listings_lookup_by_homepage(restaurant_db):
+    for entity in restaurant_db:
+        if ATTRIBUTE_HOMEPAGE in entity.keys:
+            key = entity.keys[ATTRIBUTE_HOMEPAGE]
+            assert restaurant_db.lookup(ATTRIBUTE_HOMEPAGE, key) == entity.entity_id
+            break
+    else:
+        pytest.fail("no entity with a homepage in the fixture")
+
+
+def test_from_books_lookup(book_db):
+    book = book_db.get(book_db.entity_ids[0]).payload
+    assert book_db.lookup(ATTRIBUTE_ISBN, book.isbn13) == book.entity_id
+
+
+def test_lookup_miss_returns_none(restaurant_db):
+    assert restaurant_db.lookup(ATTRIBUTE_PHONE, "9995550000") is None
+    assert restaurant_db.lookup("nonexistent-attr", "x") is None
+
+
+def test_index_of_is_dense_and_stable(restaurant_db):
+    ids = restaurant_db.entity_ids
+    for position, entity_id in enumerate(ids):
+        assert restaurant_db.index_of(entity_id) == position
+
+
+def test_len_iter_contains(restaurant_db):
+    assert len(restaurant_db) == 300
+    seen = list(restaurant_db)
+    assert len(seen) == 300
+    assert seen[0].entity_id in restaurant_db
+    assert "restaurants:99999999" not in restaurant_db
+
+
+def test_entities_with_attribute(restaurant_db):
+    with_homepage = restaurant_db.entities_with(ATTRIBUTE_HOMEPAGE)
+    assert 0 < len(with_homepage) <= 300
+    assert all(ATTRIBUTE_HOMEPAGE in e.keys for e in with_homepage)
+
+
+def test_key_table_sizes(restaurant_db):
+    assert len(restaurant_db.key_table(ATTRIBUTE_PHONE)) == 300
+    assert len(restaurant_db.key_table("missing")) == 0
+
+
+def test_duplicate_entity_id_rejected():
+    listings = generate_listings("banks", 2, seed=1)
+    db = EntityDatabase.from_listings(listings)
+    entity = db.get(listings[0].entity_id)
+    with pytest.raises(ValueError, match="duplicate entity_id"):
+        db.add(entity)
+
+
+def test_duplicate_key_rejected():
+    listings = generate_listings("banks", 2, seed=2)
+    db = EntityDatabase.from_listings(listings)
+    clone = Entity(
+        entity_id="banks:99999999",
+        domain_key="banks",
+        keys={ATTRIBUTE_PHONE: listings[0].phone},
+    )
+    with pytest.raises(ValueError, match="duplicate phone key"):
+        db.add(clone)
+
+
+def test_wrong_domain_rejected():
+    db = EntityDatabase.from_books(generate_books(3, seed=3))
+    stray = Entity(
+        entity_id="banks:00000001",
+        domain_key="banks",
+        keys={ATTRIBUTE_PHONE: "4155550123"},
+    )
+    with pytest.raises(ValueError, match="belongs to domain"):
+        db.add(stray)
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(ValueError):
+        EntityDatabase.from_listings([])
+    with pytest.raises(ValueError):
+        EntityDatabase.from_books([])

@@ -1,0 +1,86 @@
+"""Tests for the supervised site classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.classify import SiteClassifier
+from repro.crawl.cache import WebCache
+from repro.crawl.store import MemoryPageStore, Page
+from repro.entities.books import generate_books
+from repro.entities.business import generate_listings
+from repro.webgen.html import PageRenderer
+
+
+@pytest.fixture(scope="module")
+def labeled_cache():
+    renderer = PageRenderer(41)
+    listings = generate_listings("restaurants", 60, seed=42)
+    books = generate_books(60, seed=43)
+    store = MemoryPageStore()
+    truth = {}
+    for i in range(8):
+        host = f"food{i}.example.com"
+        chunk = listings[i * 7:(i + 1) * 7]
+        store.add(Page.from_url(f"http://{host}/p", renderer.listing_page(host, chunk)))
+        truth[host] = "restaurants"
+    for i in range(8):
+        host = f"reads{i}.example.com"
+        chunk = books[i * 7:(i + 1) * 7]
+        store.add(Page.from_url(f"http://{host}/p", renderer.book_page(host, chunk)))
+        truth[host] = "books"
+    return WebCache(store), truth
+
+
+def test_few_seeds_classify_everything(labeled_cache):
+    cache, truth = labeled_cache
+    seeds = {
+        "food0.example.com": "restaurants",
+        "food1.example.com": "restaurants",
+        "reads0.example.com": "books",
+        "reads1.example.com": "books",
+    }
+    classifier = SiteClassifier().fit(cache, seeds)
+    result = classifier.classify(cache)
+    assert result.accuracy(truth) >= 0.9
+
+
+def test_assignment_and_confidences(labeled_cache):
+    cache, truth = labeled_cache
+    seeds = {"food0.example.com": "restaurants", "reads0.example.com": "books"}
+    result = SiteClassifier().fit(cache, seeds).classify(cache)
+    assignment = result.assignment()
+    assert set(assignment) == set(cache.hosts())
+    assert (result.confidences >= 0).all()
+
+
+def test_low_confidence_gets_unknown(labeled_cache):
+    cache, truth = labeled_cache
+    seeds = {"food0.example.com": "restaurants", "reads0.example.com": "books"}
+    strict = SiteClassifier(min_confidence=0.999).fit(cache, seeds)
+    result = strict.classify(cache)
+    # seed hosts match their own centroid strongly, others fall below
+    assert "unknown" in result.labels
+
+
+def test_validation(labeled_cache):
+    cache, truth = labeled_cache
+    classifier = SiteClassifier()
+    with pytest.raises(ValueError):
+        classifier.fit(cache, {})
+    with pytest.raises(ValueError):
+        classifier.fit(cache, {"nonexistent.example.com": "x"})
+    with pytest.raises(RuntimeError):
+        SiteClassifier().classify(cache)
+    with pytest.raises(ValueError):
+        SiteClassifier(min_confidence=2.0)
+
+
+def test_accuracy_requires_overlap(labeled_cache):
+    cache, truth = labeled_cache
+    seeds = {"food0.example.com": "restaurants", "reads0.example.com": "books"}
+    result = SiteClassifier().fit(cache, seeds).classify(cache)
+    with pytest.raises(ValueError):
+        result.accuracy({})
+    with pytest.raises(ValueError):
+        result.accuracy({"elsewhere.example.com": "x"})

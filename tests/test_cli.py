@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+TINY = ["--scale", "tiny", "--traffic-entities", "2000",
+        "--traffic-events", "20000", "--traffic-cookies", "4000"]
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Books" in out and "Restaurants" in out
+
+
+def test_spread(capsys):
+    assert main(["spread", "banks", "phone", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "banks phones" in out
+    assert "sites needed for 90% coverage" in out
+
+
+def test_spread_csv(tmp_path, capsys):
+    assert main(["spread", "banks", "phone", "--csv", str(tmp_path), *TINY]) == 0
+    assert (tmp_path / "spread_banks_phone.csv").exists()
+
+
+def test_figure3(capsys):
+    assert main(["figure", "3", *TINY]) == 0
+    assert "books isbns" in capsys.readouterr().out
+
+
+def test_figure5(capsys):
+    assert main(["figure", "5", *TINY]) == 0
+    assert "max greedy improvement" in capsys.readouterr().out
+
+
+def test_figure8(capsys):
+    assert main(["figure", "8", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "VA(n)/VA(0)" in out
+    assert "imdb" in out and "yelp" in out
+
+
+def test_figure_out_of_range(capsys):
+    assert main(["figure", "12", *TINY]) == 2
+
+
+def test_discover(capsys):
+    assert main(["discover", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "perfect expansion" in out
+    assert "budgeted expansion" in out
+
+
+def test_crawl(capsys):
+    assert main(["crawl", "--pages", "400", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "greedy_oracle" in out
+    assert "largest_first" in out
+
+
+def test_evolve(capsys):
+    assert main(["evolve", "--epochs", "3", "--budget", "10", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "staleness" in out.lower()
+    assert "largest_first" in out
+
+
+def test_resolve(capsys):
+    assert main(["resolve", "--entities", "80", "--mentions", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "precision" in out
+    assert "F1" in out
+
+
+def test_missing_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_scale_exits():
+    with pytest.raises(SystemExit):
+        main(["table1", "--scale", "galactic"])
+
+
+def test_probe(capsys):
+    assert main(["probe", "--entities", "120", "--queries", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "harvested" in out
+    assert "queries issued" in out

@@ -1,0 +1,160 @@
+"""Tests for TF-IDF, k-means, and site clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import KMeans
+from repro.clustering.sites import SiteClusterer, cluster_purity
+from repro.clustering.tfidf import TfidfVectorizer
+
+
+class TestTfidf:
+    def test_fit_transform_shape(self):
+        docs = ["apple banana", "banana cherry", "apple cherry date"]
+        matrix = TfidfVectorizer().fit_transform(docs)
+        assert matrix.shape[0] == 3
+        assert matrix.shape[1] <= 4
+
+    def test_rows_l2_normalized(self):
+        docs = ["alpha beta gamma", "alpha alpha beta"]
+        matrix = TfidfVectorizer().fit_transform(docs)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_rare_terms_weigh_more(self):
+        docs = ["common rare", "common other", "common thing"]
+        vectorizer = TfidfVectorizer().fit(docs)
+        matrix = vectorizer.transform(["common rare"])
+        vocab = vectorizer.vocabulary
+        assert matrix[0, vocab["rare"]] > matrix[0, vocab["common"]]
+
+    def test_max_features_cap(self):
+        letters = "abcdefghijklmnopqrstuvwxyz"
+        docs = [f"{ch}{ch}{ch} shared" for ch in letters]
+        vectorizer = TfidfVectorizer(max_features=5).fit(docs)
+        assert len(vectorizer.vocabulary) == 5
+        assert "shared" in vectorizer.vocabulary  # most frequent kept
+
+    def test_min_df_filter(self):
+        docs = ["a b", "a c", "a d"]
+        vectorizer = TfidfVectorizer(min_df=2).fit(docs)
+        assert set(vectorizer.vocabulary) == {"a"}
+
+    def test_unknown_tokens_ignored(self):
+        vectorizer = TfidfVectorizer().fit(["alpha beta"])
+        matrix = vectorizer.transform(["zzz unknown"])
+        assert np.all(matrix == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(max_features=0)
+        with pytest.raises(ValueError):
+            TfidfVectorizer().fit([])
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["x"])
+
+
+class TestKMeans:
+    def blobs(self, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(loc=(0, 0), scale=0.2, size=(40, 2))
+        b = rng.normal(loc=(5, 5), scale=0.2, size=(40, 2))
+        return np.vstack([a, b])
+
+    def test_separates_blobs(self):
+        points = self.blobs()
+        labels = KMeans(n_clusters=2, seed=1).fit(points)
+        assert len(set(labels[:40].tolist())) == 1
+        assert len(set(labels[40:].tolist())) == 1
+        assert labels[0] != labels[40]
+
+    def test_predict_consistent_with_fit(self):
+        points = self.blobs(seed=2)
+        model = KMeans(n_clusters=2, seed=3)
+        labels = model.fit(points)
+        assert np.array_equal(model.predict(points), labels)
+
+    def test_inertia_decreases_with_k(self):
+        points = self.blobs(seed=4)
+        model2 = KMeans(n_clusters=2, seed=5)
+        model4 = KMeans(n_clusters=4, seed=5)
+        model2.fit(points)
+        model4.fit(points)
+        assert model4.inertia <= model2.inertia + 1e-9
+
+    def test_single_cluster(self):
+        points = self.blobs(seed=6)
+        labels = KMeans(n_clusters=1, seed=7).fit(points)
+        assert set(labels.tolist()) == {0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        model = KMeans(n_clusters=3)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 2)))  # fewer points than clusters
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((1, 2)))
+
+    def test_deterministic_given_seed(self):
+        points = self.blobs(seed=8)
+        a = KMeans(n_clusters=2, seed=9).fit(points)
+        b = KMeans(n_clusters=2, seed=9).fit(points)
+        assert np.array_equal(a, b)
+
+
+class TestSiteClustering:
+    @pytest.fixture(scope="class")
+    def mixed_cache(self):
+        from repro.crawl.cache import WebCache
+        from repro.crawl.store import MemoryPageStore, Page
+        from repro.entities.books import generate_books
+        from repro.entities.business import generate_listings
+        from repro.webgen.html import PageRenderer
+
+        renderer = PageRenderer(21)
+        listings = generate_listings("restaurants", 40, seed=22)
+        books = generate_books(40, seed=23)
+        store = MemoryPageStore()
+        truth = {}
+        for i in range(6):
+            host = f"food{i}.example.com"
+            chunk = listings[i * 6:(i + 1) * 6]
+            store.add(Page.from_url(f"http://{host}/p", renderer.listing_page(host, chunk)))
+            truth[host] = "restaurants"
+        for i in range(6):
+            host = f"reads{i}.example.com"
+            chunk = books[i * 6:(i + 1) * 6]
+            store.add(Page.from_url(f"http://{host}/p", renderer.book_page(host, chunk)))
+            truth[host] = "books"
+        return WebCache(store), truth
+
+    def test_host_documents(self, mixed_cache):
+        cache, __ = mixed_cache
+        hosts, documents = SiteClusterer().host_documents(cache)
+        assert len(hosts) == 12
+        assert all(documents)
+
+    def test_clusters_separate_domains(self, mixed_cache):
+        cache, truth = mixed_cache
+        clusters = SiteClusterer(n_clusters=2, seed=24).cluster(cache)
+        assert cluster_purity(clusters, truth) >= 0.9
+
+    def test_assignment_mapping(self, mixed_cache):
+        cache, __ = mixed_cache
+        clusters = SiteClusterer(n_clusters=2, seed=25).cluster(cache)
+        assignment = clusters.assignment()
+        assert set(assignment) == set(clusters.hosts)
+
+    def test_too_few_hosts_rejected(self, mixed_cache):
+        cache, __ = mixed_cache
+        with pytest.raises(ValueError):
+            SiteClusterer(n_clusters=50).cluster(cache)
+
+    def test_purity_validation(self, mixed_cache):
+        cache, __ = mixed_cache
+        clusters = SiteClusterer(n_clusters=2, seed=26).cluster(cache)
+        with pytest.raises(ValueError):
+            cluster_purity(clusters, {})

@@ -1,0 +1,125 @@
+"""Tests for concentration statistics and power-law fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.concentration import (
+    fit_power_law,
+    gini_coefficient,
+    lorenz_curve,
+    top_share,
+)
+
+
+class TestLorenzGini:
+    def test_uniform_distribution(self):
+        population, share = lorenz_curve(np.ones(10))
+        assert np.allclose(population, share)
+        assert gini_coefficient(np.ones(10)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_fully_concentrated(self):
+        values = np.zeros(100)
+        values[0] = 1.0
+        gini = gini_coefficient(values)
+        assert gini > 0.95
+
+    def test_lorenz_endpoints(self):
+        population, share = lorenz_curve(np.array([1.0, 2.0, 3.0]))
+        assert population[0] == 0.0 and population[-1] == 1.0
+        assert share[0] == 0.0 and share[-1] == pytest.approx(1.0)
+
+    def test_zero_total(self):
+        population, share = lorenz_curve(np.zeros(5))
+        assert np.allclose(population, share)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lorenz_curve(np.array([]))
+        with pytest.raises(ValueError):
+            lorenz_curve(np.array([-1.0]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_gini_bounds_and_scale_invariance(self, values):
+        arr = np.asarray(values)
+        gini = gini_coefficient(arr)
+        assert -1e-9 <= gini < 1.0
+        if arr.sum() > 0:
+            assert gini == pytest.approx(gini_coefficient(arr * 3.7), abs=1e-9)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_lorenz_convex_below_diagonal(self, values):
+        population, share = lorenz_curve(np.asarray(values))
+        assert np.all(share <= population + 1e-9)
+        assert np.all(np.diff(share) >= -1e-12)
+
+
+class TestTopShare:
+    def test_matches_demand_module(self):
+        values = np.array([10.0, 5.0, 3.0, 1.0, 1.0])
+        assert top_share(values, 0.2) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_share(np.array([1.0]), 1.5)
+        with pytest.raises(ValueError):
+            top_share(np.array([]), 0.5)
+
+
+class TestPowerLawFit:
+    def test_recovers_known_exponent(self):
+        rng = np.random.default_rng(1)
+        alpha_true = 2.5
+        # exact inverse-CDF sampling of the discrete power law
+        support = np.arange(1, 100001, dtype=np.float64)
+        pmf = support**-alpha_true
+        cdf = np.cumsum(pmf / pmf.sum())
+        samples = 1 + np.searchsorted(cdf, rng.random(20000))
+        fit = fit_power_law(samples, x_min=1)
+        assert fit.alpha == pytest.approx(alpha_true, abs=0.1)
+        assert fit.n_tail == len(samples)
+
+    def test_steeper_data_fits_larger_alpha(self):
+        rng = np.random.default_rng(2)
+        u = rng.random(5000)
+        shallow = np.floor((1 - u) ** (-1 / 1.2)).astype(int) + 1
+        steep = np.floor((1 - u) ** (-1 / 2.5)).astype(int) + 1
+        assert (
+            fit_power_law(steep, x_min=1).alpha
+            > fit_power_law(shallow, x_min=1).alpha
+        )
+
+    def test_x_min_filters_tail(self):
+        values = np.concatenate([np.ones(100, dtype=int), np.arange(10, 60)])
+        fit = fit_power_law(values, x_min=10)
+        assert fit.n_tail == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.arange(1, 5), x_min=0)
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1, 2, 3]))  # too few
+
+    def test_site_sizes_are_power_law(self):
+        """The generator's site-size curve fits a plausible exponent."""
+        from repro.webgen.profiles import get_profile
+
+        incidence = get_profile("restaurants", "phone").generate("tiny", seed=3)
+        fit = fit_power_law(incidence.site_sizes(), x_min=1)
+        assert 1.1 < fit.alpha < 4.0

@@ -1,0 +1,43 @@
+"""Tests for the experiment configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.config import ExperimentConfig
+
+
+def test_defaults_valid():
+    config = ExperimentConfig()
+    assert config.scale == "small"
+    assert config.ks == tuple(range(1, 11))
+    assert config.scale_preset.n_entities == 2000
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError, match="unknown scale"):
+        ExperimentConfig(scale="galactic")
+
+
+def test_bad_ks_rejected():
+    with pytest.raises(ValueError):
+        ExperimentConfig(ks=())
+    with pytest.raises(ValueError):
+        ExperimentConfig(ks=(0, 1))
+
+
+def test_bad_traffic_sizes_rejected():
+    with pytest.raises(ValueError):
+        ExperimentConfig(traffic_entities=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(traffic_events=0)
+
+
+def test_scaled_down():
+    config = ExperimentConfig(traffic_entities=1000, traffic_events=10000)
+    smaller = config.scaled_down(10)
+    assert smaller.traffic_entities == 100
+    assert smaller.traffic_events == 1000
+    assert smaller.scale == config.scale
+    with pytest.raises(ValueError):
+        config.scaled_down(0)

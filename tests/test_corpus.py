@@ -1,0 +1,115 @@
+"""Tests for the corpus builder (incidence → rendered HTML crawl)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incidence import BipartiteIncidence
+from repro.crawl.store import SqlitePageStore
+from repro.webgen.corpus import CorpusBuilder
+
+
+def incidence_for(db, hosts_entities) -> BipartiteIncidence:
+    return BipartiteIncidence.from_site_lists(
+        n_entities=len(db), sites=hosts_entities, entity_ids=db.entity_ids
+    )
+
+
+def test_build_phone_corpus(restaurant_db):
+    inc = incidence_for(
+        restaurant_db,
+        [("agg.example", list(range(25))), ("blog.example", [0, 1])],
+    )
+    corpus = CorpusBuilder(restaurant_db, "phone", entities_per_page=10, seed=1).build(
+        inc
+    )
+    # 25 entities at 10/page -> 3 pages; blog -> 1 page; plus noise
+    assert corpus.cache.n_pages() >= 4
+    assert set(corpus.cache.hosts()) >= {"agg.example", "blog.example"}
+    assert corpus.truth.n_edges == 27
+    assert corpus.attribute == "phone"
+
+
+def test_homepage_corpus_drops_unrenderable(restaurant_db):
+    no_homepage = [
+        restaurant_db.index_of(e.entity_id)
+        for e in restaurant_db
+        if "homepage" not in e.keys
+    ]
+    assert no_homepage, "fixture should contain homepage-less listings"
+    inc = incidence_for(
+        restaurant_db, [("links.example", no_homepage[:2] + [0, 1])]
+    )
+    corpus = CorpusBuilder(restaurant_db, "homepage", seed=2).build(inc)
+    renderable = [
+        i
+        for i in [0, 1]
+        if "homepage" in restaurant_db.get(restaurant_db.entity_ids[i]).keys
+    ]
+    assert corpus.truth.n_edges == len(renderable)
+
+
+def test_review_corpus_page_counts(restaurant_db):
+    inc = BipartiteIncidence.from_site_lists(
+        n_entities=len(restaurant_db),
+        sites=[("rev.example", [0, 1])],
+        multiplicities=[[3, 2]],
+        entity_ids=restaurant_db.entity_ids,
+    )
+    corpus = CorpusBuilder(
+        restaurant_db, "reviews", noise_page_rate=0.0, seed=3
+    ).build(inc)
+    assert corpus.cache.n_pages() == 5  # one page per review
+    assert corpus.truth.total_pages() == 5
+
+
+def test_noise_rate_zero(restaurant_db):
+    inc = incidence_for(restaurant_db, [("a.example", [0])])
+    corpus = CorpusBuilder(
+        restaurant_db, "phone", noise_page_rate=0.0, seed=4
+    ).build(inc)
+    assert corpus.n_noise_pages == 0
+
+
+def test_noise_rate_positive(restaurant_db):
+    inc = incidence_for(restaurant_db, [(f"s{i}.example", [0, 1]) for i in range(30)])
+    corpus = CorpusBuilder(
+        restaurant_db, "phone", noise_page_rate=1.0, seed=5
+    ).build(inc)
+    assert corpus.n_noise_pages > 0
+
+
+def test_book_corpus(book_db):
+    inc = incidence_for(book_db, [("catalog.example", list(range(10)))])
+    corpus = CorpusBuilder(book_db, "isbn", seed=6).build(inc)
+    assert corpus.truth.n_edges == 10
+
+
+def test_sqlite_store_backend(restaurant_db):
+    inc = incidence_for(restaurant_db, [("a.example", [0, 1, 2])])
+    store = SqlitePageStore(":memory:")
+    corpus = CorpusBuilder(restaurant_db, "phone", seed=7).build(inc, store=store)
+    assert corpus.cache.store is store
+    assert len(store) >= 1
+
+
+def test_validation(restaurant_db):
+    with pytest.raises(ValueError):
+        CorpusBuilder(restaurant_db, "nonsense")
+    with pytest.raises(ValueError):
+        CorpusBuilder(restaurant_db, "phone", entities_per_page=0)
+    with pytest.raises(ValueError):
+        CorpusBuilder(restaurant_db, "phone", review_purity=0.0)
+    mismatched = BipartiteIncidence.from_site_lists(n_entities=5, sites=[])
+    with pytest.raises(ValueError, match="disagree"):
+        CorpusBuilder(restaurant_db, "phone").build(mismatched)
+
+
+def test_deterministic(restaurant_db):
+    inc = incidence_for(restaurant_db, [("a.example", [0, 1, 2])])
+    a = CorpusBuilder(restaurant_db, "phone", seed=8).build(inc)
+    b = CorpusBuilder(restaurant_db, "phone", seed=8).build(inc)
+    pages_a = [p.content for p in a.cache.scan_pages()]
+    pages_b = [p.content for p in b.cache.scan_pages()]
+    assert pages_a == pages_b

@@ -1,0 +1,148 @@
+"""Unit and property tests for the k-coverage analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coverage import (
+    aggregate_coverage_curve,
+    coverage_at,
+    default_checkpoints,
+    k_coverage_curves,
+    sites_needed_for_coverage,
+)
+from repro.core.incidence import BipartiteIncidence
+
+
+def test_tiny_k1_coverage(tiny_incidence):
+    # top-1 site (big.example) covers 4 of 6 entities
+    assert coverage_at(tiny_incidence, 1, k=1) == pytest.approx(4 / 6)
+    # top-2 adds entity 4 -> 5 of 6
+    assert coverage_at(tiny_incidence, 2, k=1) == pytest.approx(5 / 6)
+    # all sites -> every entity
+    assert coverage_at(tiny_incidence, 4, k=1) == pytest.approx(1.0)
+
+
+def test_tiny_k2_coverage(tiny_incidence):
+    # entities on >=2 sites: 2, 3 (big+mid), 4 (mid+small)
+    assert coverage_at(tiny_incidence, 4, k=2) == pytest.approx(3 / 6)
+
+
+def test_k_coverage_full_curves(tiny_incidence):
+    curves = k_coverage_curves(
+        tiny_incidence, ks=(1, 2, 3), checkpoints=[1, 2, 3, 4]
+    )
+    assert curves.curve(1).tolist() == pytest.approx([4 / 6, 5 / 6, 5 / 6, 1.0])
+    assert curves.curve(2)[-1] == pytest.approx(3 / 6)
+    assert curves.curve(3)[-1] == pytest.approx(0.0)
+    assert curves.final_coverage(1) == pytest.approx(1.0)
+
+
+def test_curve_unknown_k_raises(tiny_incidence):
+    curves = k_coverage_curves(tiny_incidence, ks=(1,))
+    with pytest.raises(KeyError):
+        curves.curve(7)
+
+
+def test_custom_order_changes_curve(tiny_incidence):
+    reversed_order = np.array([3, 2, 1, 0])
+    curves = k_coverage_curves(
+        tiny_incidence, ks=(1,), checkpoints=[1], order=reversed_order
+    )
+    # first site in this order is island.example covering 1 of 6
+    assert curves.coverage[0, 0] == pytest.approx(1 / 6)
+
+
+def test_invalid_inputs(tiny_incidence):
+    with pytest.raises(ValueError):
+        k_coverage_curves(tiny_incidence, ks=())
+    with pytest.raises(ValueError):
+        k_coverage_curves(tiny_incidence, ks=(0,))
+    with pytest.raises(ValueError):
+        k_coverage_curves(tiny_incidence, ks=(1,), checkpoints=[0])
+    with pytest.raises(ValueError):
+        coverage_at(tiny_incidence, -1)
+    with pytest.raises(ValueError):
+        sites_needed_for_coverage(tiny_incidence, 1.5)
+
+
+def test_coverage_at_zero_sites(tiny_incidence):
+    assert coverage_at(tiny_incidence, 0) == 0.0
+
+
+def test_sites_needed(tiny_incidence):
+    assert sites_needed_for_coverage(tiny_incidence, 0.0) == 0
+    assert sites_needed_for_coverage(tiny_incidence, 4 / 6) == 1
+    assert sites_needed_for_coverage(tiny_incidence, 1.0) == 4
+    assert sites_needed_for_coverage(tiny_incidence, 1.0, k=3) is None
+
+
+def test_default_checkpoints_cover_range():
+    checkpoints = default_checkpoints(1000)
+    assert checkpoints[0] == 1
+    assert checkpoints[-1] == 1000
+    assert np.all(np.diff(checkpoints) > 0)
+    assert default_checkpoints(0).size == 0
+
+
+def test_aggregate_coverage_with_multiplicity():
+    inc = BipartiteIncidence.from_site_lists(
+        n_entities=3,
+        sites=[("a.example", [0, 1]), ("b.example", [2])],
+        multiplicities=[[5, 3], [2]],
+    )
+    checkpoints, fractions = aggregate_coverage_curve(inc, checkpoints=[1, 2])
+    assert fractions.tolist() == pytest.approx([8 / 10, 1.0])
+
+
+def test_aggregate_coverage_without_multiplicity(tiny_incidence):
+    __, fractions = aggregate_coverage_curve(tiny_incidence, checkpoints=[4])
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+@st.composite
+def incidence_and_order(draw):
+    n_entities = draw(st.integers(min_value=1, max_value=15))
+    n_sites = draw(st.integers(min_value=1, max_value=6))
+    sites = []
+    for s in range(n_sites):
+        entities = draw(
+            st.lists(st.integers(min_value=0, max_value=n_entities - 1), max_size=10)
+        )
+        sites.append((f"s{s}", entities))
+    return BipartiteIncidence.from_site_lists(n_entities=n_entities, sites=sites)
+
+
+@given(incidence_and_order(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=60)
+def test_property_coverage_monotone_in_t(inc, k):
+    """k-coverage never decreases as more sites are added."""
+    checkpoints = list(range(1, inc.n_sites + 1))
+    curves = k_coverage_curves(inc, ks=(k,), checkpoints=checkpoints)
+    assert np.all(np.diff(curves.curve(k)) >= -1e-12)
+
+
+@given(incidence_and_order())
+@settings(max_examples=60)
+def test_property_coverage_decreasing_in_k(inc):
+    """At any t, higher redundancy k can only lower coverage."""
+    checkpoints = [inc.n_sites]
+    curves = k_coverage_curves(inc, ks=(1, 2, 3), checkpoints=checkpoints)
+    values = curves.coverage[:, 0]
+    assert values[0] >= values[1] >= values[2]
+
+
+@given(incidence_and_order())
+@settings(max_examples=60)
+def test_property_matches_bruteforce(inc):
+    """Streaming computation agrees with a brute-force recount."""
+    order = inc.sites_by_size()
+    for t in (1, inc.n_sites):
+        counts = np.zeros(inc.n_entities, dtype=int)
+        for site in order[:t]:
+            counts[inc.site_entities(int(site))] += 1
+        for k in (1, 2):
+            expected = float(np.mean(counts >= k))
+            assert coverage_at(inc, t, k=k) == pytest.approx(expected)

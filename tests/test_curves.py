@@ -1,0 +1,122 @@
+"""Tests for curve comparison utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.curves import area_between, crossovers, max_gap, step_interpolate
+
+
+class TestStepInterpolate:
+    def test_between_checkpoints_holds_last_value(self):
+        xs = np.array([1.0, 10.0, 100.0])
+        ys = np.array([0.2, 0.5, 0.9])
+        assert step_interpolate(np.array([5.0]), xs, ys)[0] == 0.2
+        assert step_interpolate(np.array([10.0]), xs, ys)[0] == 0.5
+
+    def test_left_of_support_is_zero(self):
+        xs = np.array([10.0])
+        ys = np.array([0.7])
+        assert step_interpolate(np.array([1.0]), xs, ys)[0] == 0.0
+
+    def test_right_of_support_holds_final(self):
+        xs = np.array([1.0, 2.0])
+        ys = np.array([0.1, 0.6])
+        assert step_interpolate(np.array([99.0]), xs, ys)[0] == 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_interpolate(np.array([1.0]), np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            step_interpolate(
+                np.array([1.0]), np.array([2.0, 1.0]), np.array([0.1, 0.2])
+            )
+
+
+class TestMaxGap:
+    def test_identical_curves(self):
+        xs = np.array([1.0, 10.0])
+        ys = np.array([0.3, 0.8])
+        assert max_gap(xs, ys, xs, ys) == 0.0
+
+    def test_known_gap(self):
+        xs = np.array([1.0, 10.0])
+        a = np.array([0.5, 0.9])
+        b = np.array([0.3, 0.8])
+        assert max_gap(xs, a, xs, b) == pytest.approx(0.2)
+
+    def test_mismatched_supports(self):
+        gap = max_gap(
+            np.array([1.0, 100.0]),
+            np.array([0.5, 1.0]),
+            np.array([10.0]),
+            np.array([0.5]),
+        )
+        # at x=1: a=0.5, b=0 -> gap 0.5
+        assert gap == pytest.approx(0.5)
+
+
+class TestAreaBetween:
+    def test_sign_of_dominance(self):
+        xs = np.array([1.0, 10.0])
+        high = np.array([0.9, 1.0])
+        low = np.array([0.1, 0.2])
+        assert area_between(xs, high, xs, low) > 0
+        assert area_between(xs, low, xs, high) < 0
+
+    def test_log_x_weighting(self):
+        xs = np.array([1.0, 10.0, 100.0])
+        a = np.array([1.0, 1.0, 1.0])
+        b = np.array([0.0, 0.0, 0.0])
+        # two decades of constant gap 1 -> area 2 in log10 space
+        assert area_between(xs, a, xs, b, log_x=True) == pytest.approx(2.0)
+
+    def test_log_x_requires_positive(self):
+        xs = np.array([0.0, 1.0])
+        ys = np.array([0.1, 0.2])
+        with pytest.raises(ValueError):
+            area_between(xs, ys, xs, ys, log_x=True)
+
+
+class TestCrossovers:
+    def test_single_crossover(self):
+        xs = np.array([1.0, 2.0, 3.0, 4.0])
+        a = np.array([0.1, 0.2, 0.8, 0.9])
+        b = np.array([0.5, 0.5, 0.5, 0.5])
+        points = crossovers(xs, a, xs, b)
+        assert points.tolist() == [3.0]
+
+    def test_no_crossover(self):
+        xs = np.array([1.0, 2.0])
+        assert crossovers(xs, np.array([0.9, 1.0]), xs, np.array([0.1, 0.2])).size == 0
+
+    def test_equal_stretches_ignored(self):
+        xs = np.array([1.0, 2.0, 3.0])
+        a = np.array([0.1, 0.5, 0.9])
+        b = np.array([0.2, 0.5, 0.3])
+        points = crossovers(xs, a, xs, b)
+        assert points.tolist() == [3.0]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=60)
+def test_property_gap_symmetry_and_bound(pairs):
+    xs = np.arange(1.0, len(pairs) + 1)
+    a = np.array([p[0] for p in pairs])
+    b = np.array([p[1] for p in pairs])
+    gap_ab = max_gap(xs, a, xs, b)
+    gap_ba = max_gap(xs, b, xs, a)
+    assert gap_ab == pytest.approx(gap_ba)
+    assert 0.0 <= gap_ab <= 1.0
+    assert gap_ab >= abs(a[-1] - b[-1]) - 1e-12

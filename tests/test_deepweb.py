@@ -1,0 +1,97 @@
+"""Tests for deep-web sites and query probing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawl.deepweb import DeepWebProber, DeepWebSite
+from repro.entities.business import generate_listings
+
+
+@pytest.fixture(scope="module")
+def hidden_listings():
+    return generate_listings("restaurants", 120, seed=61)
+
+
+@pytest.fixture()
+def site(hidden_listings):
+    return DeepWebSite("forms.example.com", hidden_listings, page_size=10)
+
+
+class TestDeepWebSite:
+    def test_phone_lookup(self, site, hidden_listings):
+        hit = site.query_phone(hidden_listings[0].phone)
+        assert hit == [hidden_listings[0]]
+        assert site.query_phone("0000000000") == []
+        assert site.queries_served == 2
+
+    def test_prefix_search(self, site, hidden_listings):
+        target = hidden_listings[5]
+        prefix = target.name[:4]
+        results = site.query_name_prefix(prefix)
+        assert target in results
+        assert len(results) <= site.page_size
+
+    def test_prefix_case_insensitive(self, site, hidden_listings):
+        target = hidden_listings[7]
+        results = site.query_name_prefix(target.name[:4].upper())
+        assert target in results
+
+    def test_empty_prefix(self, site):
+        assert site.query_name_prefix("") == []
+
+    def test_page_size_caps_results(self, hidden_listings):
+        tiny = DeepWebSite("x.example", hidden_listings, page_size=2)
+        # single-letter prefixes hit many names
+        results = tiny.query_name_prefix(hidden_listings[0].name[:1])
+        assert len(results) <= 2
+
+    def test_validation(self, hidden_listings):
+        with pytest.raises(ValueError):
+            DeepWebSite("x", hidden_listings, page_size=0)
+
+
+class TestProber:
+    def test_seeds_harvest_exactly(self, site, hidden_listings):
+        prober = DeepWebProber(hidden_listings[:10], max_queries=10)
+        result = prober.probe(site)
+        assert len(result.harvested) == 10
+        assert result.queries_issued == 10
+
+    def test_expansion_exceeds_seed_set(self, site, hidden_listings):
+        prober = DeepWebProber(hidden_listings[:10], max_queries=400)
+        result = prober.probe(site)
+        assert len(result.harvested) > 10
+        assert result.coverage > 0.3
+
+    def test_budget_respected(self, site, hidden_listings):
+        prober = DeepWebProber(hidden_listings, max_queries=25)
+        result = prober.probe(site)
+        assert result.queries_issued <= 25
+
+    def test_seeds_outside_site_miss_their_exact_probes(self, hidden_listings):
+        site = DeepWebSite("x.example", hidden_listings[:50])
+        outsiders = hidden_listings[50:60]
+        # budget only covers the exact probes, which all miss
+        prober = DeepWebProber(outsiders, max_queries=10)
+        result = prober.probe(site)
+        assert result.harvested == set()
+        assert result.queries_per_record == float("inf")
+        # with budget left over, the alphabet roots still surface content
+        generous = DeepWebProber(outsiders, max_queries=200).probe(
+            DeepWebSite("y.example", hidden_listings[:50])
+        )
+        assert len(generous.harvested) > 0
+
+    def test_more_budget_more_coverage(self, hidden_listings):
+        small_site = DeepWebSite("x.example", hidden_listings)
+        low = DeepWebProber(hidden_listings[:5], max_queries=20).probe(small_site)
+        site2 = DeepWebSite("y.example", hidden_listings)
+        high = DeepWebProber(hidden_listings[:5], max_queries=500).probe(site2)
+        assert high.coverage >= low.coverage
+
+    def test_validation(self, hidden_listings):
+        with pytest.raises(ValueError):
+            DeepWebProber(hidden_listings, max_queries=0)
+        with pytest.raises(ValueError):
+            DeepWebProber(hidden_listings, prefix_length=0)

@@ -1,0 +1,108 @@
+"""Tests for the demand CDF/PDF analyses (Figure 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.demand import (
+    DemandCurves,
+    demand_cdf,
+    demand_rank_pdf,
+    demand_share_of_top_fraction,
+)
+
+
+def test_cdf_simple():
+    inventory, cumulative = demand_cdf(np.array([3.0, 1.0, 6.0]))
+    assert inventory.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+    assert cumulative.tolist() == pytest.approx([0.6, 0.9, 1.0])
+
+
+def test_cdf_all_zero():
+    __, cumulative = demand_cdf(np.zeros(4))
+    assert cumulative.tolist() == [0.0, 0.0, 0.0, 0.0]
+
+
+def test_pdf_simple():
+    ranks, shares = demand_rank_pdf(np.array([1.0, 3.0]))
+    assert ranks.tolist() == [1.0, 2.0]
+    assert shares.tolist() == pytest.approx([0.75, 0.25])
+
+
+def test_share_of_top_fraction():
+    demand = np.array([10.0, 5.0, 3.0, 1.0, 1.0])
+    assert demand_share_of_top_fraction(demand, 0.2) == pytest.approx(0.5)
+    assert demand_share_of_top_fraction(demand, 1.0) == pytest.approx(1.0)
+    assert demand_share_of_top_fraction(demand, 0.0) == 0.0
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        demand_cdf(np.array([]))
+    with pytest.raises(ValueError):
+        demand_cdf(np.array([-1.0]))
+    with pytest.raises(ValueError):
+        demand_cdf(np.array([[1.0, 2.0]]))
+    with pytest.raises(ValueError):
+        demand_share_of_top_fraction(np.array([1.0]), 2.0)
+
+
+def test_demand_curves_bundle():
+    curves = DemandCurves.from_demand("demo", np.array([5.0, 4.0, 1.0]))
+    assert curves.label == "demo"
+    assert curves.share_of_top(1 / 3) == pytest.approx(0.5)
+    assert curves.share_of_top(1.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        curves.share_of_top(-0.1)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=80)
+def test_property_cdf_monotone_and_bounded(values):
+    demand = np.asarray(values)
+    inventory, cumulative = demand_cdf(demand)
+    assert np.all(np.diff(cumulative) >= -1e-12)
+    assert np.all(cumulative <= 1.0 + 1e-12)
+    assert inventory[-1] == pytest.approx(1.0)
+    if demand.sum() > 0:
+        assert cumulative[-1] == pytest.approx(1.0)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=80)
+def test_property_pdf_sorted_and_normalized(values):
+    demand = np.asarray(values)
+    __, shares = demand_rank_pdf(demand)
+    assert np.all(np.diff(shares) <= 1e-12)  # decreasing by rank
+    if demand.sum() > 0:
+        assert shares.sum() == pytest.approx(1.0)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=50,
+    ),
+    st.floats(min_value=0.01, max_value=0.99),
+)
+@settings(max_examples=80)
+def test_property_share_monotone_in_fraction(values, fraction):
+    demand = np.asarray(values)
+    smaller = demand_share_of_top_fraction(demand, fraction / 2)
+    larger = demand_share_of_top_fraction(demand, fraction)
+    assert smaller <= larger + 1e-12

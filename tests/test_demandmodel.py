@@ -1,0 +1,125 @@
+"""Tests for the joint (reviews, demand) site models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.demandmodel import (
+    SITE_PROFILES,
+    SiteDemandProfile,
+    get_site_profile,
+)
+
+
+def test_three_sites_registered():
+    assert set(SITE_PROFILES) == {"amazon", "yelp", "imdb"}
+
+
+def test_get_site_profile_unknown():
+    with pytest.raises(KeyError, match="unknown site"):
+        get_site_profile("netflix")
+
+
+def test_review_sampling_deterministic():
+    profile = get_site_profile("yelp")
+    a = profile.sample_reviews(500, rng=1)
+    b = profile.sample_reviews(500, rng=1)
+    assert np.array_equal(a, b)
+
+
+def test_review_counts_nonnegative_capped():
+    profile = get_site_profile("amazon")
+    reviews = profile.sample_reviews(5000, rng=2)
+    assert reviews.min() >= 0
+    assert reviews.max() <= profile.max_reviews
+
+
+def test_zero_review_fraction_enforced():
+    profile = get_site_profile("imdb")
+    reviews = profile.sample_reviews(20000, rng=3)
+    zero_fraction = (reviews == 0).mean()
+    assert zero_fraction >= profile.zero_review_fraction * 0.9
+
+
+def test_review_tail_heavy():
+    """A Pareto tail produces entities across several decades."""
+    profile = get_site_profile("amazon")
+    reviews = profile.sample_reviews(20000, rng=4)
+    assert (reviews >= 1000).sum() > 10
+    assert (reviews == 0).sum() > 1000
+
+
+def test_expected_demand_piecewise_continuity():
+    profile = get_site_profile("imdb")
+    knee = profile.elasticity_knee
+    below = profile.expected_demand(np.array([knee]))
+    above = profile.expected_demand(np.array([knee + 1e-9]))
+    assert below[0] == pytest.approx(above[0], rel=1e-6)
+
+
+def test_expected_demand_monotone_increasing():
+    for profile in SITE_PROFILES.values():
+        n = np.arange(0, 2000)
+        demand = profile.expected_demand(n)
+        assert np.all(np.diff(demand) >= -1e-12), profile.name
+
+
+def test_expected_demand_sublinear_for_yelp_amazon():
+    """Yelp and Amazon: E[k|n]/(1+n) decreasing — the tail-value claim."""
+    for name in ("yelp", "amazon"):
+        profile = get_site_profile(name)
+        n = np.arange(0, 5000)
+        ratio = profile.expected_demand(n) / (1.0 + n)
+        assert np.all(np.diff(ratio) <= 1e-12), name
+
+
+def test_expected_demand_imdb_peaks_mid():
+    """IMDb: E[k|n]/(1+n) rises below the knee, falls above it."""
+    profile = get_site_profile("imdb")
+    n = np.arange(0, 5000)
+    ratio = profile.expected_demand(n) / (1.0 + n)
+    knee = int(profile.elasticity_knee)
+    assert ratio[knee // 2] > ratio[0]
+    assert ratio[-1] < ratio[knee]
+
+
+def test_expected_demand_rejects_negative():
+    with pytest.raises(ValueError):
+        get_site_profile("yelp").expected_demand(np.array([-1]))
+
+
+def test_demand_weights_normalized_with_floor():
+    profile = get_site_profile("yelp")
+    reviews = profile.sample_reviews(1000, rng=5)
+    weights = profile.demand_weights(reviews, rng=6)
+    assert weights.sum() == pytest.approx(1.0)
+    assert weights.min() >= profile.demand_floor / 1000 * 0.99
+
+
+def test_sample_population_bundle():
+    profile = get_site_profile("amazon")
+    population = profile.sample_population(800, rng=7)
+    assert population.n_entities == 800
+    assert population.search_weights.sum() == pytest.approx(1.0)
+    assert population.browse_weights.sum() == pytest.approx(1.0)
+
+
+def test_browse_more_concentrated_than_search():
+    profile = get_site_profile("imdb")
+    population = profile.sample_population(5000, rng=8)
+    top = np.argsort(population.search_weights)[::-1][:500]
+    search_share = population.search_weights[top].sum()
+    browse_share = population.browse_weights[top].sum()
+    assert browse_share > search_share
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        SiteDemandProfile("x", -1, 1, 0.1, 10, 1, 1, 10, 0.5, 0.1, 1.1)
+    with pytest.raises(ValueError):
+        SiteDemandProfile("x", 1, 1, 1.5, 10, 1, 1, 10, 0.5, 0.1, 1.1)
+    with pytest.raises(ValueError):
+        SiteDemandProfile("x", 1, 1, 0.1, 0, 1, 1, 10, 0.5, 0.1, 1.1)
+    with pytest.raises(ValueError):
+        SiteDemandProfile("x", 1, 1, 0.1, 10, 1, 1, 10, 0.5, 1.0, 1.1)

@@ -1,0 +1,20 @@
+"""Run the doctest examples embedded in docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.entities.ids
+
+MODULES_WITH_DOCTESTS = [repro.entities.ids]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the examples must actually exist

@@ -1,0 +1,66 @@
+"""Tests for the domain registry (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities.domains import (
+    ATTRIBUTE_HOMEPAGE,
+    ATTRIBUTE_ISBN,
+    ATTRIBUTE_PHONE,
+    ATTRIBUTE_REVIEWS,
+    DOMAIN_REGISTRY,
+    LOCAL_BUSINESS_DOMAINS,
+    get_domain,
+    table1_rows,
+)
+
+
+def test_registry_has_nine_domains():
+    assert len(DOMAIN_REGISTRY) == 9
+
+
+def test_eight_local_business_domains():
+    assert len(LOCAL_BUSINESS_DOMAINS) == 8
+    for key in LOCAL_BUSINESS_DOMAINS:
+        assert DOMAIN_REGISTRY[key].is_local_business
+
+
+def test_books_is_not_local_business():
+    books = get_domain("books")
+    assert not books.is_local_business
+    assert books.attributes == (ATTRIBUTE_ISBN,)
+
+
+def test_local_domains_have_phone_and_homepage():
+    for key in LOCAL_BUSINESS_DOMAINS:
+        domain = get_domain(key)
+        assert domain.has_attribute(ATTRIBUTE_PHONE)
+        assert domain.has_attribute(ATTRIBUTE_HOMEPAGE)
+
+
+def test_only_restaurants_have_reviews():
+    carriers = [
+        key
+        for key, domain in DOMAIN_REGISTRY.items()
+        if domain.has_attribute(ATTRIBUTE_REVIEWS)
+    ]
+    assert carriers == ["restaurants"]
+
+
+def test_get_domain_unknown_key():
+    with pytest.raises(KeyError, match="unknown domain"):
+        get_domain("florists")
+
+
+def test_table1_matches_paper():
+    rows = dict(table1_rows())
+    assert rows["Books"] == "ISBN"
+    assert rows["Restaurants"] == "phone, homepage, reviews"
+    assert rows["Hotels & Lodging"] == "phone, homepage"
+    assert len(rows) == 9
+
+
+def test_category_words_present_for_name_generation():
+    for domain in DOMAIN_REGISTRY.values():
+        assert domain.category_words, f"{domain.key} has no category words"

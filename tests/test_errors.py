@@ -1,0 +1,107 @@
+"""Tests for the methodology-error analysis (Section 3.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coverage import coverage_at
+from repro.core.errors import (
+    bootstrap_coverage_interval,
+    coverage_bias_under_noise,
+    estimate_precision_from_sample,
+    inject_false_matches,
+)
+
+
+class TestFalseMatches:
+    def test_zero_rate_identity(self, tiny_incidence):
+        noisy = inject_false_matches(tiny_incidence, 0.0, rng=1)
+        assert noisy.n_edges == tiny_incidence.n_edges
+
+    def test_rate_adds_edges(self, random_incidence):
+        noisy = inject_false_matches(random_incidence, 0.5, rng=2)
+        assert noisy.n_edges > random_incidence.n_edges
+        # at most 50% more (duplicates may merge)
+        assert noisy.n_edges <= int(random_incidence.n_edges * 1.5) + 1
+
+    def test_negative_rate_rejected(self, tiny_incidence):
+        with pytest.raises(ValueError):
+            inject_false_matches(tiny_incidence, -0.1, rng=3)
+
+    def test_preserves_structure_fields(self, tiny_incidence):
+        noisy = inject_false_matches(tiny_incidence, 0.3, rng=4)
+        assert noisy.n_entities == tiny_incidence.n_entities
+        assert noisy.site_hosts == tiny_incidence.site_hosts
+
+    def test_bias_direction_matches_paper(self, random_incidence):
+        """Section 3.5: false matches over-estimate coverage."""
+        clean, noisy = coverage_bias_under_noise(
+            random_incidence, rate=1.0, rng=5, top_t=10
+        )
+        assert noisy >= clean - 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_noise_never_reduces_coverage(self, rate):
+        from repro.core.incidence import BipartiteIncidence
+
+        inc = BipartiteIncidence.from_site_lists(
+            n_entities=20,
+            sites=[("a", [0, 1, 2]), ("b", [3, 4]), ("c", [0])],
+        )
+        clean = coverage_at(inc, 2, k=1)
+        noisy_inc = inject_false_matches(inc, rate, rng=7)
+        noisy = coverage_at(noisy_inc, 2, k=1)
+        assert noisy >= clean - 1e-12
+
+
+class TestPrecisionEstimate:
+    def test_point_estimate(self):
+        estimate = estimate_precision_from_sample(100, 97)
+        assert estimate.precision == pytest.approx(0.97)
+        assert estimate.low < 0.97 < estimate.high
+        assert 0.0 <= estimate.low and estimate.high <= 1.0
+
+    def test_perfect_sample_interval_below_one(self):
+        estimate = estimate_precision_from_sample(50, 50)
+        assert estimate.precision == 1.0
+        assert estimate.low < 1.0  # Wilson stays honest at p=1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_precision_from_sample(0, 0)
+        with pytest.raises(ValueError):
+            estimate_precision_from_sample(10, 11)
+
+    def test_interval_narrows_with_samples(self):
+        small = estimate_precision_from_sample(20, 19)
+        large = estimate_precision_from_sample(2000, 1900)
+        assert (large.high - large.low) < (small.high - small.low)
+
+
+class TestBootstrap:
+    def test_interval_contains_point(self, random_incidence):
+        point, low, high = bootstrap_coverage_interval(
+            random_incidence, top_t=10, n_bootstrap=100, rng=1
+        )
+        assert low <= point <= high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_deterministic_given_seed(self, random_incidence):
+        a = bootstrap_coverage_interval(random_incidence, 5, n_bootstrap=50, rng=3)
+        b = bootstrap_coverage_interval(random_incidence, 5, n_bootstrap=50, rng=3)
+        assert a == b
+
+    def test_point_matches_coverage_at(self, random_incidence):
+        point, __, __ = bootstrap_coverage_interval(
+            random_incidence, top_t=7, n_bootstrap=10, rng=4
+        )
+        assert point == pytest.approx(coverage_at(random_incidence, 7, k=1))
+
+    def test_validation(self, random_incidence):
+        with pytest.raises(ValueError):
+            bootstrap_coverage_interval(random_incidence, 5, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_coverage_interval(random_incidence, 5, n_bootstrap=0)

@@ -1,0 +1,97 @@
+"""Tests for the extraction evaluation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.incidence import BipartiteIncidence
+from repro.extract.evaluation import (
+    evaluate_extraction,
+    per_site_recall,
+)
+
+
+def truth_incidence():
+    return BipartiteIncidence.from_site_lists(
+        n_entities=6,
+        sites=[("a.example", [0, 1, 2]), ("b.example", [2, 3])],
+    )
+
+
+def test_perfect_extraction():
+    truth = truth_incidence()
+    score = evaluate_extraction(truth, truth)
+    assert score.edge_precision == 1.0
+    assert score.edge_recall == 1.0
+    assert score.edge_f1 == 1.0
+    assert score.entity_f1 == 1.0
+    assert score.is_lossless()
+
+
+def test_missing_edges_lower_recall():
+    truth = truth_incidence()
+    partial = BipartiteIncidence.from_site_lists(
+        n_entities=6, sites=[("a.example", [0, 1])]
+    )
+    score = evaluate_extraction(partial, truth)
+    assert score.edge_precision == 1.0
+    assert score.edge_recall == pytest.approx(2 / 5)
+    assert score.entity_recall == pytest.approx(2 / 4)
+    assert not score.is_lossless()
+
+
+def test_spurious_edges_lower_precision():
+    truth = truth_incidence()
+    noisy = BipartiteIncidence.from_site_lists(
+        n_entities=6,
+        sites=[("a.example", [0, 1, 2, 5]), ("b.example", [2, 3])],
+    )
+    score = evaluate_extraction(noisy, truth)
+    assert score.edge_recall == 1.0
+    assert score.edge_precision == pytest.approx(5 / 6)
+
+
+def test_empty_extraction():
+    truth = truth_incidence()
+    empty = BipartiteIncidence.from_site_lists(n_entities=6, sites=[])
+    score = evaluate_extraction(empty, truth)
+    assert score.edge_precision == 0.0
+    assert score.edge_recall == 0.0
+    assert score.edge_f1 == 0.0
+
+
+def test_mismatched_databases_rejected():
+    truth = truth_incidence()
+    other = BipartiteIncidence.from_site_lists(n_entities=9, sites=[])
+    with pytest.raises(ValueError):
+        evaluate_extraction(other, truth)
+    with pytest.raises(ValueError):
+        per_site_recall(other, truth)
+
+
+def test_per_site_recall():
+    truth = truth_incidence()
+    partial = BipartiteIncidence.from_site_lists(
+        n_entities=6,
+        sites=[("a.example", [0, 1]), ("c.example", [4])],
+    )
+    recalls = per_site_recall(partial, truth)
+    assert recalls["a.example"] == pytest.approx(2 / 3)
+    assert recalls["b.example"] == 0.0
+    assert "c.example" not in recalls  # not a truth site
+
+
+def test_end_to_end_pipeline_score(restaurant_db):
+    """Full pipeline scores as lossless for the phone attribute."""
+    from repro.extract.runner import ExtractionRunner
+    from repro.webgen.corpus import CorpusBuilder
+
+    incidence = BipartiteIncidence.from_site_lists(
+        n_entities=len(restaurant_db),
+        sites=[("x.example", list(range(20))), ("y.example", [5, 6, 7])],
+        entity_ids=restaurant_db.entity_ids,
+    )
+    corpus = CorpusBuilder(restaurant_db, "phone", seed=1).build(incidence)
+    extracted = ExtractionRunner(restaurant_db, "phone").run(corpus.cache)
+    score = evaluate_extraction(extracted, corpus.truth)
+    assert score.is_lossless()

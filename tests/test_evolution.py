@@ -1,0 +1,113 @@
+"""Tests for corpus evolution and re-crawl scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.webgen.evolution import (
+    CorpusEvolver,
+    recrawl_comparison,
+    staleness_curve,
+)
+from repro.webgen.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def incidence():
+    return get_profile("banks", "phone").generate("tiny", seed=71)
+
+
+class TestEvolver:
+    def test_step_preserves_entity_space(self, incidence):
+        evolved = CorpusEvolver().step(incidence, rng=1)
+        assert evolved.n_entities == incidence.n_entities
+        assert evolved.n_sites == incidence.n_sites
+
+    def test_no_churn_is_identity_on_edges(self, incidence):
+        evolver = CorpusEvolver(
+            edge_drop_rate=0.0, edge_add_rate=0.0, site_turnover_rate=0.0
+        )
+        evolved = evolver.step(incidence, rng=2)
+        assert evolved.n_edges == incidence.n_edges
+
+    def test_drop_rate_removes_edges(self, incidence):
+        evolver = CorpusEvolver(
+            edge_drop_rate=0.5, edge_add_rate=0.0, site_turnover_rate=0.0
+        )
+        evolved = evolver.step(incidence, rng=3)
+        assert evolved.n_edges < incidence.n_edges
+        assert evolved.n_edges > 0.3 * incidence.n_edges
+
+    def test_add_rate_adds_edges(self, incidence):
+        evolver = CorpusEvolver(
+            edge_drop_rate=0.0, edge_add_rate=0.3, site_turnover_rate=0.0
+        )
+        evolved = evolver.step(incidence, rng=4)
+        assert evolved.n_edges > incidence.n_edges
+
+    def test_turnover_renames_tail_hosts(self, incidence):
+        evolver = CorpusEvolver(site_turnover_rate=1.0)
+        evolved = evolver.step(incidence, rng=5)
+        renamed = [h for h in evolved.site_hosts if h.startswith("new-")]
+        assert renamed  # the smallest decile was replaced
+
+    def test_evolve_returns_snapshots(self, incidence):
+        snapshots = CorpusEvolver().evolve(incidence, epochs=3, rng=6)
+        assert len(snapshots) == 3
+        assert CorpusEvolver().evolve(incidence, epochs=0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorpusEvolver(edge_drop_rate=1.5)
+        with pytest.raises(ValueError):
+            CorpusEvolver().evolve(None, epochs=-1)  # type: ignore[arg-type]
+
+
+class TestStaleness:
+    def test_monotone_decay(self, incidence):
+        snapshots = CorpusEvolver(edge_drop_rate=0.1).evolve(
+            incidence, epochs=4, rng=7
+        )
+        curve = staleness_curve(snapshots, incidence)
+        assert len(curve) == 4
+        assert np.all(np.diff(curve) <= 1e-12)
+        assert curve[0] < 1.0
+
+    def test_no_churn_no_decay(self, incidence):
+        evolver = CorpusEvolver(
+            edge_drop_rate=0.0, edge_add_rate=0.0, site_turnover_rate=0.0
+        )
+        snapshots = evolver.evolve(incidence, epochs=2, rng=8)
+        curve = staleness_curve(snapshots, incidence)
+        assert np.allclose(curve, 1.0)
+
+    def test_empty_original_rejected(self):
+        from repro.core.incidence import BipartiteIncidence
+
+        empty = BipartiteIncidence.from_site_lists(n_entities=3, sites=[])
+        with pytest.raises(ValueError):
+            staleness_curve([empty], empty)
+
+
+class TestRecrawl:
+    def test_policies_ordered(self, incidence):
+        evolver = CorpusEvolver(edge_drop_rate=0.1, edge_add_rate=0.1)
+        results = recrawl_comparison(
+            incidence, evolver, epochs=3, budget_per_epoch=30, rng=9
+        )
+        assert set(results) == {"none", "random", "largest_first"}
+        # re-crawling must beat not re-crawling
+        assert results["largest_first"] >= results["none"]
+        assert results["random"] >= results["none"] - 0.02
+
+    def test_zero_budget_equals_none(self, incidence):
+        evolver = CorpusEvolver(edge_drop_rate=0.1)
+        results = recrawl_comparison(
+            incidence, evolver, epochs=2, budget_per_epoch=0, rng=10
+        )
+        assert results["random"] == pytest.approx(results["none"], abs=0.05)
+
+    def test_validation(self, incidence):
+        with pytest.raises(ValueError):
+            recrawl_comparison(incidence, CorpusEvolver(), epochs=0)

@@ -1,0 +1,111 @@
+"""Tests for the per-figure experiment runners (tiny scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.experiments import (
+    TABLE2_ROWS,
+    build_traffic_dataset,
+    format_table2,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure9,
+    run_spread,
+    run_spread_via_extraction,
+    run_table1,
+    run_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        scale="tiny",
+        seed=3,
+        traffic_entities=2000,
+        traffic_events=30000,
+        traffic_cookies=5000,
+    )
+
+
+def test_run_spread_deterministic(config):
+    a = run_spread("banks", "phone", config)
+    b = run_spread("banks", "phone", config)
+    assert np.array_equal(a.curves.coverage, b.curves.coverage)
+
+
+def test_spread_series_and_render(config):
+    result = run_spread("banks", "phone", config)
+    series = result.series()
+    assert set(series) == {f"k={k}" for k in config.ks}
+    assert "banks" in result.render()
+
+
+def test_run_figure4_aggregate_below_coverage(config):
+    result = run_figure4(config)
+    k1 = result.spread.curves.curve(1)
+    checkpoints = result.spread.curves.checkpoints
+    # interpolate both at the same mid checkpoint: aggregate review share
+    # lags entity coverage (the paper's Fig 4(a) vs 4(b) observation)
+    mid = len(checkpoints) // 2
+    assert result.aggregate_fractions[mid] < k1[mid] + 0.05
+    assert "Aggregate" in result.render()
+
+
+def test_run_figure5_greedy_dominates(config):
+    result = run_figure5(config)
+    assert np.all(result.by_greedy >= result.by_size - 1e-12)
+    assert 0.0 <= result.max_improvement() <= 0.5
+    assert "Greedy" in result.render()
+
+
+def test_run_figure6_structure(config):
+    curves = run_figure6(config)
+    assert set(curves) == {"search", "browse"}
+    assert set(curves["search"]) == {"imdb", "amazon", "yelp"}
+    imdb = curves["search"]["imdb"]
+    assert imdb.cumulative_share[-1] == pytest.approx(1.0)
+
+
+def test_run_table1_contains_all_domains():
+    table = run_table1()
+    for name in ("Books", "Restaurants", "Home & Garden"):
+        assert name in table
+
+
+def test_run_table2_rows(config):
+    rows = TABLE2_ROWS[:2]
+    metrics = run_table2(config, rows=rows)
+    assert len(metrics) == 2
+    assert metrics[0].domain == "books"
+    rendered = format_table2(metrics)
+    assert "diameter" in rendered
+    assert "books" in rendered
+
+
+def test_run_figure9_panels(config):
+    panels = run_figure9(config, max_removed=3)
+    assert set(panels) == {"phone", "homepage", "isbn"}
+    ks, fractions = panels["isbn"]["books"]
+    assert ks.tolist() == [0, 1, 2, 3]
+    assert np.all(np.diff(fractions) <= 1e-12)
+
+
+def test_build_traffic_dataset_deterministic(config):
+    a = build_traffic_dataset("yelp", config)
+    b = build_traffic_dataset("yelp", config)
+    assert np.array_equal(a.search_demand, b.search_demand)
+    assert np.array_equal(a.reviews, b.reviews)
+    with pytest.raises(ValueError):
+        a.demand("toolbar")
+
+
+def test_run_spread_via_extraction_close_to_truth(config):
+    result, truth = run_spread_via_extraction("banks", "phone", config)
+    assert result.incidence.n_edges == truth.n_edges
+    # coverage curves computed on extracted data match truth closely
+    assert result.curves.final_coverage(1) > 0.9

@@ -1,0 +1,70 @@
+"""Tests for the extension-study runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.extensions import (
+    format_user_tail,
+    run_discovery_study,
+    run_redundancy_study,
+    run_staleness_study,
+    run_user_tail_study,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        scale="tiny",
+        seed=2,
+        traffic_entities=2000,
+        traffic_events=20000,
+        traffic_cookies=4000,
+    )
+
+
+def test_discovery_study(config):
+    study = run_discovery_study(config)
+    assert study.perfect_iterations <= study.diameter // 2 + 1
+    assert study.perfect_coverage > 0.9
+    assert 0.0 < study.budgeted_coverage <= study.perfect_coverage + 1e-9
+    rendered = study.render()
+    assert "diameter" in rendered and "budgeted" in rendered
+
+
+def test_redundancy_study(config):
+    reports = run_redundancy_study(config)
+    assert ("books", "isbn") in reports
+    for report in reports.values():
+        assert report.redundancy_coefficient > 1.0
+
+
+def test_user_tail_study(config):
+    reports = run_user_tail_study(config)
+    assert set(reports) == {"imdb", "amazon", "yelp"}
+    for report in reports.values():
+        assert report.users_touching_tail >= report.tail_demand_share - 1e-9
+    table = format_user_tail(reports)
+    assert "yelp" in table
+
+
+def test_user_tail_study_search_source(config):
+    reports = run_user_tail_study(config, source="search")
+    assert reports["yelp"].n_users > 0
+
+
+def test_staleness_study(config):
+    study = run_staleness_study(config, epochs=3)
+    assert len(study.decay) == 3
+    assert np.all(np.diff(study.decay) <= 1e-12)
+    assert study.policies["largest_first"] >= study.policies["none"] - 1e-9
+    assert "re-crawl policy" in study.render()
+
+
+def test_deterministic(config):
+    a = run_discovery_study(config)
+    b = run_discovery_study(config)
+    assert a == b

@@ -1,0 +1,58 @@
+"""Tests for the anchor-href homepage extractor."""
+
+from __future__ import annotations
+
+from repro.extract.homepages import extract_anchor_urls, extract_homepages
+
+
+def test_collects_hrefs_in_order():
+    html = '<a href="http://a.com/">A</a> text <a href="http://b.com/x">B</a>'
+    assert extract_anchor_urls(html) == ["http://a.com/", "http://b.com/x"]
+
+
+def test_ignores_other_tags():
+    html = '<img src="http://a.com/pic.png"><link href="http://css.com/x">'
+    assert extract_anchor_urls(html) == []
+
+
+def test_anchor_without_href():
+    assert extract_anchor_urls('<a name="top">anchor</a>') == []
+
+
+def test_homepages_canonicalized():
+    html = (
+        '<a href="http://www.example.com/">E</a>'
+        '<a href="https://example.com">E2</a>'
+    )
+    assert extract_homepages(html) == {"example.com"}
+
+
+def test_relative_links_skipped():
+    html = '<a href="/about.html">About</a><a href="#top">Top</a>'
+    assert extract_homepages(html) == set()
+
+
+def test_mailto_and_javascript_skipped():
+    html = (
+        '<a href="mailto:x@example.com">mail</a>'
+        '<a href="javascript:void(0)">js</a>'
+    )
+    assert extract_homepages(html) == set()
+
+
+def test_www_prefixed_without_scheme():
+    html = '<a href="www.example.org/page/">x</a>'
+    assert extract_homepages(html) == {"example.org/page"}
+
+
+def test_multiple_distinct_hosts():
+    html = (
+        '<a href="http://one.com/">1</a>'
+        '<a href="http://two.com/shop/">2</a>'
+    )
+    assert extract_homepages(html) == {"one.com", "two.com/shop"}
+
+
+def test_malformed_html_does_not_crash():
+    html = '<a href="http://ok.com/"<b>broken<a href=>empty</a>'
+    assert "ok.com" in extract_homepages(html)

@@ -1,0 +1,78 @@
+"""Tests for the ISBN extractor (context-window anchoring + checksum)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.entities.ids import (
+    format_isbn13,
+    isbn10_check_digit,
+    isbn10_to_isbn13,
+    isbn13_check_digit,
+)
+from repro.extract.isbn import extract_isbns
+
+
+def test_extracts_isbn13_with_marker():
+    assert extract_isbns("ISBN 9780306406157") == {"9780306406157"}
+
+
+def test_extracts_hyphenated():
+    assert extract_isbns("ISBN: 978-0-306-40615-7") == {"9780306406157"}
+
+
+def test_extracts_isbn10_normalized_to_13():
+    assert extract_isbns("ISBN 0306406152") == {"9780306406157"}
+
+
+def test_isbn10_with_x_check_digit():
+    body = "097522980"
+    isbn10 = body + isbn10_check_digit(body)
+    assert isbn10.endswith("X")
+    found = extract_isbns(f"ISBN {isbn10}")
+    assert found == {isbn10_to_isbn13(isbn10)}
+
+
+def test_requires_isbn_marker_nearby():
+    assert extract_isbns("the number 9780306406157 appears") == set()
+
+
+def test_marker_outside_window_rejected():
+    padding = "x" * 100
+    text = f"ISBN {padding} 9780306406157"
+    assert extract_isbns(text, context_window=40) == set()
+    assert extract_isbns(text, context_window=200) == {"9780306406157"}
+
+
+def test_checksum_failures_rejected():
+    assert extract_isbns("ISBN 9780306406150") == set()
+    assert extract_isbns("ISBN 0306406153") == set()
+
+
+def test_marker_case_insensitive():
+    assert extract_isbns("isbn 9780306406157") == {"9780306406157"}
+
+
+def test_multiple_isbns_on_page():
+    text = "ISBN 9780306406157 and also ISBN 0306406152"
+    assert extract_isbns(text) == {"9780306406157"}  # same book, both forms
+
+
+def test_negative_window_rejected():
+    with pytest.raises(ValueError):
+        extract_isbns("ISBN 9780306406157", context_window=-1)
+
+
+def test_does_not_match_inside_longer_digit_runs():
+    assert extract_isbns("ISBN 97803064061579999") == set()
+
+
+@given(st.integers(min_value=0, max_value=10**9 - 1), st.booleans())
+@settings(max_examples=100)
+def test_property_generated_isbns_extracted(serial, hyphenate):
+    """Checksum-valid generated ISBNs are always found near a marker."""
+    body = f"978{serial:09d}"
+    isbn13 = body + isbn13_check_digit(body)
+    rendered = format_isbn13(isbn13, hyphenate=hyphenate)
+    assert extract_isbns(f"ISBN {rendered}") == {isbn13}

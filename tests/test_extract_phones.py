@@ -1,0 +1,73 @@
+"""Tests for the phone extractor."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.entities.ids import PHONE_FORMATS, format_phone
+from repro.extract.phones import extract_phones
+
+
+def test_extracts_common_formats():
+    text = (
+        "Call (415) 555-0123 or 650-555-0199. "
+        "Fax: 212.555.0145, mobile +1-303-555-0177."
+    )
+    assert extract_phones(text) == {
+        "4155550123",
+        "6505550199",
+        "2125550145",
+        "3035550177",
+    }
+
+
+def test_plain_ten_digits():
+    assert extract_phones("dial 4155550123 now") == {"4155550123"}
+
+
+def test_rejects_invalid_prefixes():
+    assert extract_phones("number 015-555-0123") == set()
+    assert extract_phones("number 415-155-0123") == set()  # exchange starts 1
+
+
+def test_rejects_n11_area():
+    assert extract_phones("call 911-555-0123") == set()
+
+
+def test_rejects_digit_runs():
+    # 12+ digit runs are not phone numbers
+    assert extract_phones("order id 123456789012345") == set()
+
+
+def test_rejects_isbn_like_numbers():
+    assert extract_phones("ISBN 9780306406157") == set()
+
+
+def test_embedded_in_html():
+    html = "<p>Phone: (415) 555-0123</p>"
+    assert extract_phones(html) == {"4155550123"}
+
+
+def test_duplicates_deduplicated():
+    text = "call 415-555-0123 or (415) 555-0123"
+    assert extract_phones(text) == {"4155550123"}
+
+
+def test_country_code_with_parentheses():
+    assert extract_phones("+1 (415) 555-0123") == {"4155550123"}
+
+
+@given(
+    st.integers(min_value=0, max_value=10**10 - 1),
+    st.integers(min_value=0, max_value=len(PHONE_FORMATS) - 1),
+)
+@settings(max_examples=100)
+def test_property_rendered_valid_phones_extracted(number, style):
+    """Any valid NANP number rendered in any supported style is found."""
+    digits = f"{number:010d}"
+    from repro.entities.ids import is_valid_nanp_phone
+
+    if not is_valid_nanp_phone(digits):
+        return
+    text = f"Contact us at {format_phone(digits, style=style)} today"
+    assert digits in extract_phones(text)

@@ -1,0 +1,63 @@
+"""Tests for the host → entity aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawl.hostindex import HostIndex
+
+
+def test_record_and_incidence(restaurant_db):
+    index = HostIndex(restaurant_db)
+    ids = restaurant_db.entity_ids
+    index.record("agg.example", ids[0])
+    index.record("agg.example", ids[1])
+    index.record("agg.example", ids[0], pages=2)  # same entity again
+    index.record("blog.example", ids[1])
+
+    assert index.n_hosts == 2
+    assert index.entities_of("agg.example") == {ids[0], ids[1]}
+    assert index.entities_of("unknown.example") == set()
+
+    incidence = index.to_incidence()
+    assert incidence.n_sites == 2
+    assert incidence.n_entities == len(restaurant_db)
+    assert incidence.n_edges == 3
+    assert incidence.multiplicity is None
+
+
+def test_multiplicity_counts_pages(restaurant_db):
+    index = HostIndex(restaurant_db)
+    ids = restaurant_db.entity_ids
+    index.record("agg.example", ids[0], pages=3)
+    index.record("agg.example", ids[0])
+    incidence = index.to_incidence(with_multiplicity=True)
+    assert incidence.total_pages() == 4
+
+
+def test_record_page(restaurant_db):
+    index = HostIndex(restaurant_db)
+    ids = set(restaurant_db.entity_ids[:3])
+    index.record_page("agg.example", ids)
+    assert index.entities_of("agg.example") == ids
+
+
+def test_unknown_entity_rejected(restaurant_db):
+    index = HostIndex(restaurant_db)
+    with pytest.raises(KeyError):
+        index.record("agg.example", "restaurants:99999999")
+
+
+def test_bad_page_count_rejected(restaurant_db):
+    index = HostIndex(restaurant_db)
+    with pytest.raises(ValueError):
+        index.record("agg.example", restaurant_db.entity_ids[0], pages=0)
+
+
+def test_incidence_entity_ids_aligned(restaurant_db):
+    index = HostIndex(restaurant_db)
+    eid = restaurant_db.entity_ids[7]
+    index.record("one.example", eid)
+    incidence = index.to_incidence()
+    entity_index = incidence.site_entities(0)[0]
+    assert incidence.entity_ids[entity_index] == eid

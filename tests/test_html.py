@@ -1,0 +1,90 @@
+"""Tests for the HTML page renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities.books import generate_books
+from repro.entities.business import generate_listings
+from repro.extract.homepages import extract_homepages
+from repro.extract.isbn import extract_isbns
+from repro.extract.phones import extract_phones
+from repro.webgen.html import PageRenderer
+from repro.webgen.text import ReviewTextGenerator
+
+
+@pytest.fixture()
+def listings():
+    return generate_listings("restaurants", 5, seed=11, homepage_fraction=1.0)
+
+
+@pytest.fixture()
+def books():
+    return generate_books(5, seed=12)
+
+
+def test_listing_page_phones_extractable(listings):
+    page = PageRenderer(1).listing_page("dir.example", listings)
+    extracted = extract_phones(page)
+    assert extracted == {entry.phone for entry in listings}
+
+
+def test_listing_page_contains_names_and_addresses(listings):
+    page = PageRenderer(2).listing_page("dir.example", listings)
+    for entry in listings:
+        assert entry.name in page
+        assert entry.city in page
+
+
+def test_link_page_homepages_extractable(listings):
+    page = PageRenderer(3).link_page("links.example", listings)
+    extracted = extract_homepages(page)
+    assert extracted == {entry.homepage for entry in listings}
+
+
+def test_link_block_requires_homepage():
+    entry = generate_listings("banks", 5, seed=13, homepage_fraction=0.0)[0]
+    with pytest.raises(ValueError):
+        PageRenderer(4).link_block(entry)
+
+
+def test_link_page_skips_homepageless():
+    mixed = generate_listings("banks", 10, seed=14, homepage_fraction=0.5)
+    page = PageRenderer(5).link_page("links.example", mixed)
+    extracted = extract_homepages(page)
+    expected = {entry.homepage for entry in mixed if entry.homepage}
+    assert extracted == expected
+
+
+def test_book_page_isbns_extractable(books):
+    page = PageRenderer(6).book_page("catalog.example", books)
+    assert extract_isbns(page) == {book.isbn13 for book in books}
+
+
+def test_book_page_formats_vary(books):
+    # with many renders, both 10- and 13-digit forms should appear
+    renderer = PageRenderer(7)
+    pages = "".join(renderer.book_page("c.example", books) for _ in range(20))
+    assert "ISBN-10" in pages or any(book.isbn10 in pages for book in books)
+
+
+def test_review_page_has_phone_and_prose(listings):
+    text = ReviewTextGenerator(8)
+    page = PageRenderer(9).review_page("blog.example", listings[0], text)
+    assert extract_phones(page) == {listings[0].phone}
+    assert "Review" in page
+
+
+def test_noise_page_yields_no_matches():
+    renderer = PageRenderer(10)
+    page = renderer.noise_page("junk.example", 0)
+    assert extract_phones(page) == set()
+    # ISBN candidates may appear but must not be checksum+window valid
+    # against a real database; extraction itself may rarely validate, so
+    # only assert the phone channel here and DB-join rejection elsewhere.
+
+
+def test_pages_are_wellformed_html(listings):
+    page = PageRenderer(11).listing_page("dir.example", listings)
+    assert page.startswith("<!DOCTYPE html>")
+    assert "</html>" in page

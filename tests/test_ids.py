@@ -1,0 +1,203 @@
+"""Unit and property tests for the identifier algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.entities.ids import (
+    PHONE_FORMATS,
+    canonical_host,
+    canonical_url,
+    format_isbn13,
+    format_phone,
+    host_of_url,
+    is_valid_isbn10,
+    is_valid_isbn13,
+    is_valid_nanp_phone,
+    isbn10_check_digit,
+    isbn10_to_isbn13,
+    isbn13_check_digit,
+    isbn13_to_isbn10,
+    normalize_isbn,
+    normalize_phone,
+)
+
+# -- ISBN ---------------------------------------------------------------------
+
+
+class TestIsbnChecksums:
+    def test_known_isbn10_check_digit(self):
+        # 0-306-40615-2 is the canonical Wikipedia example.
+        assert isbn10_check_digit("030640615") == "2"
+
+    def test_known_isbn13_check_digit(self):
+        assert isbn13_check_digit("978030640615") == "7"
+
+    def test_isbn10_check_digit_can_be_x(self):
+        # Body chosen so the weighted sum mod 11 leaves 10.
+        found_x = any(
+            isbn10_check_digit(f"{i:09d}") == "X" for i in range(100)
+        )
+        assert found_x
+
+    def test_check_digit_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            isbn10_check_digit("12345")
+        with pytest.raises(ValueError):
+            isbn13_check_digit("12345")
+
+    def test_check_digit_rejects_non_digits(self):
+        with pytest.raises(ValueError):
+            isbn10_check_digit("12345678X")
+
+    def test_valid_isbn10(self):
+        assert is_valid_isbn10("0306406152")
+        assert is_valid_isbn10("0-306-40615-2")
+        assert not is_valid_isbn10("0306406153")
+
+    def test_valid_isbn13(self):
+        assert is_valid_isbn13("9780306406157")
+        assert is_valid_isbn13("978-0-306-40615-7")
+        assert not is_valid_isbn13("9780306406150")
+
+    def test_wrong_lengths_are_invalid(self):
+        assert not is_valid_isbn10("030640615")
+        assert not is_valid_isbn13("978030640615")
+
+    def test_conversion_roundtrip_known(self):
+        assert isbn10_to_isbn13("0306406152") == "9780306406157"
+        assert isbn13_to_isbn10("9780306406157") == "0306406152"
+
+    def test_conversion_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            isbn10_to_isbn13("0306406153")
+        with pytest.raises(ValueError):
+            isbn13_to_isbn10("9790306406157")  # 979 prefix has no ISBN-10
+
+    def test_normalize_isbn_accepts_both_forms(self):
+        assert normalize_isbn("0306406152") == "9780306406157"
+        assert normalize_isbn("978-0-306-40615-7") == "9780306406157"
+
+    def test_normalize_isbn_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            normalize_isbn("not-an-isbn")
+
+    def test_format_isbn13(self):
+        assert format_isbn13("9780306406157") == "978-0-3064-0615-7"
+        assert format_isbn13("9780306406157", hyphenate=False) == "9780306406157"
+        with pytest.raises(ValueError):
+            format_isbn13("9780306406150")
+
+    @given(st.integers(min_value=0, max_value=999_999_999))
+    def test_property_isbn10_roundtrip(self, body_int):
+        """Any 9-digit body + its check digit is valid and roundtrips."""
+        body = f"{body_int:09d}"
+        isbn10 = body + isbn10_check_digit(body)
+        assert is_valid_isbn10(isbn10)
+        isbn13 = isbn10_to_isbn13(isbn10)
+        assert is_valid_isbn13(isbn13)
+        assert isbn13_to_isbn10(isbn13) == isbn10
+        assert normalize_isbn(isbn10) == isbn13
+
+    @given(st.integers(min_value=0, max_value=999_999_999))
+    def test_property_single_digit_corruption_detected(self, body_int):
+        """ISBN-13 checksums catch every single-digit substitution."""
+        body = f"978{body_int:09d}"
+        isbn13 = body + isbn13_check_digit(body)
+        for position in range(13):
+            original = isbn13[position]
+            replacement = "5" if original != "5" else "6"
+            corrupted = isbn13[:position] + replacement + isbn13[position + 1:]
+            assert not is_valid_isbn13(corrupted)
+
+
+# -- phones --------------------------------------------------------------------
+
+
+class TestPhones:
+    def test_valid_nanp(self):
+        assert is_valid_nanp_phone("4155550123")
+
+    def test_invalid_prefixes(self):
+        assert not is_valid_nanp_phone("0155550123")  # area starts with 0
+        assert not is_valid_nanp_phone("1155550123")  # area starts with 1
+        assert not is_valid_nanp_phone("4150550123")  # exchange starts with 0
+        assert not is_valid_nanp_phone("4151550123")  # exchange starts with 1
+
+    def test_n11_area_codes_rejected(self):
+        assert not is_valid_nanp_phone("9115550123")
+        assert not is_valid_nanp_phone("4115550123")
+
+    def test_wrong_length(self):
+        assert not is_valid_nanp_phone("415555012")
+        assert not is_valid_nanp_phone("41555501234")
+
+    def test_normalize_strips_formatting(self):
+        assert normalize_phone("(415) 555-0123") == "4155550123"
+        assert normalize_phone("415.555.0123") == "4155550123"
+        assert normalize_phone("+1-415-555-0123") == "4155550123"
+        assert normalize_phone("1 415 555 0123") == "4155550123"
+
+    def test_normalize_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            normalize_phone("011-555-0123")
+        with pytest.raises(ValueError):
+            normalize_phone("12345")
+
+    def test_format_phone_all_styles_normalize_back(self):
+        digits = "4155550123"
+        for style in range(len(PHONE_FORMATS)):
+            rendered = format_phone(digits, style=style)
+            assert normalize_phone(rendered) == digits
+
+    def test_format_phone_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            format_phone("0155550123")
+
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=9999),
+        st.integers(min_value=0, max_value=len(PHONE_FORMATS) - 1),
+    )
+    def test_property_format_normalize_roundtrip(
+        self, a1, a23, e1, e23, sub, style
+    ):
+        """Every valid number survives every format/normalize roundtrip."""
+        digits = f"{a1}{a23:02d}{e1}{e23:02d}{sub:04d}"
+        if not is_valid_nanp_phone(digits):
+            return  # N11 area codes; out of scope for the roundtrip
+        assert normalize_phone(format_phone(digits, style=style)) == digits
+
+
+# -- URLs ------------------------------------------------------------------------
+
+
+class TestUrls:
+    def test_canonical_host(self):
+        assert canonical_host("WWW.Example.COM") == "example.com"
+        assert canonical_host("example.com:8080") == "example.com"
+        assert canonical_host("example.com.") == "example.com"
+
+    def test_canonical_url_unifies_variants(self):
+        variants = [
+            "http://www.example.com/shop/",
+            "https://example.com/shop",
+            "HTTP://WWW.EXAMPLE.COM/shop",
+            "example.com/shop/",
+        ]
+        canonical = {canonical_url(v) for v in variants}
+        assert canonical == {"example.com/shop"}
+
+    def test_canonical_url_keeps_query(self):
+        assert canonical_url("http://a.com/p?x=1") == "a.com/p?x=1"
+
+    def test_canonical_url_drops_fragment(self):
+        assert canonical_url("http://a.com/p#frag") == "a.com/p"
+
+    def test_host_of_url(self):
+        assert host_of_url("https://www.yelp.com/biz/x") == "yelp.com"
+        assert host_of_url("yelp.com/biz/x") == "yelp.com"

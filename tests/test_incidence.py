@@ -1,0 +1,168 @@
+"""Unit and property tests for BipartiteIncidence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.incidence import BipartiteIncidence
+
+
+def test_basic_accessors(tiny_incidence):
+    inc = tiny_incidence
+    assert inc.n_entities == 6
+    assert inc.n_sites == 4
+    assert inc.n_edges == 9
+    assert inc.site_hosts[0] == "big.example"
+    assert inc.site_entities(0).tolist() == [0, 1, 2, 3]
+    assert inc.site_sizes().tolist() == [4, 3, 1, 1]
+
+
+def test_entity_mention_counts(tiny_incidence):
+    counts = tiny_incidence.entity_mention_counts()
+    assert counts.tolist() == [1, 1, 2, 2, 2, 1]
+
+
+def test_mentioned_entities_and_average(tiny_incidence):
+    assert tiny_incidence.mentioned_entities().tolist() == [0, 1, 2, 3, 4, 5]
+    assert tiny_incidence.average_sites_per_entity() == pytest.approx(9 / 6)
+
+
+def test_unmentioned_entities_counted_in_denominator():
+    inc = BipartiteIncidence.from_site_lists(
+        n_entities=10, sites=[("a.example", [0, 1])]
+    )
+    assert len(inc.mentioned_entities()) == 2
+    assert inc.average_sites_per_entity() == pytest.approx(1.0)
+
+
+def test_sites_by_size_order(tiny_incidence):
+    order = tiny_incidence.sites_by_size()
+    assert order[0] == 0
+    assert order[1] == 1
+    # ties between the two singleton sites break by index
+    assert order.tolist()[2:] == [2, 3]
+
+
+def test_duplicate_entities_within_site_merged():
+    inc = BipartiteIncidence.from_site_lists(
+        n_entities=5,
+        sites=[("a.example", [1, 1, 2])],
+        multiplicities=[[3, 4, 5]],
+    )
+    assert inc.site_entities(0).tolist() == [1, 2]
+    assert inc.site_multiplicities(0).tolist() == [7, 5]
+
+
+def test_multiplicity_defaults_to_ones(tiny_incidence):
+    assert tiny_incidence.site_multiplicities(0).tolist() == [1, 1, 1, 1]
+    assert tiny_incidence.total_pages() == tiny_incidence.n_edges
+
+
+def test_drop_sites(tiny_incidence):
+    reduced = tiny_incidence.drop_sites([0])
+    assert reduced.n_sites == 3
+    assert reduced.n_entities == 6  # denominator unchanged
+    assert reduced.site_hosts == ["mid.example", "small.example", "island.example"]
+    assert reduced.n_edges == 5
+
+
+def test_drop_sites_preserves_multiplicity():
+    inc = BipartiteIncidence.from_site_lists(
+        n_entities=4,
+        sites=[("a.example", [0, 1]), ("b.example", [2])],
+        multiplicities=[[2, 3], [4]],
+    )
+    reduced = inc.drop_sites([0])
+    assert reduced.site_multiplicities(0).tolist() == [4]
+    assert reduced.total_pages() == 4
+
+
+def test_validation_rejects_bad_pointers():
+    with pytest.raises(ValueError):
+        BipartiteIncidence(
+            n_entities=3,
+            site_hosts=["a"],
+            site_ptr=np.array([0, 5]),
+            entity_idx=np.array([0, 1]),
+        )
+
+
+def test_validation_rejects_out_of_range_entity():
+    with pytest.raises(ValueError, match="out of range"):
+        BipartiteIncidence(
+            n_entities=2,
+            site_hosts=["a"],
+            site_ptr=np.array([0, 1]),
+            entity_idx=np.array([5]),
+        )
+
+
+def test_validation_rejects_zero_multiplicity():
+    with pytest.raises(ValueError, match="multiplicities"):
+        BipartiteIncidence(
+            n_entities=2,
+            site_hosts=["a"],
+            site_ptr=np.array([0, 1]),
+            entity_idx=np.array([0]),
+            multiplicity=np.array([0]),
+        )
+
+
+def test_validation_rejects_misaligned_entity_ids():
+    with pytest.raises(ValueError, match="entity_ids"):
+        BipartiteIncidence(
+            n_entities=2,
+            site_hosts=["a"],
+            site_ptr=np.array([0, 1]),
+            entity_idx=np.array([0]),
+            entity_ids=["only-one"],
+        )
+
+
+def test_iter_sites(tiny_incidence):
+    hosts = [host for host, _ in tiny_incidence.iter_sites()]
+    assert hosts == tiny_incidence.site_hosts
+
+
+@st.composite
+def incidence_strategy(draw):
+    n_entities = draw(st.integers(min_value=1, max_value=20))
+    n_sites = draw(st.integers(min_value=0, max_value=8))
+    sites = []
+    for s in range(n_sites):
+        entities = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_entities - 1),
+                max_size=12,
+            )
+        )
+        sites.append((f"s{s}.example", entities))
+    return BipartiteIncidence.from_site_lists(n_entities=n_entities, sites=sites)
+
+
+@given(incidence_strategy())
+@settings(max_examples=60)
+def test_property_edge_count_consistency(inc):
+    """Site sizes and entity mention counts both sum to the edge count."""
+    assert inc.site_sizes().sum() == inc.n_edges
+    assert inc.entity_mention_counts().sum() == inc.n_edges
+
+
+@given(incidence_strategy())
+@settings(max_examples=60)
+def test_property_entities_unique_within_site(inc):
+    for s in range(inc.n_sites):
+        entities = inc.site_entities(s)
+        assert len(np.unique(entities)) == len(entities)
+
+
+@given(incidence_strategy(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=60)
+def test_property_drop_sites_reduces_edges(inc, k):
+    k = min(k, inc.n_sites)
+    reduced = inc.drop_sites(range(k))
+    assert reduced.n_sites == inc.n_sites - k
+    assert reduced.n_edges <= inc.n_edges
+    assert reduced.n_entities == inc.n_entities

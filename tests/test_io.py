@@ -1,0 +1,77 @@
+"""Tests for corpus and database persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.entities.books import generate_books
+from repro.entities.catalog import EntityDatabase
+from repro.io import load_database, load_incidence, save_database, save_incidence
+from repro.webgen.assignment import attach_review_multiplicity
+from repro.webgen.profiles import get_profile
+
+
+def test_incidence_roundtrip(tmp_path, tiny_incidence):
+    path = save_incidence(tiny_incidence, tmp_path / "tiny")
+    assert path.suffix == ".npz"
+    loaded = load_incidence(path)
+    assert loaded.n_entities == tiny_incidence.n_entities
+    assert loaded.site_hosts == tiny_incidence.site_hosts
+    assert np.array_equal(loaded.site_ptr, tiny_incidence.site_ptr)
+    assert np.array_equal(loaded.entity_idx, tiny_incidence.entity_idx)
+    assert loaded.multiplicity is None
+
+
+def test_incidence_roundtrip_with_multiplicity(tmp_path):
+    incidence = get_profile("restaurants", "phone").generate("tiny", seed=1)
+    incidence = attach_review_multiplicity(incidence, rng=2)
+    path = save_incidence(incidence, tmp_path / "with_mult.npz")
+    loaded = load_incidence(path)
+    assert np.array_equal(loaded.multiplicity, incidence.multiplicity)
+    assert loaded.total_pages() == incidence.total_pages()
+
+
+def test_incidence_roundtrip_with_entity_ids(tmp_path, restaurant_db):
+    from repro.core.incidence import BipartiteIncidence
+
+    incidence = BipartiteIncidence.from_site_lists(
+        n_entities=len(restaurant_db),
+        sites=[("a.example", [0, 5])],
+        entity_ids=restaurant_db.entity_ids,
+    )
+    loaded = load_incidence(save_incidence(incidence, tmp_path / "ids"))
+    assert loaded.entity_ids == restaurant_db.entity_ids
+
+
+def test_database_roundtrip_listings(tmp_path, restaurant_db):
+    path = save_database(restaurant_db, tmp_path / "restaurants.jsonl")
+    loaded = load_database(path)
+    assert len(loaded) == len(restaurant_db)
+    assert loaded.domain.key == "restaurants"
+    original = restaurant_db.get(restaurant_db.entity_ids[0])
+    restored = loaded.get(restaurant_db.entity_ids[0])
+    assert restored.keys == dict(original.keys)
+    assert restored.payload == original.payload
+
+
+def test_database_roundtrip_books(tmp_path):
+    database = EntityDatabase.from_books(generate_books(25, seed=4))
+    loaded = load_database(save_database(database, tmp_path / "books.jsonl"))
+    assert len(loaded) == 25
+    assert loaded.get(loaded.entity_ids[3]).payload.isbn13 == (
+        database.get(database.entity_ids[3]).payload.isbn13
+    )
+
+
+def test_database_rejects_foreign_file(tmp_path):
+    path = tmp_path / "not_a_db.jsonl"
+    path.write_text('{"something": "else"}\n')
+    with pytest.raises(ValueError, match="not a repro entity database"):
+        load_database(path)
+
+
+def test_lookup_still_works_after_roundtrip(tmp_path, restaurant_db):
+    loaded = load_database(save_database(restaurant_db, tmp_path / "db.jsonl"))
+    listing = restaurant_db.get(restaurant_db.entity_ids[7]).payload
+    assert loaded.lookup("phone", listing.phone) == listing.entity_id

@@ -1,0 +1,147 @@
+"""Tests for mention generation, blocking, and entity resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities.business import generate_listings
+from repro.linking.blocking import BlockingIndex
+from repro.linking.mentions import MentionGenerator
+from repro.linking.resolution import EntityResolver
+
+
+@pytest.fixture(scope="module")
+def listings():
+    return generate_listings("restaurants", 150, seed=21)
+
+
+@pytest.fixture(scope="module")
+def mentions(listings):
+    return MentionGenerator(seed=22).corpus(listings, mentions_per_listing=2)
+
+
+class TestMentionGenerator:
+    def test_ground_truth_preserved(self, listings, mentions):
+        ids = {listing.entity_id for listing in listings}
+        assert all(m.true_entity_id in ids for m in mentions)
+
+    def test_some_phones_missing(self, mentions):
+        missing = sum(1 for m in mentions if m.phone is None)
+        assert 0 < missing < len(mentions)
+
+    def test_names_often_corrupted(self, listings):
+        generator = MentionGenerator(typo_rate=1.0, seed=23)
+        listing = listings[0]
+        mention = generator.corrupt(listing, "x.example")
+        assert mention.name != listing.name
+
+    def test_zero_noise_preserves_name(self, listings):
+        generator = MentionGenerator(
+            typo_rate=0.0,
+            drop_word_rate=0.0,
+            abbreviate_rate=0.0,
+            missing_phone_rate=0.0,
+            wrong_zip_rate=0.0,
+            seed=24,
+        )
+        mention = generator.corrupt(listings[0], "x.example")
+        assert mention.name == listings[0].name
+        assert mention.phone is not None
+        assert mention.zip_code == listings[0].zip_code
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MentionGenerator(typo_rate=1.5)
+        generator = MentionGenerator()
+        with pytest.raises(ValueError):
+            generator.corpus([], mentions_per_listing=0)
+
+
+class TestBlocking:
+    def test_candidates_include_truth(self, listings, mentions):
+        index = BlockingIndex(listings)
+        hit = sum(
+            1 for m in mentions if m.true_entity_id in index.candidates(m)
+        )
+        assert hit / len(mentions) > 0.97  # blocking recall
+
+    def test_candidates_much_smaller_than_database(self, listings, mentions):
+        index = BlockingIndex(listings)
+        sizes = [len(index.candidates(m)) for m in mentions]
+        assert max(sizes) < len(listings)
+        assert sum(sizes) / len(sizes) < len(listings) / 2
+
+    def test_phone_block_exact(self, listings):
+        index = BlockingIndex(listings)
+        generator = MentionGenerator(missing_phone_rate=0.0, seed=25)
+        mention = generator.corrupt(listings[3], "x.example")
+        assert listings[3].entity_id in index.candidates(mention)
+
+    def test_block_sizes_diagnostics(self, listings):
+        index = BlockingIndex(listings)
+        sizes = index.block_sizes()
+        assert set(sizes) == {"phone", "name_key", "locality"}
+        assert sizes["phone"] == 1.0  # phones are unique
+
+    def test_empty_listings_rejected(self):
+        with pytest.raises(ValueError):
+            BlockingIndex([])
+
+
+class TestResolution:
+    def test_high_quality_on_moderate_noise(self, listings, mentions):
+        resolver = EntityResolver(listings, threshold=0.7)
+        report = resolver.evaluate(mentions)
+        assert report.precision > 0.95
+        assert report.recall > 0.9
+        assert report.f1 > 0.92
+        assert report.mean_candidates < len(listings)
+
+    def test_threshold_tradeoff(self, listings, mentions):
+        strict = EntityResolver(listings, threshold=0.95).evaluate(mentions)
+        lenient = EntityResolver(listings, threshold=0.55).evaluate(mentions)
+        assert strict.n_linked <= lenient.n_linked
+        assert strict.precision >= lenient.precision - 0.02
+
+    def test_resolve_returns_score(self, listings):
+        resolver = EntityResolver(listings, threshold=0.7)
+        mention = MentionGenerator(seed=26).corrupt(listings[0], "x.example")
+        entity_id, score = resolver.resolve(mention)
+        assert entity_id == listings[0].entity_id
+        assert score >= 0.7
+
+    def test_unmatchable_mention_unlinked(self, listings):
+        from repro.linking.mentions import Mention
+
+        resolver = EntityResolver(listings, threshold=0.7)
+        stranger = Mention(
+            mention_id="mention:x",
+            source_host="x.example",
+            name="Zzyzx Quantum Llama Emporium",
+            phone=None,
+            city="Nowhere",
+            state="XX",
+            zip_code="00000",
+            true_entity_id="restaurants:00000001",
+        )
+        entity_id, __ = resolver.resolve(stranger)
+        assert entity_id is None
+
+    def test_deduplicate_unlinked_groups_corefs(self, listings):
+        from repro.linking.mentions import Mention
+
+        resolver = EntityResolver(listings, threshold=0.7)
+        a = Mention("m:1", "x", "Quantum Llama Grill", None, "Nowhere", "XX", "1", "e")
+        b = Mention("m:2", "y", "Quantum Llama Grill", None, "Nowhere", "XX", "1", "e")
+        c = Mention("m:3", "z", "Totally Other Shop", None, "Elsewhere", "YY", "2", "f")
+        links = {"m:1": None, "m:2": None, "m:3": None}
+        clusters = resolver.deduplicate_unlinked([a, b, c], links)
+        assert ["m:1", "m:2"] in clusters
+        assert ["m:3"] in clusters
+
+    def test_validation(self, listings):
+        with pytest.raises(ValueError):
+            EntityResolver(listings, threshold=0.0)
+        resolver = EntityResolver(listings)
+        with pytest.raises(ValueError):
+            resolver.evaluate([])

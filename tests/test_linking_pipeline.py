@@ -1,0 +1,70 @@
+"""Tests for the wrapper + linking extraction pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.incidence import BipartiteIncidence
+from repro.entities.books import generate_books
+from repro.entities.catalog import EntityDatabase
+from repro.extract.evaluation import evaluate_extraction
+from repro.linking.pipeline import WrapperLinkingExtractor
+from repro.webgen.corpus import CorpusBuilder
+
+
+@pytest.fixture(scope="module")
+def phone_corpus(restaurant_db):
+    incidence = BipartiteIncidence.from_site_lists(
+        n_entities=len(restaurant_db),
+        sites=[
+            ("agg.example", list(range(60))),
+            ("mid.example", list(range(40, 90))),
+            ("blog.example", [5, 6]),
+        ],
+        entity_ids=restaurant_db.entity_ids,
+    )
+    return CorpusBuilder(restaurant_db, "phone", seed=92).build(incidence)
+
+
+def test_high_fidelity_extraction(restaurant_db, phone_corpus):
+    extractor = WrapperLinkingExtractor(restaurant_db)
+    extracted = extractor.run(phone_corpus.cache)
+    score = evaluate_extraction(extracted, phone_corpus.truth)
+    assert score.edge_precision > 0.98
+    assert score.edge_recall > 0.9
+    assert extractor.stats.link_rate > 0.9
+
+
+def test_stats_populated(restaurant_db, phone_corpus):
+    extractor = WrapperLinkingExtractor(restaurant_db)
+    extractor.run(phone_corpus.cache)
+    stats = extractor.stats
+    assert stats.pages_scanned == phone_corpus.cache.n_pages()
+    assert stats.records_induced >= stats.mentions_lifted
+    assert stats.mentions_lifted >= stats.mentions_linked
+
+
+def test_threshold_affects_linking(restaurant_db, phone_corpus):
+    strict = WrapperLinkingExtractor(restaurant_db, threshold=0.99)
+    lenient = WrapperLinkingExtractor(restaurant_db, threshold=0.6)
+    strict_inc = strict.run(phone_corpus.cache)
+    lenient_inc = lenient.run(phone_corpus.cache)
+    assert strict_inc.n_edges <= lenient_inc.n_edges
+
+
+def test_rejects_database_without_payloads():
+    from repro.entities.catalog import Entity
+
+    entities = [
+        Entity(entity_id="banks:00000001", domain_key="banks", keys={"phone": "4155550123"})
+    ]
+    database = EntityDatabase("banks", entities)
+    with pytest.raises(ValueError, match="no listing payloads"):
+        WrapperLinkingExtractor(database)
+
+
+def test_link_rate_zero_when_nothing_lifted(restaurant_db):
+    from repro.linking.pipeline import WrapperLinkingStats
+
+    stats = WrapperLinkingStats()
+    assert stats.link_rate == 0.0

@@ -1,0 +1,114 @@
+"""Tests for the from-scratch Naive Bayes classifier."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extract.naive_bayes import NaiveBayesClassifier, tokenize
+from repro.webgen.text import ReviewTextGenerator
+
+
+def test_tokenize():
+    assert tokenize("Hello, World! it's GREAT.") == ["hello", "world", "it's", "great"]
+    assert tokenize("123 456") == []
+
+
+def simple_classifier() -> NaiveBayesClassifier:
+    documents = [
+        "loved the food amazing service",
+        "delicious pasta would recommend",
+        "terrible experience will not return",
+        "hours monday friday parking directions",
+        "accepts credit cards contact owner",
+        "business hours and directions listed",
+    ]
+    labels = [True, True, True, False, False, False]
+    return NaiveBayesClassifier().fit(documents, labels)
+
+
+def test_separates_obvious_cases():
+    clf = simple_classifier()
+    assert clf.predict("the food was amazing and delicious") is True
+    assert clf.predict("parking hours and directions") is False
+
+
+def test_predict_proba_bounds_and_consistency():
+    clf = simple_classifier()
+    for text in ("amazing delicious food", "hours parking credit"):
+        p = clf.predict_proba(text)
+        assert 0.0 <= p <= 1.0
+        assert (p >= 0.5) == clf.predict(text)
+
+
+def test_log_posterior_includes_prior():
+    clf = simple_classifier()
+    scores = clf.log_posterior("")
+    assert scores[True] == pytest.approx(math.log(0.5))
+    assert scores[False] == pytest.approx(math.log(0.5))
+
+
+def test_unknown_tokens_ignored():
+    clf = simple_classifier()
+    base = clf.log_posterior("amazing")
+    with_unknown = clf.log_posterior("amazing zzzzunknownzzzz")
+    assert base == with_unknown
+
+
+def test_accuracy_metric():
+    clf = simple_classifier()
+    docs = ["amazing delicious", "parking hours"]
+    assert clf.accuracy(docs, [True, False]) == 1.0
+    assert clf.accuracy(docs, [False, True]) == 0.0
+
+
+def test_accuracy_empty_set_rejected():
+    clf = simple_classifier()
+    with pytest.raises(ValueError):
+        clf.accuracy([], [])
+
+
+def test_fit_validation():
+    with pytest.raises(ValueError):
+        NaiveBayesClassifier().fit([], [])
+    with pytest.raises(ValueError):
+        NaiveBayesClassifier().fit(["a"], [True])  # single class
+    with pytest.raises(ValueError):
+        NaiveBayesClassifier().fit(["a", "b"], [True])  # misaligned
+    with pytest.raises(ValueError):
+        NaiveBayesClassifier(smoothing=0.0)
+
+
+def test_unfitted_usage_rejected():
+    clf = NaiveBayesClassifier()
+    with pytest.raises(RuntimeError):
+        clf.predict("anything")
+
+
+def test_vocabulary_size():
+    clf = simple_classifier()
+    assert clf.vocabulary_size > 10
+
+
+def test_learns_synthetic_review_distinction():
+    """On the generator's own text classes, held-out accuracy is high
+    but below perfect — the classes share vocabulary by design."""
+    train = ReviewTextGenerator(1).labeled_corpus(400)
+    test = ReviewTextGenerator(2).labeled_corpus(200)
+    clf = NaiveBayesClassifier().fit(
+        [t for t, _ in train], [l for _, l in train]
+    )
+    accuracy = clf.accuracy([t for t, _ in test], [l for _, l in test])
+    assert accuracy > 0.9
+
+
+@given(st.floats(min_value=0.1, max_value=5.0))
+@settings(max_examples=20)
+def test_property_smoothing_never_breaks_prediction(smoothing):
+    clf = NaiveBayesClassifier(smoothing=smoothing).fit(
+        ["good great fine", "bad awful poor"], [True, False]
+    )
+    assert clf.predict("good great") is True
+    assert clf.predict("bad awful") is False

@@ -1,0 +1,123 @@
+"""Tests for budgeted/lossy bootstrapping and the focused crawler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discovery.bootstrap import BootstrapExpansion
+from repro.discovery.crawler import FocusedCrawler
+from repro.discovery.noisy import NoisyExpansion
+from repro.webgen.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def incidence():
+    return get_profile("restaurants", "phone").generate("tiny", seed=9)
+
+
+class TestNoisyExpansion:
+    def test_perfect_settings_match_perfect_expansion(self, incidence):
+        noisy = NoisyExpansion(
+            incidence, retrieval_budget=None, extraction_recall=1.0
+        )
+        perfect = BootstrapExpansion(incidence)
+        seed = [0, 1]
+        noisy_trace = noisy.run(seed)
+        perfect_trace = perfect.run(seed)
+        assert set(noisy_trace.entities.tolist()) == set(
+            perfect_trace.entities.tolist()
+        )
+
+    def test_budget_limits_coverage_or_slows_it(self, incidence):
+        tight = NoisyExpansion(incidence, retrieval_budget=1, seed=1).run([0])
+        loose = NoisyExpansion(incidence, retrieval_budget=None, seed=1).run([0])
+        assert len(tight.entities) <= len(loose.entities)
+
+    def test_lossy_extraction_reduces_coverage(self, incidence):
+        lossy = NoisyExpansion(
+            incidence, retrieval_budget=None, extraction_recall=0.3, seed=2
+        ).run([0], max_iterations=3)
+        perfect = NoisyExpansion(
+            incidence, retrieval_budget=None, extraction_recall=1.0, seed=2
+        ).run([0], max_iterations=3)
+        assert len(lossy.entities) <= len(perfect.entities)
+
+    def test_counts_monotone_and_queries_positive(self, incidence):
+        trace = NoisyExpansion(incidence, seed=3).run([0, 5])
+        assert all(
+            a <= b for a, b in zip(trace.entity_counts, trace.entity_counts[1:])
+        )
+        assert trace.queries_issued >= len(trace.entities) - 5
+
+    def test_validation(self, incidence):
+        with pytest.raises(ValueError):
+            NoisyExpansion(incidence, retrieval_budget=0)
+        with pytest.raises(ValueError):
+            NoisyExpansion(incidence, extraction_recall=0.0)
+        expansion = NoisyExpansion(incidence)
+        with pytest.raises(ValueError):
+            expansion.run([])
+        with pytest.raises(ValueError):
+            expansion.run([10**9])
+
+    def test_entity_fraction(self, incidence):
+        trace = NoisyExpansion(incidence, seed=4).run([0])
+        assert 0.0 < trace.entity_fraction(incidence.n_entities) <= 1.0
+        with pytest.raises(ValueError):
+            trace.entity_fraction(0)
+
+    def test_budgeted_run_still_reaches_most_of_component(self, incidence):
+        """Realistic budgets cost iterations, not (much) coverage —
+        the connectivity conclusion survives imperfection."""
+        trace = NoisyExpansion(
+            incidence, retrieval_budget=5, extraction_recall=0.9, seed=5
+        ).run([0, 1, 2], max_iterations=20)
+        assert trace.entity_fraction(incidence.n_entities) > 0.8
+
+
+class TestFocusedCrawler:
+    def test_site_cost_model(self, incidence):
+        crawler = FocusedCrawler(incidence, entities_per_page=10, overhead_pages=2)
+        sizes = incidence.site_sizes()
+        biggest = int(incidence.sites_by_size()[0])
+        assert crawler.site_cost(biggest) == -(-int(sizes[biggest]) // 10) + 2
+
+    def test_budget_respected(self, incidence):
+        crawler = FocusedCrawler(incidence)
+        result = crawler.crawl(page_budget=100)
+        assert result.total_pages <= 100
+        assert np.all(np.diff(result.pages_fetched) > 0)
+        assert np.all(np.diff(result.coverage) >= 0)
+
+    def test_zero_budget(self, incidence):
+        result = FocusedCrawler(incidence).crawl(page_budget=0)
+        assert result.sites_crawled == 0
+        assert result.coverage_at_pages(0) == 0.0
+
+    def test_greedy_oracle_dominates_at_budget(self, incidence):
+        crawler = FocusedCrawler(incidence)
+        results = crawler.compare_policies(page_budget=300, rng=1)
+        greedy = results["greedy_oracle"].coverage_at_pages(300)
+        largest = results["largest_first"].coverage_at_pages(300)
+        random = results["random"].coverage_at_pages(300)
+        assert greedy >= largest - 1e-9
+        assert largest > random
+
+    def test_coverage_at_pages_interpolation(self, incidence):
+        result = FocusedCrawler(incidence).crawl(page_budget=200)
+        mid = int(result.pages_fetched[len(result.pages_fetched) // 2])
+        assert 0.0 < result.coverage_at_pages(mid) <= 1.0
+        with pytest.raises(ValueError):
+            result.coverage_at_pages(-1)
+
+    def test_validation(self, incidence):
+        with pytest.raises(ValueError):
+            FocusedCrawler(incidence, entities_per_page=0)
+        with pytest.raises(ValueError):
+            FocusedCrawler(incidence, overhead_pages=-1)
+        crawler = FocusedCrawler(incidence)
+        with pytest.raises(ValueError):
+            crawler.crawl(page_budget=-1)
+        with pytest.raises(ValueError):
+            crawler.crawl(page_budget=10, policy="teleport")

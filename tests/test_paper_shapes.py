@@ -1,0 +1,186 @@
+"""Integration tests: the paper's qualitative findings hold end-to-end.
+
+Each test asserts one of the claims from the paper's evaluation, on the
+synthetic substrate at ``small`` scale.  Absolute numbers differ from
+the paper (the corpus is ~1000x smaller); the *shapes* — who wins, what
+decays faster, what stays connected — are what these tests pin down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import coverage_at, sites_needed_for_coverage
+from repro.core.graph import EntitySiteGraph, GraphMetrics, robustness_curve
+from repro.discovery.bootstrap import BootstrapExpansion
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.experiments import (
+    build_traffic_dataset,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure8,
+    run_spread,
+)
+from repro.webgen.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale="small", seed=0)
+
+
+@pytest.fixture(scope="module")
+def restaurants_phone(config):
+    return run_spread("restaurants", "phone", config)
+
+
+@pytest.fixture(scope="module")
+def restaurants_homepage(config):
+    return run_spread("restaurants", "homepage", config)
+
+
+class TestSpreadFindings:
+    def test_head_sites_dominate_phone_coverage(self, restaurants_phone):
+        """Fig 1(a): top-10 sites cover ~93%, top-100 near 100%."""
+        inc = restaurants_phone.incidence
+        assert coverage_at(inc, 10, k=1) > 0.85
+        assert coverage_at(inc, 100, k=1) > 0.97
+
+    def test_redundancy_needs_many_more_sites(self, restaurants_phone):
+        """Fig 1(a): k=5 coverage needs far more sites than k=1."""
+        inc = restaurants_phone.incidence
+        sites_k1 = sites_needed_for_coverage(inc, 0.9, k=1)
+        sites_k5 = sites_needed_for_coverage(inc, 0.9, k=5)
+        assert sites_k1 is not None and sites_k5 is not None
+        assert sites_k5 > 10 * sites_k1
+
+    def test_homepage_more_spread_than_phone(
+        self, restaurants_phone, restaurants_homepage
+    ):
+        """Fig 2(a) vs 1(a): homepages take far more sites to cover."""
+        phone_sites = sites_needed_for_coverage(
+            restaurants_phone.incidence, 0.9, k=1
+        )
+        homepage_sites = sites_needed_for_coverage(
+            restaurants_homepage.incidence, 0.9, k=1
+        )
+        assert homepage_sites > 3 * phone_sites
+
+    def test_tail_carries_information(self, restaurants_homepage):
+        """The long tail is not optional: top-10 sites leave a gap."""
+        assert coverage_at(restaurants_homepage.incidence, 10, k=1) < 0.85
+
+    def test_reviews_aggregate_more_spread_than_entity_coverage(self, config):
+        """Fig 4(b) vs 4(a): page share lags entity coverage in the head."""
+        result = run_figure4(config)
+        checkpoints = result.spread.curves.checkpoints
+        k1 = result.spread.curves.curve(1)
+        mid = np.searchsorted(checkpoints, 100)
+        assert result.aggregate_fractions[mid] < k1[mid]
+
+    def test_greedy_improvement_insignificant(self, config):
+        """Fig 5: a careful choice of hosts does not change the story."""
+        result = run_figure5(config)
+        assert result.max_improvement() < 0.15
+        # and the two curves converge at the tail
+        assert result.by_greedy[-1] == pytest.approx(result.by_size[-1], abs=0.02)
+
+
+class TestTailValueFindings:
+    def test_demand_concentration_ordering(self, config):
+        """Fig 6: IMDb sharpest, Yelp flattest, Amazon between."""
+        curves = run_figure6(config)
+        for source in ("search", "browse"):
+            shares = {
+                site: curves[source][site].share_of_top(0.2)
+                for site in ("imdb", "amazon", "yelp")
+            }
+            assert shares["imdb"] > shares["amazon"] > shares["yelp"]
+
+    def test_headline_top20_numbers(self, config):
+        """Fig 6(a): IMDb top-20% >= ~90%, Yelp top-20% around 60%."""
+        curves = run_figure6(config)
+        assert curves["search"]["imdb"].share_of_top(0.2) > 0.85
+        assert 0.45 < curves["search"]["yelp"].share_of_top(0.2) < 0.75
+
+    def test_browse_more_concentrated_than_search(self, config):
+        curves = run_figure6(config)
+        for site in ("imdb", "amazon", "yelp"):
+            assert curves["browse"][site].share_of_top(0.2) >= (
+                curves["search"][site].share_of_top(0.2) - 0.02
+            )
+
+    def test_demand_increases_with_reviews(self, config):
+        """Fig 7: entities with more reviews see more demand."""
+        for site in ("imdb", "amazon", "yelp"):
+            dataset = build_traffic_dataset(site, config)
+            from repro.core.valueadd import demand_vs_reviews
+
+            __, means = demand_vs_reviews(dataset.search_demand, dataset.reviews)
+            assert means[-1] > means[0]
+
+    def test_value_add_decreasing_for_yelp_amazon(self, config):
+        """Fig 8: availability decays faster than demand on the tail."""
+        curves = run_figure8(config)
+        for site in ("yelp", "amazon"):
+            for source in ("search", "browse"):
+                curve = curves[site][source]
+                assert curve.relative_value_add[0] == pytest.approx(1.0)
+                assert curve.is_decreasing_overall(), (site, source)
+                # the head group is worth well under the tail group
+                assert curve.relative_value_add[-1] < 0.5
+
+    def test_value_add_mid_peak_for_imdb(self, config):
+        """Fig 8(c): IMDb rises for mid-popularity, falls at the head."""
+        curve = curves = run_figure8(config)["imdb"]["search"]
+        values = curve.relative_value_add
+        peak = int(np.argmax(values))
+        assert 0 < peak < len(values) - 1
+        assert values[peak] > 1.2
+        assert values[-1] < values[peak]
+
+
+class TestConnectivityFindings:
+    @pytest.fixture(scope="class")
+    def phone_incidence(self, config):
+        return get_profile("restaurants", "phone").generate(
+            config.scale_preset, seed=11
+        )
+
+    def test_largest_component_dominates(self, phone_incidence):
+        """Table 2: largest component holds ~99%+ of entities."""
+        summary = EntitySiteGraph(phone_incidence).components()
+        assert summary.fraction_entities_in_largest > 0.985
+        assert summary.n_components > 1
+
+    def test_diameter_small(self, phone_incidence):
+        """Table 2: diameters are small (d/2 <= ~4 iterations)."""
+        metrics = GraphMetrics.measure(phone_incidence, "restaurants", "phone")
+        assert 3 <= metrics.diameter <= 10
+
+    def test_avg_sites_per_entity_near_table2(self, phone_incidence):
+        assert 25 <= phone_incidence.average_sites_per_entity() <= 40  # paper: 32
+
+    def test_robust_to_removing_top_sites(self, phone_incidence):
+        """Fig 9: removing the top-10 sites barely dents connectivity."""
+        __, fractions = robustness_curve(phone_incidence, max_removed=10)
+        assert fractions[-1] > 0.95
+
+    def test_homepage_robustness_weaker_but_high(self, config):
+        inc = get_profile("home", "homepage").generate(config.scale_preset, seed=12)
+        __, fractions = robustness_curve(inc, max_removed=10)
+        assert fractions[-1] > 0.85
+
+    def test_bootstrap_discovers_component_within_diameter_bound(
+        self, phone_incidence
+    ):
+        """Section 5: iterations <= d/2 for the perfect expansion."""
+        graph = EntitySiteGraph(phone_incidence)
+        diameter = graph.diameter()
+        summary = graph.components()
+        expansion = BootstrapExpansion(phone_incidence)
+        trace = expansion.random_seed_trial(seed_size=5, rng=13)
+        assert trace.iterations <= diameter // 2 + 1
+        assert len(trace.entities) >= summary.largest_component_entities

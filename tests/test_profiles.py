@@ -1,0 +1,99 @@
+"""Tests for the per-(domain, attribute) generation profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities.domains import (
+    ATTRIBUTE_HOMEPAGE,
+    ATTRIBUTE_ISBN,
+    ATTRIBUTE_PHONE,
+    ATTRIBUTE_REVIEWS,
+    LOCAL_BUSINESS_DOMAINS,
+)
+from repro.webgen.profiles import PROFILES, SCALES, get_profile, profile_keys
+
+
+def test_registry_covers_all_table2_rows():
+    # 8 domains x {phone, homepage} + books/isbn + restaurants/reviews
+    assert len(PROFILES) == 18
+    for domain in LOCAL_BUSINESS_DOMAINS:
+        assert (domain, ATTRIBUTE_PHONE) in PROFILES
+        assert (domain, ATTRIBUTE_HOMEPAGE) in PROFILES
+    assert ("books", ATTRIBUTE_ISBN) in PROFILES
+    assert ("restaurants", ATTRIBUTE_REVIEWS) in PROFILES
+
+
+def test_profile_keys_filter():
+    phones = profile_keys(ATTRIBUTE_PHONE)
+    assert len(phones) == 8
+    assert all(attr == ATTRIBUTE_PHONE for _, attr in phones)
+    assert len(profile_keys()) == 18
+
+
+def test_get_profile_unknown():
+    with pytest.raises(KeyError, match="no profile"):
+        get_profile("florists", ATTRIBUTE_PHONE)
+
+
+def test_homepage_more_skewed_than_phone():
+    """Homepage profiles encode the larger spread of Figure 2."""
+    for domain in LOCAL_BUSINESS_DOMAINS:
+        phone = get_profile(domain, ATTRIBUTE_PHONE)
+        homepage = get_profile(domain, ATTRIBUTE_HOMEPAGE)
+        assert homepage.popularity_exponent > phone.popularity_exponent
+
+
+def test_generate_tiny_deterministic():
+    profile = get_profile("banks", ATTRIBUTE_PHONE)
+    a = profile.generate("tiny", seed=5)
+    b = profile.generate("tiny", seed=5)
+    assert a.site_hosts == b.site_hosts
+    assert (a.entity_idx == b.entity_idx).all()
+
+
+def test_generate_respects_scale():
+    profile = get_profile("banks", ATTRIBUTE_PHONE)
+    tiny = profile.generate("tiny", seed=1)
+    assert tiny.n_entities == SCALES["tiny"].n_entities
+
+
+def test_distinct_domains_get_distinct_corpora():
+    a = get_profile("banks", ATTRIBUTE_PHONE).generate("tiny", seed=1)
+    b = get_profile("schools", ATTRIBUTE_PHONE).generate("tiny", seed=1)
+    assert (a.entity_idx.shape != b.entity_idx.shape) or (
+        not (a.entity_idx == b.entity_idx).all()
+    )
+
+
+def test_review_profile_attaches_multiplicity():
+    inc = get_profile("restaurants", ATTRIBUTE_REVIEWS).generate("tiny", seed=2)
+    assert inc.multiplicity is not None
+    assert inc.total_pages() >= inc.n_edges
+
+
+def test_non_review_profiles_have_no_multiplicity():
+    inc = get_profile("restaurants", ATTRIBUTE_PHONE).generate("tiny", seed=2)
+    assert inc.multiplicity is None
+
+
+def test_books_site_factor_override():
+    books = get_profile("books", ATTRIBUTE_ISBN)
+    inc = books.generate("tiny", seed=3)
+    # site_factor=1.0 -> about as many model sites as entities (plus islands)
+    assert inc.n_sites < 2 * SCALES["tiny"].n_entities
+
+
+def test_avg_mentions_tracks_table2_targets():
+    """Generated corpora hit the Table 2 sites-per-entity targets."""
+    scale = SCALES["small"]
+    for domain, attribute in [
+        ("restaurants", ATTRIBUTE_PHONE),
+        ("hotels", ATTRIBUTE_PHONE),
+        ("home", ATTRIBUTE_HOMEPAGE),
+    ]:
+        profile = get_profile(domain, attribute)
+        inc = profile.generate(scale, seed=4)
+        target = profile.target_sites_per_entity
+        measured = inc.average_sites_per_entity()
+        assert 0.8 * target <= measured <= 1.2 * target, (domain, attribute)

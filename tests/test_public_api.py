@@ -1,0 +1,66 @@
+"""Public-API hygiene: every ``__all__`` name resolves, every module imports."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.clustering",
+    "repro.core",
+    "repro.crawl",
+    "repro.discovery",
+    "repro.entities",
+    "repro.extract",
+    "repro.linking",
+    "repro.pipeline",
+    "repro.report",
+    "repro.traffic",
+    "repro.webgen",
+]
+
+
+def all_modules() -> list[str]:
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            names.append(f"{package_name}.{info.name}")
+    return sorted(set(names))
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported is not None, f"{package_name} has no __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted_and_unique(package_name):
+    package = importlib.import_module(package_name)
+    exported = list(package.__all__)
+    assert len(exported) == len(set(exported)), f"{package_name}: duplicates"
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,93 @@
+"""Tests for the content-redundancy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incidence import BipartiteIncidence
+from repro.core.redundancy import (
+    head_site_overlap_matrix,
+    marginal_novelty_profile,
+    redundancy_report,
+    replication_histogram,
+)
+
+
+def test_replication_histogram(tiny_incidence):
+    counts, frequency = replication_histogram(tiny_incidence, max_count=3)
+    # mentions: [1,1,2,2,2,1] -> 3 singletons, 3 doubles of 6 mentioned
+    assert counts.tolist() == [1, 2, 3]
+    assert frequency.tolist() == pytest.approx([0.5, 0.5, 0.0])
+    assert frequency.sum() == pytest.approx(1.0)
+
+
+def test_replication_histogram_clips_tail():
+    inc = BipartiteIncidence.from_site_lists(
+        n_entities=1, sites=[(f"s{i}", [0]) for i in range(30)]
+    )
+    counts, frequency = replication_histogram(inc, max_count=5)
+    assert frequency[-1] == pytest.approx(1.0)  # 30 mentions -> >= 5 bucket
+
+
+def test_replication_histogram_empty():
+    inc = BipartiteIncidence.from_site_lists(n_entities=3, sites=[])
+    __, frequency = replication_histogram(inc)
+    assert frequency.sum() == 0.0
+
+
+def test_replication_rejects_bad_max():
+    inc = BipartiteIncidence.from_site_lists(n_entities=1, sites=[])
+    with pytest.raises(ValueError):
+        replication_histogram(inc, max_count=0)
+
+
+def test_head_overlap_matrix(tiny_incidence):
+    hosts, matrix = head_site_overlap_matrix(tiny_incidence, top=2)
+    assert hosts == ["big.example", "mid.example"]
+    assert matrix[0, 0] == pytest.approx(1.0)
+    # overlap {2,3} over union {0,1,2,3,4} = 2/5
+    assert matrix[0, 1] == pytest.approx(2 / 5)
+    assert matrix[1, 0] == matrix[0, 1]
+
+
+def test_head_overlap_rejects_bad_top(tiny_incidence):
+    with pytest.raises(ValueError):
+        head_site_overlap_matrix(tiny_incidence, top=0)
+
+
+def test_marginal_novelty_profile(tiny_incidence):
+    profile = marginal_novelty_profile(tiny_incidence)
+    # big.example: all 4 new; mid: 1 of 3 new; small: 0 of 1; island: new
+    assert profile.tolist() == pytest.approx([1.0, 1 / 3, 0.0, 1.0])
+
+
+def test_marginal_novelty_custom_order(tiny_incidence):
+    profile = marginal_novelty_profile(tiny_incidence, order=np.array([1, 0]))
+    assert profile[0] == pytest.approx(1.0)
+    assert profile[1] == pytest.approx(0.5)  # big adds 0,1 of 4
+
+
+def test_redundancy_report(tiny_incidence):
+    report = redundancy_report(tiny_incidence)
+    assert report.redundancy_coefficient == pytest.approx(9 / 6)
+    assert report.singleton_fraction == pytest.approx(0.5)
+    assert report.median_replication == pytest.approx(1.5)
+    assert 0.0 <= report.head_overlap_mean <= 1.0
+    assert report.novelty_decay_rank == 3  # small.example adds nothing
+
+
+def test_redundancy_report_empty():
+    inc = BipartiteIncidence.from_site_lists(n_entities=5, sites=[])
+    report = redundancy_report(inc)
+    assert report.redundancy_coefficient == 0.0
+
+
+def test_redundancy_tracks_generated_profile():
+    """Generated corpora should show paper-scale redundancy."""
+    from repro.webgen.profiles import get_profile
+
+    inc = get_profile("restaurants", "phone").generate("tiny", seed=1)
+    report = redundancy_report(inc)
+    assert report.redundancy_coefficient > 5  # avg mentions target ~9.6 at tiny
+    assert report.singleton_fraction < 0.2

@@ -1,0 +1,101 @@
+"""Tests for the ASCII table/plot and CSV reporting layer."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.report.figures import ascii_plot, series_to_csv, write_csv
+from repro.report.tables import ascii_table, format_float
+
+
+class TestTables:
+    def test_basic_table(self):
+        table = ascii_table(["name", "value"], [["alpha", 1], ["beta", 2.5]])
+        assert "| name  | value |" in table
+        assert "alpha" in table and "2.50" in table
+
+    def test_title_included(self):
+        table = ascii_table(["a"], [["x"]], title="Table 9")
+        assert table.startswith("Table 9")
+
+    def test_numeric_right_alignment(self):
+        table = ascii_table(["n"], [[1], [100]])
+        lines = table.splitlines()
+        assert "|   1 |" in lines[-3]
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only-one"]])
+
+    def test_format_float(self):
+        assert format_float(3.0) == "3"
+        assert format_float(3.14159) == "3.14"
+        assert format_float(3.14159, digits=4) == "3.1416"
+
+
+class TestPlots:
+    def test_basic_plot_renders(self):
+        chart = ascii_plot(
+            {"linear": ([1, 2, 3], [1, 2, 3])}, width=20, height=6
+        )
+        assert "[1] linear" in chart
+        assert "|" in chart
+
+    def test_log_axes_drop_nonpositive(self):
+        chart = ascii_plot(
+            {"s": ([0, 1, 10], [0.0, 0.5, 1.0])},
+            log_x=True,
+            width=20,
+            height=6,
+        )
+        assert "[1] s" in chart
+
+    def test_multiple_series_glyphs(self):
+        chart = ascii_plot(
+            {"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])}, width=16, height=5
+        )
+        assert "[1] a" in chart and "[2] b" in chart
+        assert "1" in chart and "2" in chart
+
+    def test_title_and_labels(self):
+        chart = ascii_plot(
+            {"s": ([1], [1])}, title="My Chart", x_label="t", y_label="cov"
+        )
+        assert chart.startswith("My Chart")
+        assert "t vs cov" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": ([1], [1])}, width=2)
+        with pytest.raises(ValueError):
+            ascii_plot({"s": ([1, 2], [1])})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": ([0], [1])}, log_x=True)  # empty after filter
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_plot({"flat": ([1, 2, 3], [5, 5, 5])}, width=12, height=4)
+        assert "flat" in chart
+
+
+class TestCsv:
+    def test_series_to_csv_long_format(self):
+        rows = series_to_csv({"s": ([1, 2], [3.0, 4.0])})
+        assert rows[0] == ["series", "x", "y"]
+        assert rows[1] == ["s", 1.0, 3.0]
+        assert len(rows) == 3
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = write_csv(
+            tmp_path / "out" / "series.csv",
+            {"curve": (np.array([1.0, 10.0]), np.array([0.1, 0.9]))},
+        )
+        assert path.exists()
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["series", "x", "y"]
+        assert rows[1] == ["curve", "1.0", "0.1"]

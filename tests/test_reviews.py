@@ -1,0 +1,62 @@
+"""Tests for the review detector (phone match + classifier)."""
+
+from __future__ import annotations
+
+from repro.entities.ids import format_phone
+from repro.extract.reviews import ReviewDetector, strip_tags
+from repro.webgen.html import PageRenderer
+from repro.webgen.text import ReviewTextGenerator
+
+
+def test_strip_tags():
+    assert strip_tags("<p>hello <b>world</b></p>").split() == ["hello", "world"]
+
+
+def detector_for(db) -> ReviewDetector:
+    return ReviewDetector.trained(db, n_training_documents=300, seed=9)
+
+
+def test_detects_review_page(restaurant_db):
+    detector = detector_for(restaurant_db)
+    listing = restaurant_db.get(restaurant_db.entity_ids[0]).payload
+    renderer = PageRenderer(1)
+    text = ReviewTextGenerator(2)
+    page = renderer.review_page("blog.example", listing, text, is_review=True)
+    entity_ids, is_review = detector.detect(page)
+    assert listing.entity_id in entity_ids
+    assert is_review
+    assert detector.review_entities(page) == {listing.entity_id}
+
+
+def test_rejects_directory_page(restaurant_db):
+    detector = detector_for(restaurant_db)
+    listing = restaurant_db.get(restaurant_db.entity_ids[1]).payload
+    renderer = PageRenderer(3)
+    text = ReviewTextGenerator(4)
+    page = renderer.review_page("dir.example", listing, text, is_review=False)
+    entity_ids, is_review = detector.detect(page)
+    assert listing.entity_id in entity_ids
+    assert not is_review
+    assert detector.review_entities(page) == set()
+
+
+def test_page_without_known_phone(restaurant_db):
+    detector = detector_for(restaurant_db)
+    page = "<p>a lovely review of nothing in particular</p>"
+    assert detector.detect(page) == (set(), False)
+
+
+def test_page_with_unknown_phone(restaurant_db):
+    detector = detector_for(restaurant_db)
+    page = f"<p>wonderful! call {format_phone('9995550123')}</p>"
+    assert detector.detect(page) == (set(), False)
+
+
+def test_detector_classifier_accuracy(restaurant_db):
+    """The trained detector's classifier generalizes to fresh text."""
+    detector = detector_for(restaurant_db)
+    held_out = ReviewTextGenerator(99).labeled_corpus(200)
+    accuracy = detector.classifier.accuracy(
+        [t for t, _ in held_out], [l for _, l in held_out]
+    )
+    assert accuracy > 0.9

@@ -1,0 +1,113 @@
+"""Adversarial-input robustness: extractors must degrade, not crash.
+
+Real crawls contain broken markup, unicode soup, absurdly long tokens,
+and adversarial near-matches.  These tests feed such pages through
+every extractor and assert two things: no exceptions, and no false
+entity matches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extract.homepages import extract_homepages
+from repro.extract.isbn import extract_isbns
+from repro.extract.naive_bayes import NaiveBayesClassifier, tokenize
+from repro.extract.phones import extract_phones
+from repro.extract.reviews import strip_tags
+from repro.extract.wrappers import WrapperInducer
+from repro.linking.similarity import name_similarity
+
+ADVERSARIAL_PAGES = [
+    "",  # empty
+    "\x00\x01\x02 binary junk \xff",
+    "<html>" + "<div>" * 200 + "deep nesting" + "</div>" * 200,
+    "<a href='",  # truncated mid-attribute
+    "<!-- <a href='http://comment.example/'>commented out</a> -->",
+    "plain text with no markup at all " * 50,
+    "日本語のテキスト 电话 ☎️ +1 (415) 555-0123 📞",  # unicode + real phone
+    "<p>" + "9" * 10_000 + "</p>",  # one enormous digit run
+    "ISBN " + "ISBN " * 500,  # marker spam with no numbers
+    "<a href='http://[malformed'>bad url</a>",
+]
+
+
+@pytest.mark.parametrize("page", ADVERSARIAL_PAGES, ids=range(len(ADVERSARIAL_PAGES)))
+def test_phone_extractor_never_crashes(page):
+    result = extract_phones(page)
+    assert isinstance(result, set)
+
+
+@pytest.mark.parametrize("page", ADVERSARIAL_PAGES, ids=range(len(ADVERSARIAL_PAGES)))
+def test_isbn_extractor_never_crashes(page):
+    result = extract_isbns(page)
+    assert isinstance(result, set)
+
+
+@pytest.mark.parametrize("page", ADVERSARIAL_PAGES, ids=range(len(ADVERSARIAL_PAGES)))
+def test_homepage_extractor_never_crashes(page):
+    result = extract_homepages(page)
+    assert isinstance(result, set)
+
+
+@pytest.mark.parametrize("page", ADVERSARIAL_PAGES, ids=range(len(ADVERSARIAL_PAGES)))
+def test_wrapper_inducer_never_crashes(page):
+    wrapper = WrapperInducer().induce(page)
+    assert wrapper is None or wrapper.record_count >= 2
+
+
+def test_unicode_page_still_finds_real_phone():
+    page = "日本語のテキスト 电话 ☎️ +1 (415) 555-0123 📞"
+    assert extract_phones(page) == {"4155550123"}
+
+
+def test_huge_digit_run_matches_nothing():
+    assert extract_phones("9" * 10_000) == set()
+    assert extract_isbns("ISBN " + "9" * 10_000) == set()
+
+
+def test_strip_tags_on_broken_markup():
+    assert "text" in strip_tags("<div <span>text</span >")
+
+
+def test_tokenizer_on_unicode():
+    tokens = tokenize("Crème brûlée was great! 完璧")
+    assert "was" in tokens and "great" in tokens
+
+
+def test_classifier_on_empty_and_unicode():
+    clf = NaiveBayesClassifier().fit(
+        ["good great", "bad awful"], [True, False]
+    )
+    assert clf.predict("") in (True, False)
+    assert clf.predict("日本語だけ") in (True, False)
+
+
+def test_name_similarity_on_degenerate_strings():
+    assert name_similarity("", "") == 0.0
+    assert 0.0 <= name_similarity("a" * 500, "a" * 499) <= 1.0
+    assert name_similarity("!!!", "???") == 0.0
+
+
+def test_isbn_near_miss_patterns():
+    """Sequences that look ISBN-ish but must not validate."""
+    near_misses = [
+        "ISBN 978-0-306-40615-8",   # wrong check digit
+        "ISBN 0306406152X",         # 11 chars
+        "ISBN 97803064061",         # 11 digits
+        "ISBN: 1234567890123456",   # too long
+    ]
+    for text in near_misses:
+        assert extract_isbns(text) == set(), text
+
+
+def test_phone_near_miss_patterns():
+    near_misses = [
+        "415-555-012",        # 9 digits
+        "415-555-01234",      # 11 digits, no leading 1
+        "045-555-0123",       # area code starts with 0
+        "415-155-0123",       # exchange starts with 1
+        "911-555-0123",       # N11 area code
+    ]
+    for text in near_misses:
+        assert extract_phones(text) == set(), text

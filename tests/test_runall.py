@@ -1,0 +1,83 @@
+"""Tests for the run-everything orchestrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.runall import run_everything
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    config = ExperimentConfig(
+        scale="tiny",
+        seed=1,
+        traffic_entities=2000,
+        traffic_events=20000,
+        traffic_cookies=4000,
+    )
+    directory = tmp_path_factory.mktemp("artifacts")
+    written = run_everything(directory, config, verbose=False)
+    return directory, written
+
+
+def test_all_paper_artifacts_written(artifacts):
+    directory, written = artifacts
+    expected = {
+        "table1",
+        "table2",
+        "figure3",
+        "figure4",
+        "figure5",
+        "figure6_search",
+        "figure6_browse",
+        "figure9_phone",
+        "figure9_homepage",
+        "figure9_isbn",
+    }
+    assert expected <= set(written)
+    # figures 1 & 2: one panel per local-business domain
+    assert sum(1 for name in written if name.startswith("figure1_")) == 8
+    assert sum(1 for name in written if name.startswith("figure2_")) == 8
+    # figures 7 & 8: one panel per traffic site
+    assert sum(1 for name in written if name.startswith("figure7_")) == 3
+    assert sum(1 for name in written if name.startswith("figure8_")) == 3
+
+
+def test_files_exist_and_nonempty(artifacts):
+    directory, written = artifacts
+    for name in written:
+        text = directory / f"{name}.txt"
+        assert text.exists(), name
+        assert text.stat().st_size > 0, name
+
+
+def test_csvs_written_for_figures(artifacts):
+    directory, written = artifacts
+    assert (directory / "figure3.csv").exists()
+    assert (directory / "figure8_yelp.csv").exists()
+    assert (directory / "figure9_phone.csv").exists()
+
+
+def test_cli_all_command(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "all",
+            str(tmp_path / "out"),
+            "--scale",
+            "tiny",
+            "--traffic-entities",
+            "1500",
+            "--traffic-events",
+            "15000",
+            "--traffic-cookies",
+            "3000",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "artifacts in" in out
+    assert (tmp_path / "out" / "table2.txt").exists()

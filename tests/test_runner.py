@@ -1,0 +1,107 @@
+"""Integration tests: render → crawl → extract recovers the truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incidence import BipartiteIncidence
+from repro.extract.runner import ExtractionRunner
+from repro.webgen.corpus import CorpusBuilder
+
+
+def build_incidence(db, n_sites=8, entities_per_site=12, seed=0):
+    rng = np.random.default_rng(seed)
+    sites = []
+    for s in range(n_sites):
+        entities = rng.choice(
+            len(db), size=min(entities_per_site, len(db)), replace=False
+        )
+        sites.append((f"site{s}.example", entities.tolist()))
+    return BipartiteIncidence.from_site_lists(
+        n_entities=len(db), sites=sites, entity_ids=db.entity_ids
+    )
+
+
+def edges_as_set(inc):
+    edges = set()
+    for s in range(inc.n_sites):
+        for e in inc.site_entities(s).tolist():
+            edges.add((inc.site_hosts[s], e))
+    return edges
+
+
+@pytest.mark.parametrize("attribute", ["phone", "isbn"])
+def test_exact_recovery(attribute, restaurant_db, book_db):
+    db = restaurant_db if attribute == "phone" else book_db
+    inc = build_incidence(db, seed=1)
+    corpus = CorpusBuilder(db, attribute, seed=2).build(inc)
+    runner = ExtractionRunner(db, attribute)
+    extracted = runner.run(corpus.cache)
+    assert edges_as_set(extracted) == edges_as_set(corpus.truth)
+    assert runner.stats.pages_scanned == corpus.cache.n_pages()
+    assert runner.stats.pages_with_matches > 0
+
+
+def test_homepage_recovery(restaurant_db):
+    inc = build_incidence(restaurant_db, seed=3)
+    corpus = CorpusBuilder(restaurant_db, "homepage", seed=4).build(inc)
+    extracted = ExtractionRunner(restaurant_db, "homepage").run(corpus.cache)
+    assert edges_as_set(extracted) == edges_as_set(corpus.truth)
+
+
+def test_review_recovery_is_noisy_but_high(restaurant_db):
+    """Reviews go through the classifier, so recovery is approximate."""
+    inc = BipartiteIncidence.from_site_lists(
+        n_entities=len(restaurant_db),
+        sites=[(f"rev{s}.example", list(range(s * 10, s * 10 + 10))) for s in range(5)],
+        multiplicities=[[2] * 10 for _ in range(5)],
+        entity_ids=restaurant_db.entity_ids,
+    )
+    corpus = CorpusBuilder(
+        restaurant_db, "reviews", review_purity=0.9, seed=5
+    ).build(inc)
+    extracted = ExtractionRunner(restaurant_db, "reviews").run(
+        corpus.cache, with_multiplicity=True
+    )
+    truth_edges = edges_as_set(corpus.truth)
+    found_edges = edges_as_set(extracted)
+    recall = len(found_edges & truth_edges) / len(truth_edges)
+    assert recall > 0.7
+    # no hallucinated entities outside the rendered ones
+    assert found_edges <= truth_edges
+
+
+def test_noise_pages_do_not_create_edges(restaurant_db):
+    inc = build_incidence(restaurant_db, n_sites=4, seed=6)
+    corpus = CorpusBuilder(
+        restaurant_db, "phone", noise_page_rate=2.0, seed=7
+    ).build(inc)
+    assert corpus.n_noise_pages > 0
+    extracted = ExtractionRunner(restaurant_db, "phone").run(corpus.cache)
+    assert edges_as_set(extracted) == edges_as_set(corpus.truth)
+
+
+def test_hit_rate_below_one_with_noise(restaurant_db):
+    inc = build_incidence(restaurant_db, n_sites=4, seed=8)
+    corpus = CorpusBuilder(
+        restaurant_db, "phone", noise_page_rate=2.0, seed=9
+    ).build(inc)
+    runner = ExtractionRunner(restaurant_db, "phone")
+    runner.run(corpus.cache)
+    assert 0.0 < runner.stats.hit_rate <= 1.0
+
+
+def test_unsupported_attribute_rejected(restaurant_db):
+    with pytest.raises(ValueError):
+        ExtractionRunner(restaurant_db, "color")
+
+
+def test_multiplicity_output(restaurant_db):
+    inc = build_incidence(restaurant_db, n_sites=2, seed=10)
+    corpus = CorpusBuilder(restaurant_db, "phone", seed=11).build(inc)
+    extracted = ExtractionRunner(restaurant_db, "phone").run(
+        corpus.cache, with_multiplicity=True
+    )
+    assert extracted.multiplicity is not None
+    assert extracted.multiplicity.min() >= 1

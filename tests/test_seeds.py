@@ -1,0 +1,62 @@
+"""Tests for the seed-sensitivity study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discovery.seeds import (
+    seed_origin_comparison,
+    seed_success_probability,
+)
+from repro.webgen.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def incidence():
+    return get_profile("restaurants", "phone").generate("tiny", seed=13)
+
+
+def test_success_rises_with_seed_size(incidence):
+    study = seed_success_probability(
+        incidence, seed_sizes=(1, 3, 8), trials=15, rng=1
+    )
+    assert study.success_rate[-1] >= study.success_rate[0]
+    assert study.success_rate[-1] > 0.9  # the paper's "all but surely"
+
+
+def test_matches_analytic_prediction(incidence):
+    study = seed_success_probability(
+        incidence, seed_sizes=(1, 2, 5), trials=40, rng=2
+    )
+    # empirical success should track 1-(1-p)^s within sampling noise
+    assert np.all(np.abs(study.success_rate - study.predicted) < 0.25)
+
+
+def test_mean_coverage_reported(incidence):
+    study = seed_success_probability(
+        incidence, seed_sizes=(2,), trials=10, rng=3
+    )
+    assert 0.0 < study.mean_coverage[0] <= 1.0
+
+
+def test_validation(incidence):
+    with pytest.raises(ValueError):
+        seed_success_probability(incidence, trials=0)
+    with pytest.raises(ValueError):
+        seed_success_probability(incidence, success_threshold=0.0)
+    with pytest.raises(ValueError):
+        seed_success_probability(incidence, seed_sizes=(0,), trials=2)
+
+
+def test_origin_does_not_matter(incidence):
+    """Connectivity makes head and tail seeds equally effective."""
+    comparison = seed_origin_comparison(incidence, seed_size=3, trials=10, rng=4)
+    assert set(comparison) == {"head", "tail", "uniform"}
+    values = list(comparison.values())
+    assert max(values) - min(values) < 0.1
+
+
+def test_origin_validation(incidence):
+    with pytest.raises(ValueError):
+        seed_origin_comparison(incidence, seed_size=0)

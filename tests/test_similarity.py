@@ -1,0 +1,110 @@
+"""Tests for the record-linkage string comparators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linking.similarity import (
+    jaro,
+    jaro_winkler,
+    mention_listing_score,
+    name_similarity,
+    normalize_name,
+    token_jaccard,
+)
+
+
+class TestJaro:
+    def test_identity(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        # the canonical record-linkage example
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-4)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+        assert jaro("", "") == 1.0
+
+    def test_symmetry(self):
+        assert jaro("dwayne", "duane") == jaro("duane", "dwayne")
+
+    @given(st.text(alphabet="abcdef", max_size=12), st.text(alphabet="abcdef", max_size=12))
+    @settings(max_examples=100)
+    def test_property_bounds_and_symmetry(self, a, b):
+        value = jaro(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaro(b, a))
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+
+    def test_no_boost_without_prefix(self):
+        assert jaro_winkler("abcd", "xbcd") == pytest.approx(jaro("abcd", "xbcd"))
+
+    def test_identity(self):
+        assert jaro_winkler("same", "same") == 1.0
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    @given(st.text(alphabet="abcdef", max_size=10), st.text(alphabet="abcdef", max_size=10))
+    @settings(max_examples=100)
+    def test_property_dominates_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+
+class TestTokensAndNames:
+    def test_token_jaccard(self):
+        assert token_jaccard("golden grill", "grill golden") == 1.0
+        assert token_jaccard("golden grill", "golden spoon") == pytest.approx(1 / 3)
+        assert token_jaccard("", "") == 1.0
+
+    def test_normalize_name(self):
+        assert normalize_name("Joe's Grill & Co.") == "joes grill and company"
+        assert normalize_name("Main St Rest") == "main street restaurant"
+
+    def test_name_similarity_handles_reordering(self):
+        assert name_similarity("Golden Grill Restaurant", "Restaurant Golden Grill") == 1.0
+
+    def test_name_similarity_handles_abbreviation(self):
+        assert name_similarity("Walker's Rest", "Walker's Restaurant") > 0.9
+
+    def test_name_similarity_distinct_businesses(self):
+        assert name_similarity("Blue Lotus Spa", "Iron Horse Tavern") < 0.6
+
+    def test_empty_name(self):
+        assert name_similarity("", "anything") == 0.0
+
+
+class TestCombinedScore:
+    def test_phone_match_dominates(self):
+        score = mention_listing_score(
+            "X", "Completely Different", False, False, phone_match=True
+        )
+        assert score >= 0.2  # full phone weight
+
+    def test_phone_mismatch_penalizes(self):
+        with_match = mention_listing_score("Same Name", "Same Name", True, True, True)
+        with_mismatch = mention_listing_score(
+            "Same Name", "Same Name", True, True, False
+        )
+        assert with_mismatch < with_match
+
+    def test_missing_phone_reweights_name(self):
+        score = mention_listing_score("Same Name", "Same Name", True, True, None)
+        assert score == pytest.approx(1.0)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            mention_listing_score("a", "b", True, True, True, name_weight=0.9)
+
+    def test_perfect_everything(self):
+        assert mention_listing_score("A B", "A B", True, True, True) == pytest.approx(1.0)

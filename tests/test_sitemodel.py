@@ -1,0 +1,69 @@
+"""Tests for the site-size power law and its calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.webgen.sitemodel import SiteSizeModel, calibrate_size_exponent
+
+
+def test_sizes_shape_and_floor():
+    model = SiteSizeModel(n_entities=1000, n_sites=200, head_coverage=0.5, exponent=1.0)
+    sizes = model.sizes()
+    assert len(sizes) == 200
+    assert sizes[0] == 500  # head coverage
+    assert np.all(np.diff(sizes) <= 0)  # non-increasing
+    assert sizes.min() >= 1  # floor
+
+
+def test_calibration_hits_target():
+    target = 20.0
+    model = SiteSizeModel.calibrated(
+        n_entities=2000, n_sites=4000, head_coverage=0.6, target_edges_per_entity=target
+    )
+    assert model.edges_per_entity() == pytest.approx(target, rel=0.02)
+
+
+def test_calibration_unreachable_target():
+    with pytest.raises(ValueError, match="outside the reachable range"):
+        calibrate_size_exponent(
+            n_entities=1000,
+            n_sites=10,
+            head_coverage=0.1,
+            target_edges_per_entity=500.0,
+        )
+
+
+def test_calibration_input_validation():
+    with pytest.raises(ValueError):
+        calibrate_size_exponent(0, 10, 0.5, 5.0)
+    with pytest.raises(ValueError):
+        calibrate_size_exponent(10, 10, 0.0, 5.0)
+    with pytest.raises(ValueError):
+        calibrate_size_exponent(10, 10, 1.5, 5.0)
+    with pytest.raises(ValueError):
+        calibrate_size_exponent(10, 10, 0.5, -1.0)
+
+
+def test_higher_exponent_fewer_edges():
+    low = SiteSizeModel(1000, 500, 0.5, 0.3).edges_per_entity()
+    high = SiteSizeModel(1000, 500, 0.5, 2.0).edges_per_entity()
+    assert low > high
+
+
+@given(
+    st.integers(min_value=100, max_value=5000),
+    st.integers(min_value=50, max_value=2000),
+    st.floats(min_value=0.1, max_value=0.9),
+    st.floats(min_value=0.5, max_value=3.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_calibration_roundtrip(n_entities, n_sites, head, exponent):
+    """Calibrating to a model's own edge count recovers a model with the
+    same edge count (the exponent may differ where the floor saturates)."""
+    reference = SiteSizeModel(n_entities, n_sites, head, exponent)
+    target = reference.edges_per_entity()
+    calibrated = SiteSizeModel.calibrated(n_entities, n_sites, head, target)
+    assert calibrated.edges_per_entity() == pytest.approx(target, rel=0.05)

@@ -1,0 +1,60 @@
+"""Tests for the page stores (memory and SQLite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawl.store import MemoryPageStore, Page, SqlitePageStore
+
+
+def stores():
+    return [MemoryPageStore(), SqlitePageStore(":memory:")]
+
+
+@pytest.mark.parametrize("store", stores(), ids=["memory", "sqlite"])
+def test_add_and_count(store):
+    store.add(Page.from_url("http://a.example/p1", "<html>one</html>"))
+    store.add(Page.from_url("http://a.example/p2", "<html>two</html>"))
+    store.add(Page.from_url("http://b.example/p1", "<html>three</html>"))
+    assert len(store) == 3
+    assert store.hosts() == ["a.example", "b.example"]
+    assert len(store.pages_for_host("a.example")) == 2
+    assert store.pages_for_host("missing.example") == []
+
+
+@pytest.mark.parametrize("store", stores(), ids=["memory", "sqlite"])
+def test_add_many(store):
+    pages = [Page.from_url(f"http://h.example/p{i}", f"c{i}") for i in range(10)]
+    store.add_many(pages)
+    assert len(store) == 10
+    retrieved = store.pages_for_host("h.example")
+    assert [p.content for p in retrieved] == [f"c{i}" for i in range(10)]
+
+
+@pytest.mark.parametrize("store", stores(), ids=["memory", "sqlite"])
+def test_scan_by_host_sorted(store):
+    store.add(Page.from_url("http://zzz.example/p", "z"))
+    store.add(Page.from_url("http://aaa.example/p", "a"))
+    hosts = [host for host, _ in store.scan_by_host()]
+    assert hosts == ["aaa.example", "zzz.example"]
+
+
+def test_page_from_url_canonicalizes_host():
+    page = Page.from_url("https://WWW.Example.COM:443/path", "x")
+    assert page.host == "example.com"
+
+
+def test_sqlite_persists_to_disk(tmp_path):
+    path = tmp_path / "crawl.db"
+    with SqlitePageStore(path) as store:
+        store.add(Page.from_url("http://persist.example/p", "kept"))
+    with SqlitePageStore(path) as reopened:
+        assert len(reopened) == 1
+        assert reopened.pages_for_host("persist.example")[0].content == "kept"
+
+
+def test_sqlite_context_manager_closes(tmp_path):
+    store = SqlitePageStore(tmp_path / "x.db")
+    store.close()
+    with pytest.raises(Exception):
+        store.add(Page.from_url("http://late.example/p", "too late"))

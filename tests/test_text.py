@@ -1,0 +1,60 @@
+"""Tests for the review/non-review text generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.webgen.text import ReviewTextGenerator
+
+
+def test_deterministic():
+    a = ReviewTextGenerator(5)
+    b = ReviewTextGenerator(5)
+    assert a.review("Cafe X") == b.review("Cafe X")
+    assert a.non_review("Cafe X") == b.non_review("Cafe X")
+
+
+def test_review_mentions_entity():
+    text = ReviewTextGenerator(1).review("Blue Bistro")
+    assert "Blue Bistro" in text
+
+
+def test_non_review_mentions_entity():
+    text = ReviewTextGenerator(2).non_review("Blue Bistro")
+    assert "Blue Bistro" in text
+
+
+def test_classes_use_different_vocabulary():
+    generator = ReviewTextGenerator(3)
+    reviews = " ".join(generator.review(f"r{i}") for i in range(20))
+    listings = " ".join(generator.non_review(f"l{i}") for i in range(20))
+    # signature words appear on their own side only
+    assert "i " in reviews.lower() or "we " in reviews.lower()
+    assert "hours" in listings
+    assert "hours" not in reviews
+
+
+def test_labeled_corpus_mixture():
+    corpus = ReviewTextGenerator(4).labeled_corpus(300, review_fraction=0.5)
+    assert len(corpus) == 300
+    positives = sum(1 for _, label in corpus if label)
+    assert 100 <= positives <= 200
+
+
+def test_labeled_corpus_extremes():
+    all_reviews = ReviewTextGenerator(5).labeled_corpus(20, review_fraction=1.0)
+    assert all(label for _, label in all_reviews)
+    none_reviews = ReviewTextGenerator(6).labeled_corpus(20, review_fraction=0.0)
+    assert not any(label for _, label in none_reviews)
+
+
+def test_bad_fraction_rejected():
+    with pytest.raises(ValueError):
+        ReviewTextGenerator(7).labeled_corpus(10, review_fraction=1.5)
+
+
+def test_sentence_count_scales_length():
+    generator = ReviewTextGenerator(8)
+    short = generator.review("X", sentences=2)
+    long = generator.review("X", sentences=10)
+    assert len(long) > len(short)

@@ -1,0 +1,83 @@
+"""Tests for the entity URL patterns (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traffic.urls import (
+    amazon_product_url,
+    build_entity_url,
+    imdb_title_url,
+    parse_entity_url,
+    yelp_biz_url,
+)
+
+
+def test_amazon_gp_pattern():
+    url = amazon_product_url(42, style=0)
+    assert "/gp/product/" in url
+    assert parse_entity_url(url) == ("amazon", url.rsplit("/", 1)[-1])
+
+
+def test_amazon_dp_pattern():
+    url = amazon_product_url(42, style=1)
+    assert "/dp/" in url
+    parsed = parse_entity_url(url)
+    assert parsed is not None and parsed[0] == "amazon"
+
+
+def test_amazon_both_styles_same_key():
+    key0 = parse_entity_url(amazon_product_url(7, style=0))[1]
+    key1 = parse_entity_url(amazon_product_url(7, style=1))[1]
+    assert key0 == key1
+
+
+def test_yelp_pattern():
+    url = yelp_biz_url(3)
+    assert parse_entity_url(url) == ("yelp", "business-00000003")
+
+
+def test_imdb_pattern():
+    url = imdb_title_url(12345)
+    assert parse_entity_url(url) == ("imdb", "tt0012345")
+
+
+def test_non_entity_urls_rejected():
+    for url in (
+        "http://www.amazon.com/help/contact",
+        "http://www.yelp.com/search?q=pizza",
+        "http://www.imdb.com/chart/top",
+        "http://example.com/gp/product/B000000001",
+        "http://www.amazon.com/gp/product/tooshort",
+    ):
+        assert parse_entity_url(url) is None
+
+
+def test_build_entity_url_dispatch():
+    assert "amazon.com" in build_entity_url("amazon", 1)
+    assert "yelp.com" in build_entity_url("yelp", 1)
+    assert "imdb.com" in build_entity_url("imdb", 1)
+    with pytest.raises(ValueError):
+        build_entity_url("netflix", 1)
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        yelp_biz_url(-1)
+    with pytest.raises(ValueError):
+        imdb_title_url(-1)
+    with pytest.raises(ValueError):
+        amazon_product_url(-1)
+
+
+@given(st.sampled_from(["amazon", "yelp", "imdb"]), st.integers(0, 10**6))
+@settings(max_examples=100)
+def test_property_build_parse_roundtrip(site, index):
+    """Every built URL parses back to its site with a unique key."""
+    url = build_entity_url(site, index)
+    parsed = parse_entity_url(url)
+    assert parsed is not None
+    assert parsed[0] == site
+    other = parse_entity_url(build_entity_url(site, index + 1))
+    assert other[1] != parsed[1]  # distinct entities -> distinct keys

@@ -1,0 +1,78 @@
+"""Tests for the user-level tail analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.demandmodel import get_site_profile
+from repro.traffic.logs import TrafficLog, TrafficLogGenerator
+from repro.traffic.users import user_tail_analysis
+
+
+def synthetic_log(entity, cookie):
+    entity = np.asarray(entity)
+    return TrafficLog(
+        site="yelp",
+        source="browse",
+        n_entities=int(entity.max()) + 1,
+        entity=entity,
+        cookie=np.asarray(cookie),
+        month=np.zeros(len(entity), dtype=np.int64),
+    )
+
+
+def test_hand_built_log():
+    # entities: 0 is head (3 visits), 1 and 2 are tail
+    log = synthetic_log([0, 0, 0, 1, 2], [10, 11, 12, 10, 10])
+    report = user_tail_analysis(log, tail_fraction=0.6, regular_threshold=0.5)
+    # head = top 40% of 3 entities -> 1 entity (entity 0)
+    assert report.tail_demand_share == pytest.approx(2 / 5)
+    # cookie 10 touched tail twice (2/3 visits); 11 and 12 never
+    assert report.users_touching_tail == pytest.approx(1 / 3)
+    assert report.users_regular_tail == pytest.approx(1 / 3)
+    assert report.n_users == 3
+
+
+def test_validation():
+    log = synthetic_log([0], [1])
+    with pytest.raises(ValueError):
+        user_tail_analysis(log, tail_fraction=0.0)
+    with pytest.raises(ValueError):
+        user_tail_analysis(log, regular_threshold=0.0)
+    empty = TrafficLog(
+        site="yelp",
+        source="browse",
+        n_entities=3,
+        entity=np.empty(0, dtype=np.int64),
+        cookie=np.empty(0, dtype=np.int64),
+        month=np.empty(0, dtype=np.int64),
+    )
+    with pytest.raises(ValueError):
+        user_tail_analysis(empty)
+
+
+def test_paper_pattern_on_simulated_traffic():
+    """The Goel et al. asymmetry: the tail is a small share of demand
+    but a large share of *users* touch it."""
+    generator = TrafficLogGenerator(
+        get_site_profile("yelp"), n_entities=3000, n_cookies=2000, seed=9
+    )
+    log = generator.browse_log(60000)
+    report = user_tail_analysis(log, tail_fraction=0.8, regular_threshold=0.2)
+    assert report.tail_demand_share < 0.6
+    assert report.users_touching_tail > report.tail_demand_share
+    assert report.users_touching_tail > 0.5
+    assert 0.0 <= report.users_regular_tail <= report.users_touching_tail
+
+
+def test_sharper_site_lower_tail_exposure():
+    """IMDb's concentrated demand leaves fewer tail-touching users."""
+    results = {}
+    for site in ("imdb", "yelp"):
+        generator = TrafficLogGenerator(
+            get_site_profile(site), n_entities=3000, n_cookies=2000, seed=10
+        )
+        log = generator.search_log(60000)
+        results[site] = user_tail_analysis(log).tail_demand_share
+    assert results["imdb"] < results["yelp"]

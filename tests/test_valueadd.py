@@ -1,0 +1,142 @@
+"""Tests for the value-add analysis (Figures 7-8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.valueadd import (
+    demand_vs_reviews,
+    inverse_information_gain,
+    log2_review_bins,
+    step_information_gain,
+    value_add_curve,
+)
+
+
+class TestInformationGain:
+    def test_inverse_values(self):
+        gains = inverse_information_gain(np.array([0, 1, 9]))
+        assert gains.tolist() == pytest.approx([1.0, 0.5, 0.1])
+
+    def test_inverse_rejects_negative(self):
+        with pytest.raises(ValueError):
+            inverse_information_gain(np.array([-1]))
+
+    def test_step_values(self):
+        gains = step_information_gain(np.array([0, 9, 10, 100]), cutoff=10)
+        assert gains.tolist() == [1.0, 1.0, 0.0, 0.0]
+
+    def test_step_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            step_information_gain(np.array([1]), cutoff=0)
+
+
+class TestBins:
+    def test_paper_footnote_grouping(self):
+        """0 | 1-2 | 3-6 | 7-14 | ... | 1023+ (footnote 4)."""
+        n = np.array([0, 1, 2, 3, 6, 7, 14, 15, 1022, 1023, 5000])
+        bins, __ = log2_review_bins(n)
+        assert bins.tolist() == [0, 1, 1, 2, 2, 3, 3, 4, 9, 10, 10]
+
+    def test_bin_centers(self):
+        __, centers = log2_review_bins(np.array([0]))
+        assert centers[0] == 0.0
+        assert centers[1] == pytest.approx(1.5)  # 1-2
+        assert centers[2] == pytest.approx(4.5)  # 3-6
+        assert centers[10] == pytest.approx(1023.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log2_review_bins(np.array([-1]))
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=100)
+    def test_property_bin_is_floor_log2(self, n):
+        bins, __ = log2_review_bins(np.array([n]))
+        assert bins[0] == min(int(np.floor(np.log2(n + 1))), 10)
+
+
+class TestDemandVsReviews:
+    def test_zscore_and_grouping(self):
+        demand = np.array([1.0, 2.0, 3.0, 10.0])
+        reviews = np.array([0, 0, 2, 2])
+        counts, means = demand_vs_reviews(demand, reviews)
+        assert counts.tolist() == [0.0, 1.5]
+        # z-scored demand means per group; group means ordered as raw means
+        assert means[1] > means[0]
+
+    def test_without_normalization(self):
+        demand = np.array([2.0, 4.0])
+        reviews = np.array([0, 1])
+        __, means = demand_vs_reviews(demand, reviews, normalize=False)
+        assert means.tolist() == pytest.approx([2.0, 4.0])
+
+    def test_constant_demand_rejected_with_zscore(self):
+        with pytest.raises(ValueError):
+            demand_vs_reviews(np.ones(4), np.zeros(4, dtype=int))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            demand_vs_reviews(np.ones(3), np.zeros(2, dtype=int))
+
+
+class TestValueAdd:
+    def test_normalization_at_zero(self):
+        demand = np.array([4.0, 4.0, 8.0, 8.0])
+        reviews = np.array([0, 0, 1, 1])
+        curve = value_add_curve(demand, reviews)
+        assert curve.relative_value_add[0] == pytest.approx(1.0)
+        # VA(1-2 bin) = 8/(1+1) / 4 = 1.0
+        assert curve.relative_value_add[1] == pytest.approx(1.0)
+
+    def test_decreasing_detector(self):
+        demand = np.array([4.0, 4.0, 6.0, 6.0])
+        reviews = np.array([0, 0, 3, 3])
+        curve = value_add_curve(demand, reviews)
+        # VA(3) = 6/4/4 = 0.375 -> decreasing overall
+        assert curve.is_decreasing_overall()
+
+    def test_requires_zero_review_group(self):
+        with pytest.raises(ValueError, match="no zero-review"):
+            value_add_curve(np.array([1.0]), np.array([5]))
+
+    def test_requires_nonzero_va0(self):
+        with pytest.raises(ValueError, match="zero demand"):
+            value_add_curve(np.array([0.0, 1.0]), np.array([0, 1]))
+
+    def test_step_gain_zeroes_head(self):
+        demand = np.array([1.0, 1.0, 100.0])
+        reviews = np.array([0, 0, 50])
+        curve = value_add_curve(
+            demand, reviews, information_gain=lambda n: step_information_gain(n, 10)
+        )
+        assert curve.relative_value_add[-1] == pytest.approx(0.0)
+
+    def test_group_sizes_recorded(self):
+        demand = np.array([1.0, 2.0, 3.0])
+        reviews = np.array([0, 1, 2])
+        curve = value_add_curve(demand, reviews)
+        assert curve.group_sizes.tolist() == [1, 2]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.integers(min_value=0, max_value=2000),
+            ),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_va_scale_invariant(self, pairs):
+        """VA(n)/VA(0) is invariant to rescaling demand."""
+        demand = np.array([p[0] for p in pairs])
+        reviews = np.array([p[1] for p in pairs])
+        if not np.any(reviews == 0):
+            reviews[0] = 0
+        base = value_add_curve(demand, reviews)
+        scaled = value_add_curve(demand * 37.5, reviews)
+        assert np.allclose(base.relative_value_add, scaled.relative_value_add)

@@ -1,0 +1,107 @@
+"""Tests for unsupervised wrapper induction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities.business import generate_listings
+from repro.extract.wrappers import WrapperInducer
+from repro.webgen.html import PageRenderer
+
+
+@pytest.fixture(scope="module")
+def listings():
+    return generate_listings("restaurants", 20, seed=31)
+
+
+@pytest.fixture(scope="module")
+def listing_page(listings):
+    return PageRenderer(32).listing_page("agg.example", listings[:8])
+
+
+class TestInduction:
+    def test_finds_all_records(self, listing_page):
+        wrapper = WrapperInducer().induce(listing_page)
+        assert wrapper is not None
+        assert wrapper.record_count == 8
+
+    def test_recovers_names_and_phones(self, listings, listing_page):
+        wrapper = WrapperInducer().induce(listing_page)
+        names = [record.name for record in wrapper.records]
+        phones = [record.phone for record in wrapper.records]
+        assert names == [entry.name for entry in listings[:8]]
+        assert phones == [entry.phone for entry in listings[:8]]
+
+    def test_schema_is_tag_paths(self, listing_page):
+        wrapper = WrapperInducer().induce(listing_page)
+        assert any(path.endswith("/h2") for path in wrapper.field_paths)
+
+    def test_unstructured_page_returns_none(self):
+        html = "<html><body><p>just one paragraph</p></body></html>"
+        assert WrapperInducer().induce(html) is None
+
+    def test_two_records_suffice(self, listings):
+        page = PageRenderer(33).listing_page("x.example", listings[:2])
+        wrapper = WrapperInducer().induce(page)
+        assert wrapper is not None
+        assert wrapper.record_count == 2
+
+    def test_min_repeats_threshold(self, listings):
+        page = PageRenderer(34).listing_page("x.example", listings[:2])
+        assert WrapperInducer(min_repeats=3).induce(page) is None
+
+    def test_min_repeats_validation(self):
+        with pytest.raises(ValueError):
+            WrapperInducer(min_repeats=1)
+
+    def test_picks_dominant_repeat(self, listings):
+        # two competing repeated structures: listing blocks dominate lis
+        blocks = PageRenderer(35).listing_page("x.example", listings[:6])
+        noise = "<ul>" + "".join(f"<li>item {i}</li>" for i in range(3)) + "</ul>"
+        page = blocks.replace("</body>", noise + "</body>")
+        wrapper = WrapperInducer().induce(page)
+        assert wrapper.record_count == 6  # listing blocks outweigh list items
+
+    def test_link_page_records(self, listings):
+        page = PageRenderer(36).link_page("links.example", listings)
+        wrapper = WrapperInducer().induce(page)
+        assert wrapper is not None
+        with_homepage = [entry for entry in listings if entry.homepage]
+        assert wrapper.record_count == len(with_homepage)
+
+    def test_book_page_records(self):
+        from repro.entities.books import generate_books
+
+        books = generate_books(5, seed=37)
+        page = PageRenderer(38).book_page("catalog.example", books)
+        wrapper = WrapperInducer().induce(page)
+        assert wrapper.record_count == 5
+        assert [record.name for record in wrapper.records] == [
+            book.title for book in books
+        ]
+
+    def test_malformed_html_tolerated(self):
+        html = (
+            "<div class='r'><h2>A</h2><p>1"
+            "<div class='r'><h2>B</h2><p>2</div>"
+        )
+        wrapper = WrapperInducer().induce(html)
+        # parser recovers enough structure to find repeats or nothing;
+        # must not raise either way
+        assert wrapper is None or wrapper.record_count >= 1
+
+
+class TestWrapperAgainstDatabase:
+    def test_induced_records_join_database(self, listings, listing_page):
+        """Wrapper output joins the entity DB by phone — a full
+        extraction path that never used the identifying-attribute
+        shortcut."""
+        from repro.entities.catalog import EntityDatabase
+
+        database = EntityDatabase.from_listings(listings)
+        wrapper = WrapperInducer().induce(listing_page)
+        matched = 0
+        for record in wrapper.records:
+            if record.phone and database.lookup("phone", record.phone):
+                matched += 1
+        assert matched == wrapper.record_count
