@@ -1,0 +1,39 @@
+"""Consume reprolint's JSON report in CI and emit GitHub annotations.
+
+Usage: ``python .github/scripts/reprolint_annotations.py reprolint.json``
+
+Reads the machine-readable findings list (schema in
+docs/static_analysis.md), prints one ``::error`` workflow command per
+finding so violations show up inline on the PR diff, and exits non-zero
+when any findings exist.
+"""
+
+import json
+import sys
+
+
+def main(argv: list[str]) -> int:
+    """Parse the report at ``argv[1]``; annotate and gate the job."""
+    if len(argv) != 2:
+        print("usage: reprolint_annotations.py <report.json>", file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("version") != 1:
+        print(f"unsupported report version: {report.get('version')}", file=sys.stderr)
+        return 2
+    findings = report.get("findings", [])
+    for finding in findings:
+        message = finding["message"].replace("\n", " ")
+        print(
+            f"::error file={finding['path']},line={finding['line']},"
+            f"col={finding['col']},title=reprolint {finding['rule']}::{message}"
+        )
+    total = report.get("summary", {}).get("total", len(findings))
+    checked = report.get("files_checked", "?")
+    print(f"reprolint: {total} finding(s) across {checked} file(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

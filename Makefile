@@ -2,13 +2,18 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench artifacts examples clean
+.PHONY: install test lint bench artifacts examples clean
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# reprolint: AST-based invariant linter (RNG discipline, seed threading,
+# layering DAG, API hygiene).  See docs/static_analysis.md.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src tests benchmarks
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

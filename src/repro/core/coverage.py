@@ -26,6 +26,7 @@ __all__ = [
     "CoverageCurves",
     "aggregate_coverage_curve",
     "coverage_at",
+    "default_checkpoints",
     "k_coverage_curves",
     "sites_needed_for_coverage",
 ]

@@ -79,13 +79,16 @@ class MemoryPageStore(PageStore):
         self._count = 0
 
     def add(self, page: Page) -> None:
+        """Insert one page under its host."""
         self._by_host.setdefault(page.host, []).append(page)
         self._count += 1
 
     def hosts(self) -> list[str]:
+        """All hosts with at least one page, sorted."""
         return sorted(self._by_host)
 
     def pages_for_host(self, host: str) -> list[Page]:
+        """All pages stored for ``host`` (empty list if unknown)."""
         return list(self._by_host.get(host, []))
 
     def __len__(self) -> int:
@@ -119,6 +122,7 @@ class SqlitePageStore(PageStore):
         self._conn.commit()
 
     def add(self, page: Page) -> None:
+        """Insert one page under its host."""
         self._conn.execute(
             "INSERT INTO pages (url, host, content) VALUES (?, ?, ?)",
             (page.url, page.host, page.content),
@@ -126,6 +130,7 @@ class SqlitePageStore(PageStore):
         self._conn.commit()
 
     def add_many(self, pages: Iterable[Page]) -> None:
+        """Bulk-insert pages in one transaction (one commit)."""
         self._conn.executemany(
             "INSERT INTO pages (url, host, content) VALUES (?, ?, ?)",
             ((p.url, p.host, p.content) for p in pages),
@@ -133,12 +138,14 @@ class SqlitePageStore(PageStore):
         self._conn.commit()
 
     def hosts(self) -> list[str]:
+        """All hosts with at least one page, sorted."""
         rows = self._conn.execute(
             "SELECT DISTINCT host FROM pages ORDER BY host"
         ).fetchall()
         return [row[0] for row in rows]
 
     def pages_for_host(self, host: str) -> list[Page]:
+        """All pages stored for ``host``, in insertion order."""
         rows = self._conn.execute(
             "SELECT url, host, content FROM pages WHERE host = ? ORDER BY id",
             (host,),

@@ -1,0 +1,30 @@
+"""Developer tooling for the reproduction: the *reprolint* static analyzer.
+
+``repro.devtools`` is a from-scratch, stdlib-``ast``-based linter that
+machine-enforces the conventions of DESIGN.md §6:
+
+- **RNG discipline** (``RNG0xx``) — no legacy global ``numpy.random``
+  calls, no ``import random`` in library code, no unseeded
+  ``default_rng()``, no wall-clock reads in analysis paths.
+- **Seed threading** (``SEED001``) — every stochastic function accepts
+  an ``rng``/``seed`` parameter or receives a generator argument.
+- **Layering** (``LAY0xx``) — the DESIGN.md §3 subsystem DAG is
+  enforced on the import graph; cycles are errors.
+- **API hygiene** (``API0xx``) — docstrings on public items,
+  ``__all__`` ↔ public-name consistency, no mutable default arguments.
+
+Run it with ``python -m repro.devtools.lint src tests benchmarks`` (or
+``make lint``).  Rules are configured per path prefix in the
+``[tool.reprolint]`` section of ``pyproject.toml`` and suppressed
+inline with ``# reprolint: disable=RULE``.  See
+``docs/static_analysis.md`` for the full rule reference.
+
+This package is deliberately a *leaf* of the layering DAG: it imports
+nothing from any other ``repro`` subpackage, so it can lint the tree
+without participating in it.
+"""
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, all_rules, get_rule
+
+__all__ = ["Finding", "Rule", "all_rules", "get_rule"]

@@ -1,0 +1,72 @@
+"""Small AST helpers shared by reprolint rules.
+
+The central trick is *alias resolution*: rules match fully-qualified
+call targets (``numpy.random.seed``, ``time.time``) regardless of how
+the module spelled the import (``import numpy as np``, ``from time
+import time``), by first mapping every locally-bound import name to the
+dotted path it refers to.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["collect_import_aliases", "dotted_name", "resolve_name"]
+
+
+def collect_import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names bound by imports to the dotted paths they denote.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``import numpy.random`` → ``{"numpy": "numpy"}`` (the root binding);
+    ``from numpy.random import default_rng as rng_factory`` →
+    ``{"rng_factory": "numpy.random.default_rng"}``.  Relative imports
+    resolve to nothing here — rules that care about intra-``repro``
+    imports handle them explicitly (see the layering rules).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute chains to a dotted string, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Fully qualify an expression via the module's import aliases.
+
+    ``np.random.seed`` with ``{"np": "numpy"}`` → ``"numpy.random.seed"``.
+    Returns None for expressions that are not plain dotted names.
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    root, _, rest = dotted.partition(".")
+    origin = aliases.get(root)
+    if origin is None:
+        return dotted
+    return f"{origin}.{rest}" if rest else origin

@@ -1,0 +1,168 @@
+"""Configuration: the ``[tool.reprolint]`` section of ``pyproject.toml``.
+
+Schema::
+
+    [tool.reprolint]
+    exclude = ["examples"]            # path prefixes never linted
+
+    [tool.reprolint.paths.src]        # per-path rule selection
+    select = ["RNG", "SEED", "LAY", "API"]
+
+    [tool.reprolint.paths.tests]
+    select = ["RNG001", "RNG002", "RNG003", "API003"]
+
+``select`` entries are rule ids or family prefixes (``RNG`` = every
+``RNG***`` rule); the policy whose path is the longest matching prefix
+of a file's project-relative path wins.  Files matching no policy get
+every rule.
+
+On Python ≥ 3.11 the section is read with :mod:`tomllib`; on 3.10 a
+small built-in parser covering exactly this schema subset (table
+headers, string values, arrays of strings) is used instead, so the
+linter has zero third-party dependencies everywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path, PurePosixPath
+
+__all__ = ["DEFAULT_EXCLUDES", "LintConfig", "PathPolicy", "load_config"]
+
+DEFAULT_EXCLUDES: tuple[str, ...] = (
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    "artifacts",
+    "build",
+    "dist",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PathPolicy:
+    """Rule selectors applied to files under one path prefix."""
+
+    prefix: str
+    select: tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Resolved reprolint configuration."""
+
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDES
+    paths: tuple[PathPolicy, ...] = ()
+
+    def is_excluded(self, relpath: str) -> bool:
+        """True if ``relpath`` falls under any excluded prefix."""
+        return any(_under(relpath, prefix) for prefix in self.exclude)
+
+    def selectors_for(self, relpath: str) -> tuple[str, ...]:
+        """Rule selectors for ``relpath``: longest-prefix policy, else all."""
+        best: PathPolicy | None = None
+        for policy in self.paths:
+            if _under(relpath, policy.prefix):
+                if best is None or len(policy.prefix) > len(best.prefix):
+                    best = policy
+        return best.select if best is not None else ("all",)
+
+
+def _under(relpath: str, prefix: str) -> bool:
+    """True if ``relpath`` is ``prefix`` or inside it (POSIX components)."""
+    rel = PurePosixPath(relpath).parts
+    pre = PurePosixPath(prefix).parts
+    return len(rel) >= len(pre) and rel[: len(pre)] == pre
+
+
+def load_config(pyproject: Path | None) -> LintConfig:
+    """Load :class:`LintConfig` from a ``pyproject.toml`` path.
+
+    A missing file or a file without ``[tool.reprolint]`` yields the
+    default config (all rules everywhere, default excludes).
+    """
+    if pyproject is None or not pyproject.is_file():
+        return LintConfig()
+    data = _load_toml(pyproject.read_text(encoding="utf-8"))
+    section = data.get("tool", {}).get("reprolint", {})
+    if not isinstance(section, dict):
+        return LintConfig()
+    exclude = tuple(section.get("exclude", ())) + DEFAULT_EXCLUDES
+    policies = []
+    for prefix, table in sorted(section.get("paths", {}).items()):
+        if isinstance(table, dict) and table.get("select"):
+            policies.append(PathPolicy(prefix, tuple(table["select"])))
+    return LintConfig(exclude=exclude, paths=tuple(policies))
+
+
+def _load_toml(text: str) -> dict:
+    """Parse TOML via tomllib when available, else the mini-parser."""
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: stdlib tomllib is 3.11+
+        return _parse_mini_toml(text)
+    return tomllib.loads(text)
+
+
+_HEADER = re.compile(r"^\[(?P<name>[^\]]+)\]\s*$")
+_KEYVAL = re.compile(r"^(?P<key>[\w.\"'-]+)\s*=\s*(?P<value>.+?)\s*$")
+
+
+def _parse_mini_toml(text: str) -> dict:
+    """Minimal TOML subset parser (fallback for Python 3.10).
+
+    Supports ``[dotted.table."quoted part"]`` headers, string values and
+    single-line arrays of strings — exactly what ``[tool.reprolint]``
+    and the handful of standard pyproject tables need.  Unparseable
+    values are skipped rather than raised, because this fallback only
+    feeds the linter's own config.
+    """
+    root: dict = {}
+    current = root
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        header = _HEADER.match(line)
+        if header:
+            current = _descend(root, _split_key(header.group("name")))
+            continue
+        keyval = _KEYVAL.match(line)
+        if not keyval:
+            continue
+        value = _parse_value(keyval.group("value"))
+        if value is None:
+            continue
+        key_parts = _split_key(keyval.group("key"))
+        table = _descend(current, key_parts[:-1])
+        table[key_parts[-1]] = value
+    return root
+
+
+def _split_key(dotted: str) -> list[str]:
+    """Split a dotted TOML key, honouring quoted components."""
+    parts: list[str] = []
+    for match in re.finditer(r"\"([^\"]*)\"|'([^']*)'|([^.\s]+)", dotted):
+        parts.append(next(g for g in match.groups() if g is not None))
+    return parts
+
+
+def _descend(table: dict, parts: list[str]) -> dict:
+    """Walk/create nested dict tables for each key component."""
+    for part in parts:
+        table = table.setdefault(part, {})
+    return table
+
+
+def _parse_value(token: str):
+    """Parse a string literal or a single-line array of string literals."""
+    token = token.strip()
+    if token.startswith(("'", '"')) and token.endswith(token[0]) and len(token) >= 2:
+        return token[1:-1]
+    if token.startswith("[") and token.endswith("]"):
+        items = []
+        for part in re.finditer(r"\"([^\"]*)\"|'([^']*)'", token):
+            items.append(part.group(1) if part.group(1) is not None else part.group(2))
+        return items
+    return None

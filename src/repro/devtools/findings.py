@@ -1,0 +1,41 @@
+"""The unit of linter output: a :class:`Finding` pinned to file:line:col."""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Finding", "sort_findings"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Orders naturally by (path, line, col, rule) so reports are stable
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """Format as the canonical ``path:line:col: RULE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable representation (see docs/static_analysis.md)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Return findings sorted by location then rule id (deterministic)."""
+    return sorted(findings)

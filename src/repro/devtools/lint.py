@@ -1,0 +1,280 @@
+"""reprolint CLI: ``python -m repro.devtools.lint src tests benchmarks``.
+
+Exit codes: 0 clean, 1 findings (or unparseable files), 2 usage/config
+errors.  ``--format json`` emits the schema documented in
+``docs/static_analysis.md``; ``--list-rules`` prints the registry.
+
+The module also exposes :func:`check_source` and :func:`check_project`
+so the test suite (and future tooling, e.g. a pre-commit hook) can lint
+in-memory snippets without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.config import LintConfig, load_config
+from repro.devtools.findings import Finding, sort_findings
+from repro.devtools.registry import (
+    ModuleInfo,
+    all_rules,
+    make_module_info,
+    resolve_selectors,
+)
+from repro.devtools.reporters import render_json, render_text
+
+__all__ = [
+    "PARSE_ERROR_RULE",
+    "build_arg_parser",
+    "check_project",
+    "check_source",
+    "collect_files",
+    "lint_paths",
+    "main",
+]
+
+# Pseudo-rule id for files that fail to parse; always enabled and not
+# suppressible (a file that cannot be parsed cannot carry directives).
+PARSE_ERROR_RULE = "E001"
+
+
+def collect_files(
+    paths: Sequence[Path], root: Path, config: LintConfig
+) -> list[tuple[Path, str]]:
+    """Expand CLI path arguments to (absolute path, relpath) pairs.
+
+    Directories are walked recursively for ``*.py``; explicit file
+    arguments bypass the exclude list (you asked for them by name).
+    """
+    out: list[tuple[Path, str]] = []
+    seen: set[Path] = set()
+    for arg in paths:
+        base = arg if arg.is_absolute() else root / arg
+        if not base.exists():
+            # A typo'd path must not silently gate CI green.
+            raise FileNotFoundError(f"path does not exist: {arg}")
+        if base.is_file():
+            candidates: Iterable[Path] = [base]
+            explicit = True
+        else:
+            candidates = sorted(base.rglob("*.py"))
+            explicit = False
+        for path in candidates:
+            path = path.resolve()
+            if path in seen:
+                continue
+            try:
+                relpath = path.relative_to(root.resolve()).as_posix()
+            except ValueError:
+                relpath = path.as_posix()
+            if not explicit and config.is_excluded(relpath):
+                continue
+            seen.add(path)
+            out.append((path, relpath))
+    return out
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Path,
+    config: LintConfig,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint files under ``paths``; returns (findings, files_checked).
+
+    Per-file rule sets come from ``config`` unless ``select`` overrides
+    them globally; ``ignore`` subtracts rules afterwards in both cases.
+    """
+    rules = all_rules()
+    ignored = resolve_selectors(ignore) if ignore else frozenset()
+    override = resolve_selectors(select) if select else None
+
+    modules: list[ModuleInfo] = []
+    findings: list[Finding] = []
+    enabled_by_path: dict[str, frozenset[str]] = {}
+    for path, relpath in collect_files(paths, root, config):
+        if override is not None:
+            enabled = override
+        else:
+            enabled = resolve_selectors(config.selectors_for(relpath))
+        enabled = enabled - ignored
+        enabled_by_path[relpath] = enabled
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = make_module_info(path, relpath, source)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            findings.append(
+                Finding(relpath, line, 0, PARSE_ERROR_RULE, f"cannot parse: {exc}")
+            )
+            continue
+        modules.append(module)
+        for rule_id in sorted(enabled):
+            rule = rules[rule_id]
+            if rule.scope != "module":
+                continue
+            for finding in rule.check_module(module):
+                if not module.suppressions.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+
+    by_relpath = {m.relpath: m for m in modules}
+    for rule_id in sorted(rules):
+        rule = rules[rule_id]
+        if rule.scope != "project":
+            continue
+        for finding in rule.check_project(modules):
+            if rule_id not in enabled_by_path.get(finding.path, frozenset()):
+                continue
+            module = by_relpath.get(finding.path)
+            if module is not None and module.suppressions.is_suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            findings.append(finding)
+    return sort_findings(findings), len(enabled_by_path)
+
+
+def check_source(
+    source: str,
+    relpath: str = "src/repro/core/_fixture.py",
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory snippet with module-scope rules (test helper)."""
+    module = make_module_info(Path("/" + relpath), relpath, source)
+    enabled = resolve_selectors(select if select else ["all"])
+    rules = all_rules()
+    findings = []
+    for rule_id in sorted(enabled):
+        rule = rules[rule_id]
+        if rule.scope != "module":
+            continue
+        for finding in rule.check_module(module):
+            if not module.suppressions.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return sort_findings(findings)
+
+
+def check_project(
+    sources: dict[str, str], select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Lint a {relpath: source} mapping with project-scope rules."""
+    modules = [
+        make_module_info(Path("/" + relpath), relpath, text)
+        for relpath, text in sorted(sources.items())
+    ]
+    enabled = resolve_selectors(select if select else ["all"])
+    rules = all_rules()
+    findings = []
+    for rule_id in sorted(enabled):
+        rule = rules[rule_id]
+        if rule.scope != "project":
+            continue
+        for finding in rule.check_project(modules):
+            module = next((m for m in modules if m.relpath == finding.path), None)
+            if module is not None and module.suppressions.is_suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            findings.append(finding)
+    return sort_findings(findings)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The reprolint argument parser (separate for --help testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="reprolint: AST-based invariant linter for this repo "
+        "(RNG discipline, seed threading, layering, API hygiene).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="project root (default: cwd); relpaths and per-path config "
+        "are resolved against it",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="pyproject.toml to read [tool.reprolint] from "
+        "(default: <root>/pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids/families; overrides per-path config",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids/families to drop everywhere",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule registry and exit"
+    )
+    return parser
+
+
+def _split_rule_args(values: Sequence[str] | None) -> list[str] | None:
+    """Flatten repeated/comma-separated ``--select``/``--ignore`` values."""
+    if values is None:
+        return None
+    out: list[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_id, rule in all_rules().items():
+            scope = "project" if rule.scope == "project" else "module "
+            print(f"{rule_id}  [{scope}]  {rule.summary}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: src tests benchmarks)")
+    root = args.root.resolve()
+    pyproject = args.config if args.config is not None else root / "pyproject.toml"
+    config = load_config(pyproject)
+    try:
+        findings, files_checked = lint_paths(
+            args.paths,
+            root,
+            config,
+            select=_split_rule_args(args.select),
+            ignore=_split_rule_args(args.ignore),
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        # Unknown rule selector in config/CLI, or a missing path argument.
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings, files_checked))
+    else:
+        print(render_text(findings, files_checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

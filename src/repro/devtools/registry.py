@@ -1,0 +1,156 @@
+"""Rule registry and the per-module analysis context.
+
+Rules self-register via the :func:`register` decorator when their module
+is imported (``repro.devtools.rules`` imports every rule module).  A rule
+has either ``scope == "module"`` (checked file by file) or
+``scope == "project"`` (checked once over all parsed modules — e.g. the
+import-graph layering rules).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Iterable, Iterator, Type
+
+from repro.devtools.findings import Finding
+from repro.devtools.suppressions import Suppressions, parse_suppressions
+
+__all__ = [
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "make_module_info",
+    "register",
+    "resolve_selectors",
+]
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """Everything a rule needs to know about one parsed source file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    module_name: str | None = None
+    is_package: bool = False
+
+    @property
+    def package(self) -> str | None:
+        """Top-level ``repro`` subpackage this module belongs to.
+
+        ``"core"`` for ``repro.core.graph``; ``None`` for files outside
+        ``repro`` or for root modules like ``repro.cli``.
+        """
+        if self.module_name is None:
+            return None
+        parts = self.module_name.split(".")
+        if len(parts) < 2 or parts[0] != "repro":
+            return None
+        if len(parts) == 2 and not self.is_package:
+            return None  # root module such as repro.cli / repro.io
+        return parts[1]
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``rule_id`` (stable, e.g. ``"RNG001"``), ``summary``
+    (one line, shown by ``--list-rules``) and ``scope``, and override
+    :meth:`check_module` or :meth:`check_project`.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    scope: str = "module"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield findings for a single module (module-scope rules)."""
+        return iter(())
+
+    def check_project(self, modules: list[ModuleInfo]) -> Iterator[Finding]:
+        """Yield findings spanning many modules (project-scope rules)."""
+        return iter(())
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate ``cls`` and add it to the registry."""
+    instance = cls()
+    if not instance.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if instance.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.rule_id}")
+    _REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """All registered rules, keyed by rule id (import triggers registration)."""
+    import repro.devtools.rules  # noqa: F401  (registers on import)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by exact id; raises ``KeyError`` if unknown."""
+    return all_rules()[rule_id]
+
+
+def resolve_selectors(selectors: Iterable[str]) -> frozenset[str]:
+    """Expand rule selectors to concrete rule ids.
+
+    A selector is an exact id (``RNG001``), a family prefix (``RNG``),
+    or ``all``.  Unknown selectors raise ``ValueError`` so typos in
+    config fail loudly.
+    """
+    rules = all_rules()
+    resolved: set[str] = set()
+    for selector in selectors:
+        if selector == "all":
+            resolved.update(rules)
+            continue
+        matched = {rid for rid in rules if rid == selector or rid.startswith(selector)}
+        if not matched:
+            raise ValueError(f"unknown reprolint rule or family: {selector!r}")
+        resolved.update(matched)
+    return frozenset(resolved)
+
+
+def make_module_info(path: Path, relpath: str, source: str) -> ModuleInfo:
+    """Parse ``source`` into a :class:`ModuleInfo` (raises ``SyntaxError``)."""
+    tree = ast.parse(source, filename=str(path))
+    module_name, is_package = _infer_module_name(relpath)
+    return ModuleInfo(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+        module_name=module_name,
+        is_package=is_package,
+    )
+
+
+def _infer_module_name(relpath: str) -> tuple[str | None, bool]:
+    """Map ``src/repro/core/graph.py`` → (``repro.core.graph``, False)."""
+    parts = Path(relpath).parts
+    if "repro" not in parts:
+        return None, False
+    idx = parts.index("repro")
+    tail = parts[idx:]
+    if not tail[-1].endswith(".py"):
+        return None, False
+    is_package = tail[-1] == "__init__.py"
+    if is_package:
+        dotted = ".".join(tail[:-1])
+    else:
+        dotted = ".".join(tail)[: -len(".py")]
+    return dotted, is_package

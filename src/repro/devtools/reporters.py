@@ -1,0 +1,58 @@
+"""Reporters: render findings as human text or machine-readable JSON.
+
+The JSON schema (consumed by the CI annotation step; see
+``docs/static_analysis.md``)::
+
+    {
+      "version": 1,
+      "files_checked": 123,
+      "findings": [
+        {"path": "...", "line": 1, "col": 0, "rule": "RNG001",
+         "message": "..."}
+      ],
+      "summary": {"total": 2, "by_rule": {"RNG001": 2}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.devtools.findings import Finding, sort_findings
+
+__all__ = ["render_json", "render_text"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: list[Finding], files_checked: int) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per line."""
+    ordered = sort_findings(findings)
+    lines = [finding.render() for finding in ordered]
+    if ordered:
+        by_rule = Counter(f.rule for f in ordered)
+        breakdown = ", ".join(f"{rule}×{n}" for rule, n in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(
+            f"reprolint: {len(ordered)} finding(s) in {files_checked} "
+            f"file(s) [{breakdown}]"
+        )
+    else:
+        lines.append(f"reprolint: clean ({files_checked} file(s) checked)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_checked: int) -> str:
+    """Machine-readable report (schema above), findings sorted."""
+    ordered = sort_findings(findings)
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "findings": [f.to_dict() for f in ordered],
+        "summary": {
+            "total": len(ordered),
+            "by_rule": dict(sorted(Counter(f.rule for f in ordered).items())),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

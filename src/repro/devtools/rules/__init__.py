@@ -1,0 +1,13 @@
+"""Rule modules; importing this package registers every rule.
+
+Rule families:
+
+- :mod:`repro.devtools.rules.rng` — RNG discipline (``RNG001``–``RNG004``)
+- :mod:`repro.devtools.rules.seeding` — seed threading (``SEED001``)
+- :mod:`repro.devtools.rules.layering` — import-graph DAG (``LAY001``, ``LAY002``)
+- :mod:`repro.devtools.rules.api` — API hygiene (``API001``–``API003``)
+"""
+
+from repro.devtools.rules import api, layering, rng, seeding
+
+__all__ = ["api", "layering", "rng", "seeding"]

@@ -1,0 +1,242 @@
+"""API hygiene rules: docstrings, ``__all__`` consistency, safe defaults.
+
+DESIGN.md §6 requires docstrings on every public item and explicit
+public surfaces.  ``tests/test_public_api.py`` spot-checks some of this
+at runtime; these rules make it a static guarantee for every module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleInfo, Rule, register
+
+__all__ = ["DocstringRule", "DunderAllRule", "MutableDefaultRule"]
+
+
+def _is_public(name: str) -> bool:
+    """Public means no leading underscore (dunders are handled apart)."""
+    return not name.startswith("_")
+
+
+def _literal_all(tree: ast.Module) -> tuple[list[str] | None, int]:
+    """Extract a literal ``__all__`` list and its line, if present.
+
+    Returns ``(None, 0)`` when the module has no ``__all__`` and
+    ``(None, line)`` when it has one that is not a literal list/tuple of
+    strings (reported as a violation by :class:`DunderAllRule`).
+    """
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)) and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in value.elts
+                ):
+                    names = [e.value for e in value.elts]
+                    return names, node.lineno
+                return None, node.lineno
+    return None, 0
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module top level (defs, classes, imports, assigns)."""
+    bound: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        bound.add(sub.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional definitions (version guards etc.) still bind.
+            for sub in ast.walk(node):
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    bound.add(sub.name)
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bound.add(alias.asname or alias.name.split(".")[0])
+    return bound
+
+
+@register
+class DocstringRule(Rule):
+    """API001: every public item carries a docstring.
+
+    Checked items: the module itself, public top-level functions and
+    classes, and public methods of public classes.  Dunder methods are
+    exempt (their contracts are the language's, not ours).
+    """
+
+    rule_id = "API001"
+    summary = "missing docstring on a public module/class/function/method"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield a finding per public item lacking a docstring."""
+        tree = module.tree
+        if ast.get_docstring(tree) is None and tree.body:
+            yield Finding(
+                module.relpath, 1, 0, self.rule_id, "module has no docstring"
+            )
+        for node in tree.body:
+            yield from self._check_item(module, node, owner=None)
+
+    def _check_item(
+        self, module: ModuleInfo, node: ast.stmt, owner: str | None
+    ) -> Iterator[Finding]:
+        """Check one def/class (and, for classes, their public methods)."""
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return
+        name = node.name
+        if name.startswith("__") and name.endswith("__"):
+            return  # dunder
+        if not _is_public(name):
+            return
+        qualified = f"{owner}.{name}" if owner else name
+        if ast.get_docstring(node) is None:
+            kind = "class" if isinstance(node, ast.ClassDef) else (
+                "method" if owner else "function"
+            )
+            yield Finding(
+                module.relpath,
+                node.lineno,
+                node.col_offset,
+                self.rule_id,
+                f"public {kind} `{qualified}` has no docstring",
+            )
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                yield from self._check_item(module, child, owner=qualified)
+
+
+@register
+class DunderAllRule(Rule):
+    """API002: ``__all__`` exists, is literal, and matches the public surface.
+
+    Violations: no ``__all__`` at all (except ``__main__`` entry
+    modules), a non-literal ``__all__``, a listed name that is never
+    bound, or a public top-level def/class missing from the list.
+    """
+
+    rule_id = "API002"
+    summary = "__all__ missing, non-literal, or out of sync with public names"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Cross-check ``__all__`` against module-level bindings."""
+        if module.module_name is not None and module.module_name.endswith(
+            "__main__"
+        ):
+            return
+        names, line = _literal_all(module.tree)
+        if names is None:
+            if line:
+                yield Finding(
+                    module.relpath,
+                    line,
+                    0,
+                    self.rule_id,
+                    "__all__ must be a literal list/tuple of strings",
+                )
+            else:
+                yield Finding(
+                    module.relpath,
+                    1,
+                    0,
+                    self.rule_id,
+                    "module defines no __all__ (explicit public surface "
+                    "required in library code)",
+                )
+            return
+        bound = _top_level_bindings(module.tree)
+        for listed in names:
+            if listed not in bound:
+                yield Finding(
+                    module.relpath,
+                    line,
+                    0,
+                    self.rule_id,
+                    f"__all__ lists `{listed}` which is not defined or "
+                    "imported at module level",
+                )
+        listed_set = set(names)
+        for node in module.tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if _is_public(node.name) and node.name not in listed_set:
+                    yield Finding(
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule_id,
+                        f"public name `{node.name}` missing from __all__ "
+                        "(add it or prefix with _)",
+                    )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """API003: no mutable default arguments.
+
+    ``def f(x=[])`` shares one list across calls — a classic aliasing
+    bug that also breaks run-to-run reproducibility when the default
+    accumulates state.
+    """
+
+    rule_id = "API003"
+    summary = "mutable default argument (list/dict/set literal or constructor)"
+
+    _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Flag list/dict/set (literal or constructor) defaults."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield Finding(
+                        module.relpath,
+                        default.lineno,
+                        default.col_offset,
+                        self.rule_id,
+                        f"mutable default argument in `{node.name}`; use "
+                        "None and create inside the function",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        """Literal containers, comprehensions, and bare constructors."""
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._MUTABLE_CONSTRUCTORS
+        return False

@@ -1,0 +1,217 @@
+"""RNG discipline rules: the determinism contract of DESIGN.md §6.
+
+Bit-for-bit reproducibility of every table and figure requires that all
+randomness flows through explicitly seeded ``numpy.random.Generator``
+instances.  These rules ban the escape hatches: the legacy global numpy
+RNG, the stdlib ``random`` module, unseeded generators, and wall-clock
+reads (a popular accidental seed source) in analysis code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.astutil import collect_import_aliases, resolve_name
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleInfo, Rule, register
+
+__all__ = [
+    "GlobalNumpyRandomRule",
+    "StdlibRandomImportRule",
+    "UnseededDefaultRngRule",
+    "WallClockRule",
+]
+
+# Legacy numpy.random module-level functions (the hidden global
+# RandomState).  Using any of them defeats seed threading.
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "random_integers",
+        "ranf",
+        "sample",
+        "choice",
+        "bytes",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "lognormal",
+        "poisson",
+        "binomial",
+        "exponential",
+        "geometric",
+        "zipf",
+        "beta",
+        "gamma",
+        "multinomial",
+        "dirichlet",
+        "RandomState",
+    }
+)
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class GlobalNumpyRandomRule(Rule):
+    """RNG001: no calls into the legacy global ``numpy.random`` API."""
+
+    rule_id = "RNG001"
+    summary = (
+        "legacy global numpy.random call (seed/rand/RandomState/...); "
+        "use a threaded numpy.random.Generator instead"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Flag calls and imports that touch the legacy global RNG."""
+        aliases = collect_import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                target = resolve_name(node.func, aliases)
+                if target is None:
+                    continue
+                prefix, _, leaf = target.rpartition(".")
+                if prefix == "numpy.random" and leaf in _LEGACY_NP_RANDOM:
+                    yield Finding(
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule_id,
+                        f"call to legacy global RNG `{target}`; thread a "
+                        "seeded numpy.random.Generator instead",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module != "numpy.random":
+                    continue
+                for alias in node.names:
+                    if alias.name in _LEGACY_NP_RANDOM:
+                        yield Finding(
+                            module.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            self.rule_id,
+                            f"import of legacy `numpy.random.{alias.name}`; "
+                            "use numpy.random.default_rng(seed)",
+                        )
+
+
+@register
+class StdlibRandomImportRule(Rule):
+    """RNG002: no stdlib ``random`` in library code.
+
+    The stdlib module keeps hidden global state and its streams are not
+    coordinated with numpy's, so one stray ``random.shuffle`` breaks
+    bit-for-bit reproducibility invisibly.
+    """
+
+    rule_id = "RNG002"
+    summary = "stdlib `random` import in library code; use numpy Generators"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Flag ``import random`` / ``from random import ...``."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield self._finding(module, node)
+            elif isinstance(node, ast.ImportFrom):
+                if not node.level and node.module is not None:
+                    if node.module.split(".")[0] == "random":
+                        yield self._finding(module, node)
+
+    def _finding(self, module: ModuleInfo, node: ast.stmt) -> Finding:
+        """Build the RNG002 finding for an offending import statement."""
+        return Finding(
+            module.relpath,
+            node.lineno,
+            node.col_offset,
+            self.rule_id,
+            "stdlib `random` has hidden global state; use a threaded "
+            "numpy.random.Generator",
+        )
+
+
+@register
+class UnseededDefaultRngRule(Rule):
+    """RNG003: ``default_rng()`` without a seed argument.
+
+    An argument-less ``default_rng()`` pulls OS entropy, so two runs of
+    the same experiment diverge — the exact failure mode
+    ``tests/test_determinism.py`` exists to prevent.
+    """
+
+    rule_id = "RNG003"
+    summary = "unseeded numpy.random.default_rng(); pass a seed or Generator"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Flag zero-argument ``default_rng()`` calls."""
+        aliases = collect_import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_name(node.func, aliases)
+            if target != "numpy.random.default_rng":
+                continue
+            if not node.args and not node.keywords:
+                yield Finding(
+                    module.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    self.rule_id,
+                    "default_rng() without a seed is entropy-seeded and "
+                    "irreproducible; pass an explicit seed",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """RNG004: no wall-clock reads in analysis paths.
+
+    ``time.time()`` / ``datetime.now()`` smuggle nondeterminism into
+    results (and often end up as seeds).  Benchmarks may read clocks —
+    the pyproject per-path config simply does not select this rule for
+    ``benchmarks/``.
+    """
+
+    rule_id = "RNG004"
+    summary = "wall-clock read (time.time/datetime.now/...) in analysis code"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Flag calls to clock functions resolved through import aliases."""
+        aliases = collect_import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_name(node.func, aliases)
+            if target in _WALL_CLOCK:
+                yield Finding(
+                    module.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    self.rule_id,
+                    f"wall-clock call `{target}` makes analysis output "
+                    "time-dependent; inject timestamps explicitly if needed",
+                )

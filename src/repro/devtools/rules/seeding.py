@@ -1,0 +1,259 @@
+"""Seed-threading rule: stochastic functions must be seedable from outside.
+
+This is the contract behind ``tests/test_determinism.py``: any function
+in library code that *performs* a stochastic operation must let its
+caller control the stream — by accepting an ``rng``/``seed`` parameter,
+by operating on a generator that was passed in, or (for methods) by
+drawing from a generator the instance was constructed with.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.astutil import collect_import_aliases, resolve_name
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleInfo, Rule, register
+
+__all__ = ["SeedThreadingRule", "GENERATOR_METHODS", "SEED_PARAM_NAMES"]
+
+# numpy.random.Generator drawing/stream methods.  A call to one of these
+# on a plain name or attribute is treated as a stochastic operation.
+GENERATOR_METHODS = frozenset(
+    {
+        "integers",
+        "random",
+        "choice",
+        "shuffle",
+        "permutation",
+        "permuted",
+        "normal",
+        "standard_normal",
+        "lognormal",
+        "uniform",
+        "poisson",
+        "binomial",
+        "exponential",
+        "geometric",
+        "zipf",
+        "beta",
+        "gamma",
+        "multinomial",
+        "dirichlet",
+        "spawn",
+    }
+)
+
+# Parameter names that satisfy the contract.
+SEED_PARAM_NAMES = frozenset({"rng", "seed"})
+
+_INSTANCE_RNG_HINTS = frozenset({"rng", "_rng", "seed", "_seed"})
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """All parameter names of ``fn`` (positional, keyword-only, *args)."""
+    args = fn.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _class_is_seed_bearing(cls: ast.ClassDef) -> bool:
+    """True if instances of ``cls`` carry caller-controlled randomness.
+
+    Either ``__init__`` takes an ``rng``/``seed`` parameter, or the class
+    body declares an ``rng``/``seed`` field (dataclass style).
+    """
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name == "__init__" and _param_names(stmt) & SEED_PARAM_NAMES:
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                if stmt.target.id in _INSTANCE_RNG_HINTS:
+                    return True
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id in _INSTANCE_RNG_HINTS:
+                    return True
+    return False
+
+
+def _is_self_rng_attribute(expr: ast.expr) -> bool:
+    """True for ``self.rng`` / ``self._rng`` / ``self.seed`` receivers."""
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in {"self", "cls"}
+        and expr.attr in _INSTANCE_RNG_HINTS
+    )
+
+
+def _references_any(expr: ast.expr, names: set[str]) -> bool:
+    """True if ``expr`` mentions any of ``names`` or a self/cls attribute."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Name) and sub.id in names | {"self", "cls"}:
+            return True
+    return False
+
+
+@register
+class SeedThreadingRule(Rule):
+    """SEED001: stochastic functions must accept ``rng``/``seed``.
+
+    A function is *stochastic* if it calls
+    ``numpy.random.default_rng(...)`` or a ``numpy.random.Generator``
+    drawing method (``integers``, ``choice``, ``shuffle``, ...).  It
+    complies when any of these hold:
+
+    - it has a parameter named ``rng`` or ``seed``;
+    - every stochastic receiver is one of its own parameters (a
+      generator passed in under another name);
+    - the receiver is an instance attribute (``self._rng``) of a class
+      whose constructor is seed-bearing;
+    - each ``default_rng(...)`` argument derives from a parameter or
+      instance state (re-keying an inherited stream).
+    """
+
+    rule_id = "SEED001"
+    summary = "stochastic function without rng/seed parameter (seed threading)"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Walk functions (tracking class context) and verify threading."""
+        aliases = collect_import_aliases(module.tree)
+        yield from self._scan(module, module.tree.body, cls=None, aliases=aliases)
+
+    def _scan(
+        self,
+        module: ModuleInfo,
+        body: list[ast.stmt],
+        cls: ast.ClassDef | None,
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        """Recurse through statements, checking each function definition."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, stmt, cls, aliases)
+                yield from self._scan(module, stmt.body, cls=cls, aliases=aliases)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._scan(module, stmt.body, cls=stmt, aliases=aliases)
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: ast.ClassDef | None,
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        """Yield a finding if ``fn`` is stochastic but not seedable."""
+        params = _param_names(fn)
+        if params & SEED_PARAM_NAMES:
+            return
+        in_seeded_class = cls is not None and _class_is_seed_bearing(cls)
+        local_rngs = self._vetted_local_generators(fn, in_seeded_class)
+        for call in self._own_calls(fn):
+            target = resolve_name(call.func, aliases)
+            if target == "numpy.random.default_rng":
+                arg_exprs = list(call.args) + [k.value for k in call.keywords]
+                if arg_exprs and all(
+                    _references_any(a, params) for a in arg_exprs
+                ):
+                    continue
+                if in_seeded_class and arg_exprs:
+                    continue
+                yield self._finding(module, call, "default_rng")
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in GENERATOR_METHODS
+            ):
+                receiver = call.func.value
+                if isinstance(receiver, ast.Name) and receiver.id in params:
+                    continue
+                if isinstance(receiver, ast.Name) and receiver.id in local_rngs:
+                    # Drawing from a locally created generator: the
+                    # default_rng call itself was vetted above, so the
+                    # draws are not separately at fault.
+                    continue
+                if _is_self_rng_attribute(receiver):
+                    if in_seeded_class:
+                        continue
+                    yield self._finding(module, call, call.func.attr)
+                    continue
+                if not self._looks_like_generator(receiver):
+                    continue
+                yield self._finding(module, call, call.func.attr)
+
+    def _own_calls(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[ast.Call]:
+        """Calls in ``fn``'s own body, excluding nested function defs.
+
+        Nested functions are checked on their own; a closure drawing from
+        a captured generator is attributed to the scope that created it.
+        """
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _vetted_local_generators(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, in_seeded_class: bool
+    ) -> set[str]:
+        """Local names that hold a caller-controlled generator.
+
+        Covers ``x = ...default_rng(...)`` (the factory call itself is
+        vetted separately) and, inside seed-bearing classes, the common
+        local alias ``rng = self._rng``.
+        """
+        names: set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            vetted = False
+            if isinstance(node.value, ast.Call):
+                func = node.value.func
+                vetted = (
+                    isinstance(func, ast.Attribute) and func.attr == "default_rng"
+                ) or (isinstance(func, ast.Name) and func.id == "default_rng")
+            elif in_seeded_class and _is_self_rng_attribute(node.value):
+                vetted = True
+            if not vetted:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    def _looks_like_generator(self, receiver: ast.expr) -> bool:
+        """Heuristic: is this receiver actually an RNG-like object?
+
+        Generator method names like ``choice`` or ``random`` also exist
+        on unrelated objects, so only ``rng``-ish names (a module global
+        or captured generator — exactly what seed threading forbids)
+        count here.  This keeps SEED001 precise (no false positives on
+        e.g. ``router.choice(...)``) at the cost of missing exotically
+        named streams — RNG001/RNG003 still cover those.
+        """
+        if not isinstance(receiver, ast.Name):
+            return False
+        return receiver.id in _INSTANCE_RNG_HINTS or receiver.id.endswith("rng")
+
+    def _finding(self, module: ModuleInfo, call: ast.Call, what: str) -> Finding:
+        """Build the SEED001 finding for a stochastic call site."""
+        return Finding(
+            module.relpath,
+            call.lineno,
+            call.col_offset,
+            self.rule_id,
+            f"stochastic call (`{what}`) in a function without an "
+            "rng/seed parameter; thread a numpy.random.Generator through "
+            "the signature (DESIGN.md §6)",
+        )

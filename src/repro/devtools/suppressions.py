@@ -1,0 +1,76 @@
+"""Inline suppression comments: ``# reprolint: disable=RULE[,RULE...]``.
+
+Two forms are recognised, both parsed from real comment tokens (via
+:mod:`tokenize`) so string literals that merely *look* like directives
+are ignored:
+
+- ``# reprolint: disable=RNG001`` on a line suppresses the listed rules
+  for findings reported **on that line**.
+- ``# reprolint: disable-file=RNG001`` anywhere in the file suppresses
+  the listed rules for the **whole file**.
+
+``disable=all`` (or ``disable-file=all``) suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
+)
+
+_ALL = "all"
+
+
+class Suppressions:
+    """Parsed suppression directives for one source file."""
+
+    def __init__(
+        self,
+        file_rules: frozenset[str] = frozenset(),
+        line_rules: dict[int, frozenset[str]] | None = None,
+    ) -> None:
+        self.file_rules = file_rules
+        self.line_rules = dict(line_rules or {})
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True if ``rule_id`` is disabled on ``line`` or file-wide."""
+        if _ALL in self.file_rules or rule_id in self.file_rules:
+            return True
+        at_line = self.line_rules.get(line, frozenset())
+        return _ALL in at_line or rule_id in at_line
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression directives from ``source``.
+
+    Tolerates files that fail to tokenize (the linter reports those as
+    parse errors separately) by returning an empty suppression set.
+    """
+    file_rules: set[str] = set()
+    line_rules: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return Suppressions()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(tok.string)
+        if match is None:
+            continue
+        rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+        if match.group("kind") == "disable-file":
+            file_rules.update(rules)
+        else:
+            line_rules.setdefault(tok.start[0], set()).update(rules)
+    return Suppressions(
+        frozenset(file_rules),
+        {line: frozenset(rules) for line, rules in line_rules.items()},
+    )

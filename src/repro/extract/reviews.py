@@ -49,7 +49,10 @@ class ReviewDetector:
         renders review pages, but from an independent RNG stream — the
         classifier never sees the evaluation pages themselves.
         """
-        from repro.webgen.text import ReviewTextGenerator
+        # Lazy import by design: training-data synthesis is the one
+        # place extraction borrows the corpus generator, and the
+        # deferred import keeps webgen out of extract's import time.
+        from repro.webgen.text import ReviewTextGenerator  # reprolint: disable=LAY001
 
         generator = ReviewTextGenerator(seed)
         corpus = generator.labeled_corpus(n_training_documents)

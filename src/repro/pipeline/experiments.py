@@ -61,6 +61,7 @@ __all__ = [
     "SpreadResult",
     "TrafficDataset",
     "build_traffic_dataset",
+    "format_table2",
     "run_figure1",
     "run_figure2",
     "run_figure3",
