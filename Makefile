@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench artifacts examples clean
+.PHONY: install test lint lint-changed bench bench-json artifacts examples clean
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
@@ -15,8 +15,17 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src tests benchmarks
 
+# Pre-commit variant: lints only files staged in the git index.
+lint-changed:
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint --changed-only
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The PR acceptance matrix: run_everything across (workers × cache),
+# byte-identity check included; writes BENCH_PR2.json at the repo root.
+bench-json:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_matrix.py --out BENCH_PR2.json
 
 artifacts:
 	$(PYTHON) -m repro all artifacts/

@@ -243,10 +243,33 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    from repro.pipeline.runall import run_everything
+    from repro.pipeline.config import ExecutionSettings
+    from repro.pipeline.runall import run_everything_with_report
 
-    written = run_everything(args.output, _config_from(args))
+    settings = ExecutionSettings(
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=None if args.cache_dir is None else str(args.cache_dir),
+        cache_budget_bytes=(
+            None
+            if args.cache_budget_mb is None
+            else args.cache_budget_mb * 1024 * 1024
+        ),
+    )
+    written, report = run_everything_with_report(
+        args.output, _config_from(args), settings=settings
+    )
     print(f"\n{len(written)} artifacts in {args.output}")
+    stats = report.cache
+    if report.cache_enabled:
+        print(
+            f"cache: {stats.hits} hits / {stats.misses} misses "
+            f"(hit rate {stats.hit_rate:.0%}) at {report.cache_dir}"
+        )
+    print(f"total: {report.total_seconds:.1f}s with {report.workers} worker(s)")
+    if args.perf_report is not None:
+        path = report.write(args.perf_report)
+        print(f"perf report written to {path}")
     return 0
 
 
@@ -380,6 +403,39 @@ def build_parser() -> argparse.ArgumentParser:
         "all", help="regenerate every table and figure into a directory"
     )
     run_all.add_argument("output", type=Path, help="output directory")
+    run_all.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the staged executor (default: 1)",
+    )
+    run_all.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed artifact cache",
+    )
+    run_all.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-artifacts)",
+    )
+    run_all.add_argument(
+        "--cache-budget-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="LRU byte budget for the cache (default: unlimited)",
+    )
+    run_all.add_argument(
+        "--perf-report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a JSON performance report (timings, cache stats)",
+    )
     run_all.set_defaults(handler=_cmd_all)
     _add_common(run_all)
 

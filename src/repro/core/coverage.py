@@ -207,10 +207,19 @@ def aggregate_coverage_curve(
         checkpoint_arr = default_checkpoints(len(order))
     else:
         checkpoint_arr = np.unique(np.asarray(checkpoints, dtype=np.int64))
-    pages_per_site = np.array(
-        [int(incidence.site_multiplicities(int(s)).sum()) for s in order],
-        dtype=np.int64,
-    )
+    sizes = incidence.site_sizes()
+    if incidence.multiplicity is None:
+        pages = sizes.copy()
+    else:
+        # Per-site page totals in one pass: np.add.reduceat over the CSR
+        # row pointers.  Empty sites are excluded from the reduce (a
+        # repeated index would mis-sum) and stay zero.
+        pages = np.zeros(incidence.n_sites, dtype=np.int64)
+        nonempty = sizes > 0
+        if nonempty.any():
+            starts = incidence.site_ptr[:-1][nonempty]
+            pages[nonempty] = np.add.reduceat(incidence.multiplicity, starts)
+    pages_per_site = pages[order]
     total = max(int(pages_per_site.sum()), 1)
     cumulative = np.cumsum(pages_per_site)
     fractions = cumulative[checkpoint_arr - 1] / total

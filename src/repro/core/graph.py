@@ -115,19 +115,48 @@ class EntitySiteGraph:
 
     def __init__(self, incidence: BipartiteIncidence) -> None:
         self.incidence = incidence
-        n = incidence.n_entities + incidence.n_sites
+        n_entities = incidence.n_entities
+        n = n_entities + incidence.n_sites
         self.n_nodes = n
-        edge_sites = (
-            np.repeat(np.arange(incidence.n_sites), incidence.site_sizes())
-            + incidence.n_entities
-        )
-        heads = np.concatenate([incidence.entity_idx, edge_sites])
-        tails = np.concatenate([edge_sites, incidence.entity_idx])
-        order = np.argsort(heads, kind="stable")
+        sizes = incidence.site_sizes()
+        edge_sites = np.repeat(np.arange(incidence.n_sites), sizes) + n_entities
+        # The incidence is already CSR by site, so the site half of the
+        # adjacency is a straight copy; only the entity half needs a
+        # grouping pass.  A stable sort of entity_idx alone (half the
+        # edge list) keeps each entity's neighbour sites ascending,
+        # matching what a full stable sort of both halves would produce.
+        order = np.argsort(incidence.entity_idx, kind="stable")
         self._adj_ptr = np.zeros(n + 1, dtype=np.int64)
-        counts = np.bincount(heads, minlength=n)
-        self._adj_ptr[1:] = np.cumsum(counts)
-        self._adj = tails[order]
+        entity_counts = np.bincount(incidence.entity_idx, minlength=n_entities)
+        np.cumsum(entity_counts, out=self._adj_ptr[1:n_entities + 1])
+        self._adj_ptr[n_entities + 1:] = self._adj_ptr[n_entities] + np.cumsum(
+            sizes
+        )
+        n_edges = len(incidence.entity_idx)
+        self._adj = np.empty(2 * n_edges, dtype=np.int64)
+        self._adj[:n_edges] = edge_sites[order]
+        self._adj[n_edges:] = incidence.entity_idx
+        self._sparse = None
+        self._labels = None
+
+    def _sparse_adjacency(self):
+        """The adjacency as a scipy CSR matrix (built once, shared).
+
+        Data is float64 so the csgraph routines do not re-convert the
+        matrix on every call.
+        """
+        if self._sparse is None:
+            from scipy.sparse import csr_matrix
+
+            self._sparse = csr_matrix(
+                (
+                    np.ones(len(self._adj), dtype=np.float64),
+                    self._adj,
+                    self._adj_ptr,
+                ),
+                shape=(self.n_nodes, self.n_nodes),
+            )
+        return self._sparse
 
     # -- basic structure -------------------------------------------------------
 
@@ -145,6 +174,23 @@ class EntitySiteGraph:
 
     # -- components -------------------------------------------------------------
 
+    def component_labels(self) -> np.ndarray:
+        """Component label per node (computed once, shared).
+
+        The adjacency stores both directions of every edge, so *strong*
+        connectivity coincides with undirected connectivity — and the
+        strong variant (Tarjan's algorithm) runs directly on the CSR
+        matrix, skipping the symmetrization/CSC conversion that
+        ``directed=False`` would pay on every call.
+        """
+        if self._labels is None:
+            from scipy.sparse.csgraph import connected_components
+
+            __, self._labels = connected_components(
+                self._sparse_adjacency(), directed=True, connection="strong"
+            )
+        return self._labels
+
     def components(self) -> ComponentSummary:
         """Summarize the component structure over present nodes.
 
@@ -152,9 +198,6 @@ class EntitySiteGraph:
         bipartite adjacency; :class:`UnionFind` provides the same answer
         and cross-checks it in the test suite.
         """
-        from scipy.sparse import csr_matrix
-        from scipy.sparse.csgraph import connected_components
-
         inc = self.incidence
         present = np.diff(self._adj_ptr) > 0
         entity_present = present[:inc.n_entities]
@@ -164,15 +207,7 @@ class EntitySiteGraph:
         if n_present_entities + n_present_sites == 0:
             return ComponentSummary(0, 0, 0, 0, 0, np.empty(0, dtype=np.int64))
 
-        adjacency = csr_matrix(
-            (
-                np.ones(len(self._adj), dtype=np.int8),
-                self._adj,
-                self._adj_ptr,
-            ),
-            shape=(self.n_nodes, self.n_nodes),
-        )
-        __, labels = connected_components(adjacency, directed=False)
+        labels = self.component_labels()
         present_idx = np.flatnonzero(present)
         present_labels = labels[present_idx]
         unique_labels, compact = np.unique(present_labels, return_inverse=True)
@@ -198,35 +233,24 @@ class EntitySiteGraph:
     def bfs_levels(self, source: int) -> np.ndarray:
         """BFS distance from ``source`` to every node (-1 when unreachable).
 
-        Frontier expansion is fully vectorized: each level gathers the
-        CSR slices of all frontier nodes at once, so a BFS costs O(E)
-        numpy work instead of a Python loop per node.
+        Runs as an unweighted shortest-path query over the shared CSR
+        adjacency via ``scipy.sparse.csgraph`` — a C-level BFS, which is
+        what makes the hundreds of traversals behind the exact-diameter
+        computation (Table 2) practical on graphs with millions of
+        edges.  The adjacency already stores both edge directions, so
+        the query runs in directed mode to skip symmetrization.
         """
+        from scipy.sparse.csgraph import dijkstra
+
+        distances = dijkstra(
+            self._sparse_adjacency(),
+            directed=True,
+            unweighted=True,
+            indices=int(source),
+        )
         levels = np.full(self.n_nodes, -1, dtype=np.int64)
-        levels[source] = 0
-        frontier = np.asarray([source], dtype=np.int64)
-        depth = 0
-        adj, ptr = self._adj, self._adj_ptr
-        while len(frontier):
-            depth += 1
-            starts = ptr[frontier]
-            counts = ptr[frontier + 1] - starts
-            total = int(counts.sum())
-            if total == 0:
-                break
-            bounds = np.cumsum(counts)
-            # Flattened indices of every frontier node's adjacency slice.
-            gather = (
-                np.arange(total)
-                - np.repeat(bounds - counts, counts)
-                + np.repeat(starts, counts)
-            )
-            candidates = adj[gather]
-            candidates = candidates[levels[candidates] < 0]
-            if not len(candidates):
-                break
-            frontier = np.unique(candidates)
-            levels[frontier] = depth
+        reachable = np.isfinite(distances)
+        levels[reachable] = distances[reachable].astype(np.int64)
         return levels
 
     def eccentricity(self, node: int) -> int:
@@ -329,14 +353,7 @@ class EntitySiteGraph:
         present = self.present_nodes()
         if len(present) == 0:
             return 0
-        from scipy.sparse import csr_matrix
-        from scipy.sparse.csgraph import connected_components
-
-        adjacency = csr_matrix(
-            (np.ones(len(self._adj), dtype=np.int8), self._adj, self._adj_ptr),
-            shape=(self.n_nodes, self.n_nodes),
-        )
-        __, labels = connected_components(adjacency, directed=False)
+        labels = self.component_labels()
         component_labels, counts = np.unique(labels[present], return_counts=True)
         order = np.argsort(counts)[::-1]
         best = 0

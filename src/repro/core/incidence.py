@@ -210,36 +210,34 @@ class BipartiteIncidence:
 
         Used by the robustness analysis (Figure 9): remove the top-k
         sites and re-measure connectivity.  Entity indexing (and hence
-        the coverage denominator) is unchanged.
+        the coverage denominator) is unchanged.  Surviving sites keep
+        their relative order, and their multiplicity slices move with
+        them.
         """
-        drop = set(int(s) for s in sites)
-        keep = [s for s in range(self.n_sites) if s not in drop]
-        hosts = [self.site_hosts[s] for s in keep]
-        ptr = [0]
-        chunks = []
-        mult_chunks = []
-        for s in keep:
-            lo, hi = int(self.site_ptr[s]), int(self.site_ptr[s + 1])
-            chunks.append(self.entity_idx[lo:hi])
-            if self.multiplicity is not None:
-                mult_chunks.append(self.multiplicity[lo:hi])
-            ptr.append(ptr[-1] + (hi - lo))
-        entity_idx = (
-            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-        )
-        mult = None
-        if self.multiplicity is not None:
-            mult = (
-                np.concatenate(mult_chunks)
-                if mult_chunks
-                else np.empty(0, dtype=np.int64)
-            )
+        keep_site = np.ones(self.n_sites, dtype=bool)
+        drop_arr = np.fromiter((int(s) for s in sites), dtype=np.int64)
+        # Indices outside [0, n_sites) are ignored, as with the set-based
+        # membership test this replaces (negatives must not wrap around).
+        drop_arr = drop_arr[(drop_arr >= 0) & (drop_arr < self.n_sites)]
+        if len(drop_arr):
+            keep_site[drop_arr] = False
+        sizes = self.site_sizes()
+        keep_edge = np.repeat(keep_site, sizes)
+        hosts = [
+            host for host, keep in zip(self.site_hosts, keep_site) if keep
+        ]
+        ptr = np.zeros(len(hosts) + 1, dtype=np.int64)
+        np.cumsum(sizes[keep_site], out=ptr[1:])
         return BipartiteIncidence(
             n_entities=self.n_entities,
             site_hosts=hosts,
-            site_ptr=np.asarray(ptr, dtype=np.int64),
-            entity_idx=entity_idx,
-            multiplicity=mult,
+            site_ptr=ptr,
+            entity_idx=self.entity_idx[keep_edge],
+            multiplicity=(
+                None
+                if self.multiplicity is None
+                else self.multiplicity[keep_edge]
+            ),
             entity_ids=self.entity_ids,
         )
 

@@ -12,6 +12,7 @@ in-memory snippets without touching the filesystem.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -34,6 +35,7 @@ __all__ = [
     "collect_files",
     "lint_paths",
     "main",
+    "staged_python_files",
 ]
 
 # Pseudo-rule id for files that fail to parse; always enabled and not
@@ -183,6 +185,57 @@ def check_project(
     return sort_findings(findings)
 
 
+def staged_python_files(root: Path) -> list[Path]:
+    """Python files staged in the git index, relative to ``root``.
+
+    Only added/copied/modified/renamed entries count — a staged deletion
+    has nothing left to lint.  Raises ``OSError`` or
+    ``CalledProcessError`` when ``root`` is not a git work tree.
+    """
+    proc = subprocess.run(
+        [
+            "git",
+            "-C",
+            str(root),
+            "diff",
+            "--cached",
+            "--name-only",
+            "--diff-filter=ACMR",
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return [
+        Path(line)
+        for line in proc.stdout.splitlines()
+        if line.endswith(".py")
+    ]
+
+
+def _scope_staged(
+    staged: list[Path], scope: Sequence[Path], root: Path, config: LintConfig
+) -> list[Path]:
+    """Staged files restricted to the requested paths and config excludes."""
+    out = []
+    for rel in staged:
+        if config.is_excluded(rel.as_posix()):
+            continue
+        if not (root / rel).is_file():
+            continue  # staged, then removed from the work tree
+        if scope and not any(_is_under(rel, entry, root) for entry in scope):
+            continue
+        out.append(rel)
+    return out
+
+
+def _is_under(rel: Path, scope: Path, root: Path) -> bool:
+    """True when root-relative ``rel`` falls under the ``scope`` argument."""
+    if scope.is_absolute():
+        return (root / rel).resolve().is_relative_to(scope.resolve())
+    return rel == scope or rel.is_relative_to(scope)
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     """The reprolint argument parser (separate for --help testing)."""
     parser = argparse.ArgumentParser(
@@ -230,6 +283,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule registry and exit"
     )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only Python files staged in the git index (for the "
+        "pre-commit hook); path arguments become a scope filter",
+    )
     return parser
 
 
@@ -252,14 +311,32 @@ def main(argv: Sequence[str] | None = None) -> int:
             scope = "project" if rule.scope == "project" else "module "
             print(f"{rule_id}  [{scope}]  {rule.summary}")
         return 0
-    if not args.paths:
+    if not args.paths and not args.changed_only:
         parser.error("no paths given (try: src tests benchmarks)")
     root = args.root.resolve()
     pyproject = args.config if args.config is not None else root / "pyproject.toml"
     config = load_config(pyproject)
+    lint_targets: Sequence[Path] = args.paths
+    if args.changed_only:
+        try:
+            staged = staged_python_files(root)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(
+                f"reprolint: error: cannot read the git index: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        lint_targets = _scope_staged(staged, args.paths, root, config)
+        if not lint_targets:
+            # Nothing staged in scope: trivially clean, never a failure.
+            if args.format == "json":
+                print(render_json([], 0))
+            else:
+                print(render_text([], 0))
+            return 0
     try:
         findings, files_checked = lint_paths(
-            args.paths,
+            lint_targets,
             root,
             config,
             select=_split_rule_args(args.select),

@@ -6,8 +6,9 @@ Rule families:
 - :mod:`repro.devtools.rules.seeding` — seed threading (``SEED001``)
 - :mod:`repro.devtools.rules.layering` — import-graph DAG (``LAY001``, ``LAY002``)
 - :mod:`repro.devtools.rules.api` — API hygiene (``API001``–``API003``)
+- :mod:`repro.devtools.rules.perf` — hot-path idioms (``PERF001``–``PERF003``)
 """
 
-from repro.devtools.rules import api, layering, rng, seeding
+from repro.devtools.rules import api, layering, perf, rng, seeding
 
-__all__ = ["api", "layering", "rng", "seeding"]
+__all__ = ["api", "layering", "perf", "rng", "seeding"]

@@ -43,6 +43,8 @@ LAYERS: dict[str, frozenset[str]] = {
     "clustering": frozenset({"core", "entities", "crawl", "extract"}),
     "linking": frozenset({"core", "entities", "crawl", "extract"}),
     "discovery": frozenset({"core", "entities"}),
+    # Performance layer: caches core artifacts, schedules runners.
+    "perf": frozenset({"core"}),
     # Orchestration sits on top of everything except the CLI layer.
     "pipeline": frozenset(
         {
@@ -56,6 +58,7 @@ LAYERS: dict[str, frozenset[str]] = {
             "discovery",
             "traffic",
             "report",
+            "perf",
         }
     ),
 }

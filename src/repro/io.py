@@ -35,8 +35,17 @@ __all__ = [
 _PAYLOAD_TYPES = {"BusinessListing": BusinessListing, "Book": Book}
 
 
-def save_incidence(incidence: BipartiteIncidence, path: str | Path) -> Path:
-    """Write an incidence to ``.npz`` (appends the suffix if missing)."""
+def save_incidence(
+    incidence: BipartiteIncidence,
+    path: str | Path,
+    compressed: bool = True,
+) -> Path:
+    """Write an incidence to ``.npz`` (appends the suffix if missing).
+
+    ``compressed=False`` trades disk for speed — the artifact cache in
+    :mod:`repro.perf` uses it because cache blobs are read far more
+    often than they are archived.  Both variants round-trip exactly.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -51,7 +60,10 @@ def save_incidence(incidence: BipartiteIncidence, path: str | Path) -> Path:
         payload["multiplicity"] = incidence.multiplicity
     if incidence.entity_ids is not None:
         payload["entity_ids"] = np.asarray(incidence.entity_ids, dtype=np.str_)
-    np.savez_compressed(path, **payload)
+    if compressed:
+        np.savez_compressed(path, **payload)
+    else:
+        np.savez(path, **payload)
     return path
 
 

@@ -1,0 +1,51 @@
+"""Performance layer: artifact caching, parallel execution, timing.
+
+Three cooperating pieces (see ``docs/performance.md``):
+
+- :mod:`repro.perf.fingerprint` — deterministic content fingerprints
+  over (generator parameters, scale, seed, artifact kind);
+- :mod:`repro.perf.cache` — a content-addressed on-disk cache with
+  hit/miss/put statistics and an LRU byte budget;
+- :mod:`repro.perf.executor` — topologically staged, process-parallel
+  execution of experiment runners;
+- :mod:`repro.perf.report` — the structured perf report the staged
+  runs emit.
+
+The layer is strictly optional: with no cache installed and one worker,
+the pipeline behaves exactly as before, and outputs are byte-identical
+across (serial, parallel) × (cold, warm) for a fixed seed.
+"""
+
+from repro.perf.cache import (
+    ArtifactCache,
+    CacheStats,
+    active_cache,
+    configure_cache,
+    resolve_cache_dir,
+)
+from repro.perf.executor import (
+    ExecutionResult,
+    ExperimentTask,
+    TaskOutcome,
+    execute_tasks,
+    stage_tasks,
+)
+from repro.perf.fingerprint import canonical_payload, fingerprint
+from repro.perf.report import PerfReport, TaskTiming
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "ExecutionResult",
+    "ExperimentTask",
+    "PerfReport",
+    "TaskOutcome",
+    "TaskTiming",
+    "active_cache",
+    "canonical_payload",
+    "configure_cache",
+    "execute_tasks",
+    "fingerprint",
+    "resolve_cache_dir",
+    "stage_tasks",
+]

@@ -1,0 +1,279 @@
+"""Content-addressed, on-disk artifact cache.
+
+Every expensive intermediate of the experiment pipeline — generated
+incidences, simulated traffic demand vectors, Table 2 graph metrics,
+robustness curves — is a pure function of (generator parameters, scale,
+seed, artifact kind).  :class:`ArtifactCache` maps the fingerprint of
+those inputs (:mod:`repro.perf.fingerprint`) to an on-disk blob:
+
+- incidences via the existing :mod:`repro.io` ``.npz`` round-trip
+  (exact, so a cache hit is byte-for-byte the regenerated artifact);
+- raw array bundles via ``numpy`` ``.npz``;
+- row-oriented records (e.g. Table 2 metrics) as JSON lines.
+
+The cache is safe for concurrent writers: blobs are written to a
+process-unique temp file and published with an atomic ``os.replace``,
+so parallel workers racing on the same key simply last-write-win with
+identical bytes.  A byte budget turns it into an LRU: reads refresh the
+entry mtime and :meth:`ArtifactCache.put` evicts oldest-read entries
+once the budget is exceeded.
+
+The default location honours the ``REPRO_CACHE_DIR`` environment
+variable (escape hatch: point it at a tmpfs, a shared volume, or a
+throwaway dir) and falls back to ``~/.cache/repro-artifacts``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.incidence import BipartiteIncidence
+from repro.io import load_incidence, save_incidence
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "ENV_CACHE_DIR",
+    "active_cache",
+    "configure_cache",
+    "resolve_cache_dir",
+]
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one cache instance (merged across workers later)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another instance's counters into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.puts += other.puts
+        self.evictions += other.evictions
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready rendering, including the derived hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def resolve_cache_dir(explicit: str | Path | None = None) -> Path:
+    """The cache directory: explicit arg > ``REPRO_CACHE_DIR`` > default."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-artifacts"
+
+
+class ArtifactCache:
+    """Fingerprint-keyed blob store with LRU eviction and statistics.
+
+    Args:
+        directory: Root directory; created lazily on first put.
+        max_bytes: Optional byte budget.  ``put`` evicts the
+            least-recently-read entries once the total exceeds it; the
+            entry just written is never evicted by its own put.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        self.directory = resolve_cache_dir(directory)
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+
+    # -- key/path plumbing --------------------------------------------------
+
+    def _path(self, key: str, suffix: str) -> Path:
+        """Blob path for a fingerprint (sharded on the first hex byte)."""
+        return self.directory / key[:2] / f"{key}{suffix}"
+
+    def _publish(self, path: Path, write) -> None:
+        """Atomically write a blob: temp file in-place, then rename."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Temp name keeps the real suffix (numpy appends ".npz" to bare
+        # paths) and carries a ".tmp" marker that entries() filters out.
+        tmp = path.with_name(f"{path.stem}.tmp{os.getpid()}{path.suffix}")
+        try:
+            write(tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # a failed write must not leave litter
+                tmp.unlink()
+        self.stats.puts += 1
+        self._enforce_budget(keep=path)
+
+    def _read_hit(self, path: Path) -> bool:
+        """Record hit/miss for ``path``; refresh mtime on hit (LRU)."""
+        if not path.is_file():
+            self.stats.misses += 1
+            return False
+        os.utime(path)
+        self.stats.hits += 1
+        return True
+
+    # -- incidence blobs ----------------------------------------------------
+
+    def get_incidence(self, key: str) -> BipartiteIncidence | None:
+        """Load a cached incidence, or None on miss."""
+        path = self._path(key, ".npz")
+        if not self._read_hit(path):
+            return None
+        try:
+            return load_incidence(path)
+        except (OSError, ValueError, KeyError):
+            # Unreadable entry (e.g. torn by an external deletion):
+            # drop it and treat as a miss.
+            path.unlink(missing_ok=True)
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+
+    def put_incidence(self, key: str, incidence: BipartiteIncidence) -> None:
+        """Store an incidence via the :mod:`repro.io` round-trip."""
+        path = self._path(key, ".npz")
+        self._publish(
+            path, lambda tmp: save_incidence(incidence, tmp, compressed=False)
+        )
+
+    # -- raw array bundles --------------------------------------------------
+
+    def get_arrays(self, key: str) -> dict[str, np.ndarray] | None:
+        """Load a cached array bundle, or None on miss."""
+        path = self._path(key, ".npz")
+        if not self._read_hit(path):
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return {name: data[name] for name in data.files}
+        except (OSError, ValueError, KeyError):
+            path.unlink(missing_ok=True)
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+
+    def put_arrays(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        """Store named arrays as an (uncompressed, exact) ``.npz``."""
+        path = self._path(key, ".npz")
+        self._publish(path, lambda tmp: np.savez(tmp, **arrays))
+
+    # -- JSON-lines records -------------------------------------------------
+
+    def get_records(self, key: str) -> list[dict] | None:
+        """Load cached JSON-lines records, or None on miss."""
+        path = self._path(key, ".jsonl")
+        if not self._read_hit(path):
+            return None
+        try:
+            with path.open(encoding="utf-8") as handle:
+                return [json.loads(line) for line in handle if line.strip()]
+        except (OSError, ValueError):
+            path.unlink(missing_ok=True)
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+
+    def put_records(self, key: str, records: list[dict]) -> None:
+        """Store a list of JSON-serializable rows, one per line."""
+        path = self._path(key, ".jsonl")
+        text = "".join(json.dumps(row, sort_keys=True) + "\n" for row in records)
+        self._publish(path, lambda tmp: tmp.write_text(text, encoding="utf-8"))
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """All blob paths currently in the cache (sorted for determinism)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.directory.glob("*/*")
+            if p.is_file() and ".tmp" not in p.name
+        )
+
+    def total_bytes(self) -> int:
+        """Total size of all cached blobs."""
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def _enforce_budget(self, keep: Path | None = None) -> None:
+        """Evict least-recently-read entries beyond ``max_bytes``."""
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self.entries():
+            stat = path.stat()
+            entries.append((stat.st_mtime_ns, path.name, path, stat.st_size))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        # Oldest read first; name as a deterministic tie-break.
+        for __, __, path, size in sorted(entries):
+            if keep is not None and path == keep:
+                continue
+            path.unlink(missing_ok=True)
+            self.stats.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                return
+
+
+# -- process-wide active cache ------------------------------------------------
+#
+# The experiment runners consult a single process-global cache handle so
+# that caching composes with code that never heard of it (extensions,
+# benchmarks, user scripts).  ``None`` means caching is off — the
+# ``--no-cache`` escape hatch simply never installs a cache.
+
+_ACTIVE: ArtifactCache | None = None
+
+
+def configure_cache(cache: ArtifactCache | None) -> ArtifactCache | None:
+    """Install (or, with ``None``, remove) the process-wide cache.
+
+    Returns the previous handle so callers can restore it.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    return previous
+
+
+def active_cache() -> ArtifactCache | None:
+    """The currently installed cache, or None when caching is off."""
+    return _ACTIVE

@@ -1,0 +1,83 @@
+"""Structured performance reports for pipeline runs.
+
+The executor measures each runner's wall-clock and each worker's cache
+counters; :class:`PerfReport` merges them into one JSON-serializable
+record — the shape ``BENCH_PR2.json`` and the CI smoke job consume.
+Timing data lives *next to* the reproduction artifacts, never inside
+them, so enabling the perf layer cannot perturb byte-identical outputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.perf.cache import CacheStats
+
+__all__ = ["PerfReport", "TaskTiming"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskTiming:
+    """Wall-clock of one experiment runner."""
+
+    name: str
+    seconds: float
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready rendering."""
+        return {"name": self.name, "seconds": round(self.seconds, 6)}
+
+
+@dataclasses.dataclass
+class PerfReport:
+    """One pipeline run's performance record.
+
+    Attributes:
+        workers: Worker processes used (1 = serial).
+        cache_enabled: Whether an artifact cache was installed.
+        cache_dir: Cache location (empty string when disabled).
+        total_seconds: End-to-end wall-clock of the run.
+        timings: Per-runner wall-clock, including prewarm tasks.
+        cache: Cache counters merged across the driver and all workers.
+    """
+
+    workers: int
+    cache_enabled: bool
+    cache_dir: str = ""
+    total_seconds: float = 0.0
+    timings: list[TaskTiming] = dataclasses.field(default_factory=list)
+    cache: CacheStats = dataclasses.field(default_factory=CacheStats)
+
+    def add_timing(self, name: str, seconds: float) -> None:
+        """Record one runner's duration."""
+        self.timings.append(TaskTiming(name=name, seconds=seconds))
+
+    def merge_cache_stats(self, stats: CacheStats) -> None:
+        """Fold one worker's cache counters into the run totals."""
+        self.cache.merge(stats)
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (stable key order for diffable reports)."""
+        return {
+            "workers": self.workers,
+            "cache_enabled": self.cache_enabled,
+            "cache_dir": self.cache_dir,
+            "total_seconds": round(self.total_seconds, 6),
+            "cache": self.cache.as_dict(),
+            "timings": [
+                t.as_dict() for t in sorted(self.timings, key=lambda t: t.name)
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Serialize as indented JSON."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the JSON report to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path

@@ -7,7 +7,7 @@ benchmarks in ``benchmarks/`` and the scripts in ``examples/`` are thin
 wrappers over these runners.
 """
 
-from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.config import ExecutionSettings, ExperimentConfig
 from repro.pipeline.extensions import (
     DiscoveryStudy,
     StalenessStudy,
@@ -35,10 +35,12 @@ from repro.pipeline.experiments import (
     run_spread_via_extraction,
     run_table1,
     run_table2,
+    spread_incidence,
 )
 
 __all__ = [
     "DiscoveryStudy",
+    "ExecutionSettings",
     "ExperimentConfig",
     "ReviewSpreadResult",
     "StalenessStudy",
@@ -63,4 +65,5 @@ __all__ = [
     "run_spread_via_extraction",
     "run_table1",
     "run_table2",
+    "spread_incidence",
 ]

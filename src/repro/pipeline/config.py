@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.webgen.profiles import SCALES, ScalePreset
 
-__all__ = ["ExperimentConfig"]
+__all__ = ["ExecutionSettings", "ExperimentConfig"]
 
 
 @dataclass(frozen=True)
@@ -59,3 +59,35 @@ class ExperimentConfig:
             traffic_events=max(1, self.traffic_events // factor),
             traffic_cookies=max(1, self.traffic_cookies // factor),
         )
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """How to *run* the pipeline, as opposed to *what* it computes.
+
+    None of these knobs may influence artifact bytes: any combination of
+    workers and caching must produce byte-identical outputs for a fixed
+    :class:`ExperimentConfig`.  They are therefore never part of cache
+    fingerprints.
+
+    Attributes:
+        workers: Worker processes for the staged executor (1 = run
+            everything inline in the calling process).
+        use_cache: Install a fresh content-addressed artifact cache for
+            the run.  When False the run leaves whatever cache the
+            caller configured (usually none) untouched.
+        cache_dir: Cache location; None defers to ``REPRO_CACHE_DIR``
+            and then the ``~/.cache/repro-artifacts`` default.
+        cache_budget_bytes: Optional LRU byte budget for the cache.
+    """
+
+    workers: int = 1
+    use_cache: bool = False
+    cache_dir: str | None = None
+    cache_budget_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.cache_budget_bytes is not None and self.cache_budget_bytes <= 0:
+            raise ValueError("cache_budget_bytes must be positive")

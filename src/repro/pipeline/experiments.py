@@ -47,6 +47,7 @@ from repro.entities.domains import (
     table1_rows,
 )
 from repro.extract.runner import ExtractionRunner
+from repro.perf import active_cache, fingerprint
 from repro.pipeline.config import ExperimentConfig
 from repro.report.figures import ascii_plot
 from repro.report.tables import ascii_table
@@ -75,6 +76,7 @@ __all__ = [
     "run_spread_via_extraction",
     "run_table1",
     "run_table2",
+    "spread_incidence",
 ]
 
 TRAFFIC_SITES = ("imdb", "amazon", "yelp")
@@ -83,6 +85,103 @@ TRAFFIC_SITES = ("imdb", "amazon", "yelp")
 def _stream_seed(config: ExperimentConfig, label: str) -> int:
     """Derive a deterministic per-experiment seed from the master seed."""
     return (config.seed * 7_368_787 + zlib.crc32(label.encode())) & 0x7FFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Cache-aware artifact builders
+# ---------------------------------------------------------------------------
+#
+# Each builder is a pure function of its fingerprinted inputs, so when
+# an artifact cache is installed (repro.perf.configure_cache) a hit is
+# exactly — byte for byte — what a cold run would regenerate.  With no
+# cache installed every builder degrades to the plain computation.
+
+
+def spread_incidence(
+    domain: str, attribute: str, config: ExperimentConfig
+) -> BipartiteIncidence:
+    """Generate one spread corpus, via the artifact cache when installed.
+
+    The fingerprint covers everything generation consumes: the full
+    :class:`~repro.webgen.profiles.SpreadProfile`, the scale preset, and
+    the derived stream seed.  Several runners (Figures 1–5 and 9,
+    Table 2) share corpora; routing them through this helper makes each
+    distinct corpus get generated exactly once per cache lifetime.
+    """
+    profile = get_profile(domain, attribute)
+    seed = _stream_seed(config, f"spread:{domain}:{attribute}")
+    cache = active_cache()
+    if cache is None:
+        return profile.generate(config.scale_preset, seed=seed)
+    key = fingerprint(
+        "incidence", profile=profile, scale=config.scale_preset, seed=seed
+    )
+    incidence = cache.get_incidence(key)
+    if incidence is None:
+        incidence = profile.generate(config.scale_preset, seed=seed)
+        cache.put_incidence(key, incidence)
+    return incidence
+
+
+def _graph_metrics_row(
+    domain: str, attribute: str, config: ExperimentConfig
+) -> GraphMetrics:
+    """One Table 2 row, cached as a JSON record when a cache is active."""
+    cache = active_cache()
+    key = None
+    if cache is not None:
+        key = fingerprint(
+            "table2-row",
+            profile=get_profile(domain, attribute),
+            scale=config.scale_preset,
+            seed=_stream_seed(config, f"spread:{domain}:{attribute}"),
+            max_bfs=config.max_bfs,
+        )
+        rows = cache.get_records(key)
+        if rows:
+            return GraphMetrics(**rows[0])
+    incidence = spread_incidence(domain, attribute, config)
+    measured = GraphMetrics.measure(
+        incidence, domain, attribute, max_bfs=config.max_bfs
+    )
+    # Coerce to plain Python scalars so the cold row and the JSON
+    # round-tripped warm row are indistinguishable downstream.
+    record = {
+        "domain": measured.domain,
+        "attribute": measured.attribute,
+        "avg_sites_per_entity": float(measured.avg_sites_per_entity),
+        "diameter": int(measured.diameter),
+        "n_components": int(measured.n_components),
+        "pct_entities_in_largest": float(measured.pct_entities_in_largest),
+    }
+    row = GraphMetrics(**record)
+    if cache is not None:
+        cache.put_records(key, [record])
+    return row
+
+
+def _robustness_panel(
+    domain: str, attribute: str, config: ExperimentConfig, max_removed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One Figure 9 curve, cached as an array bundle when active."""
+    cache = active_cache()
+    key = None
+    if cache is not None:
+        key = fingerprint(
+            "robustness",
+            profile=get_profile(domain, attribute),
+            scale=config.scale_preset,
+            seed=_stream_seed(config, f"spread:{domain}:{attribute}"),
+            max_removed=max_removed,
+        )
+        arrays = cache.get_arrays(key)
+        if arrays is not None:
+            return arrays["ks"], arrays["fractions"]
+    incidence = spread_incidence(domain, attribute, config)
+    ks, fractions = robustness_curve(incidence, max_removed=max_removed)
+    if cache is not None:
+        cache.put_arrays(key, {"ks": ks, "fractions": fractions})
+    return ks, fractions
 
 
 # ---------------------------------------------------------------------------
@@ -121,10 +220,7 @@ def run_spread(
     domain: str, attribute: str, config: ExperimentConfig
 ) -> SpreadResult:
     """One spread panel: generate the incidence, compute k-coverage."""
-    profile = get_profile(domain, attribute)
-    incidence = profile.generate(
-        config.scale_preset, seed=_stream_seed(config, f"spread:{domain}:{attribute}")
-    )
+    incidence = spread_incidence(domain, attribute, config)
     curves = k_coverage_curves(incidence, ks=config.ks)
     return SpreadResult(
         domain=domain, attribute=attribute, incidence=incidence, curves=curves
@@ -231,10 +327,7 @@ def run_figure5(
     attribute: str = ATTRIBUTE_HOMEPAGE,
 ) -> SetCoverResult:
     """Figure 5: does careful (greedy) site selection beat size order?"""
-    profile = get_profile(domain, attribute)
-    incidence = profile.generate(
-        config.scale_preset, seed=_stream_seed(config, f"spread:{domain}:{attribute}")
-    )
+    incidence = spread_incidence(domain, attribute, config)
     curves = k_coverage_curves(incidence, ks=(1,))
     checkpoints = curves.checkpoints
     __, greedy = greedy_coverage_curve(incidence, checkpoints=checkpoints)
@@ -271,23 +364,59 @@ class TrafficDataset:
 
 
 def build_traffic_dataset(site: str, config: ExperimentConfig) -> TrafficDataset:
-    """Simulate a year of traffic for one site and aggregate demand."""
+    """Simulate a year of traffic for one site and aggregate demand.
+
+    Cached as an array bundle when an artifact cache is installed: the
+    three Figure 6–8 runners each need all three sites, so one cold
+    simulation per site serves all of them.
+    """
+    seed = _stream_seed(config, f"traffic:{site}")
     profile = get_site_profile(site)
+    cache = active_cache()
+    key = None
+    if cache is not None:
+        key = fingerprint(
+            "traffic",
+            profile=profile,
+            n_entities=config.traffic_entities,
+            n_cookies=config.traffic_cookies,
+            n_events=config.traffic_events,
+            cookie_activity_exponent=0.5,
+            seed=seed,
+        )
+        arrays = cache.get_arrays(key)
+        if arrays is not None:
+            return TrafficDataset(
+                site=site,
+                reviews=arrays["reviews"],
+                search_demand=arrays["search_demand"],
+                browse_demand=arrays["browse_demand"],
+            )
     generator = TrafficLogGenerator(
         profile,
         n_entities=config.traffic_entities,
         n_cookies=config.traffic_cookies,
         cookie_activity_exponent=0.5,
-        seed=_stream_seed(config, f"traffic:{site}"),
+        seed=seed,
     )
     search = unique_cookie_demand(generator.search_log(config.traffic_events))
     browse = unique_cookie_demand(generator.browse_log(config.traffic_events))
-    return TrafficDataset(
+    dataset = TrafficDataset(
         site=site,
         reviews=generator.population.reviews,
         search_demand=search,
         browse_demand=browse,
     )
+    if cache is not None:
+        cache.put_arrays(
+            key,
+            {
+                "reviews": dataset.reviews,
+                "search_demand": dataset.search_demand,
+                "browse_demand": dataset.browse_demand,
+            },
+        )
+    return dataset
 
 
 def run_figure6(
@@ -383,19 +512,10 @@ def run_table2(
     rows: tuple[tuple[str, str], ...] = TABLE2_ROWS,
 ) -> list[GraphMetrics]:
     """Table 2: entity–site graph metrics for every (domain, attribute)."""
-    metrics = []
-    for domain, attribute in rows:
-        profile = get_profile(domain, attribute)
-        incidence = profile.generate(
-            config.scale_preset,
-            seed=_stream_seed(config, f"spread:{domain}:{attribute}"),
-        )
-        metrics.append(
-            GraphMetrics.measure(
-                incidence, domain, attribute, max_bfs=config.max_bfs
-            )
-        )
-    return metrics
+    return [
+        _graph_metrics_row(domain, attribute, config)
+        for domain, attribute in rows
+    ]
 
 
 def format_table2(metrics: list[GraphMetrics]) -> str:
@@ -441,19 +561,11 @@ def run_figure9(
     }
     for domain in LOCAL_BUSINESS_DOMAINS:
         for attribute in (ATTRIBUTE_PHONE, ATTRIBUTE_HOMEPAGE):
-            profile = get_profile(domain, attribute)
-            incidence = profile.generate(
-                config.scale_preset,
-                seed=_stream_seed(config, f"spread:{domain}:{attribute}"),
+            panels[attribute][domain] = _robustness_panel(
+                domain, attribute, config, max_removed
             )
-            panels[attribute][domain] = robustness_curve(
-                incidence, max_removed=max_removed
-            )
-    books = get_profile("books", ATTRIBUTE_ISBN).generate(
-        config.scale_preset, seed=_stream_seed(config, "spread:books:isbn")
-    )
-    panels[ATTRIBUTE_ISBN]["books"] = robustness_curve(
-        books, max_removed=max_removed
+    panels[ATTRIBUTE_ISBN]["books"] = _robustness_panel(
+        "books", ATTRIBUTE_ISBN, config, max_removed
     )
     return panels
 

@@ -24,12 +24,12 @@ from repro.core.redundancy import RedundancyReport, redundancy_report
 from repro.discovery.bootstrap import BootstrapExpansion
 from repro.discovery.noisy import NoisyExpansion
 from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.experiments import spread_incidence
 from repro.report.tables import ascii_table
 from repro.traffic.demandmodel import get_site_profile
 from repro.traffic.logs import TrafficLogGenerator
 from repro.traffic.users import UserTailReport, user_tail_analysis
 from repro.webgen.evolution import CorpusEvolver, recrawl_comparison, staleness_curve
-from repro.webgen.profiles import get_profile
 
 __all__ = [
     "DiscoveryStudy",
@@ -83,9 +83,7 @@ def run_discovery_study(
     extraction_recall: float = 0.9,
 ) -> DiscoveryStudy:
     """Run both expansion variants on a freshly generated corpus."""
-    incidence = get_profile(domain, attribute).generate(
-        config.scale_preset, seed=_seed(config, f"spread:{domain}:{attribute}")
-    )
+    incidence = spread_incidence(domain, attribute, config)
     graph = EntitySiteGraph(incidence)
     diameter = graph.diameter(max_bfs=config.max_bfs)
     perfect = BootstrapExpansion(incidence).random_seed_trial(
@@ -121,10 +119,7 @@ def run_redundancy_study(
     """Redundancy reports for several (domain, attribute) corpora."""
     reports = {}
     for domain, attribute in pairs:
-        incidence = get_profile(domain, attribute).generate(
-            config.scale_preset,
-            seed=_seed(config, f"spread:{domain}:{attribute}"),
-        )
+        incidence = spread_incidence(domain, attribute, config)
         reports[(domain, attribute)] = redundancy_report(incidence)
     return reports
 
@@ -205,9 +200,7 @@ def run_staleness_study(
     budget_per_epoch: int = 30,
 ) -> StalenessStudy:
     """Evolve a corpus and compare re-crawl policies."""
-    incidence = get_profile(domain, attribute).generate(
-        config.scale_preset, seed=_seed(config, f"spread:{domain}:{attribute}")
-    )
+    incidence = spread_incidence(domain, attribute, config)
     evolver = CorpusEvolver(edge_drop_rate=churn, edge_add_rate=churn)
     snapshots = evolver.evolve(incidence, epochs=epochs, rng=config.seed)
     decay = staleness_curve(snapshots, incidence)

@@ -401,7 +401,20 @@ def test_config_longest_prefix_wins_and_excludes(tmp_path):
 def test_load_config_reads_real_pyproject():
     config = load_config(REPO_ROOT / "pyproject.toml")
     assert config.is_excluded("examples/quickstart.py")
+    # Longest-prefix match: the core kernels add the PERF hot-path rules.
     assert config.selectors_for("src/repro/core/graph.py") == (
+        "RNG",
+        "SEED",
+        "LAY",
+        "API",
+        "PERF",
+    )
+    # The perf layer may read clocks (that is its job) but keeps the
+    # rest of the determinism contract.
+    perf_selectors = config.selectors_for("src/repro/perf/executor.py")
+    assert "RNG004" not in perf_selectors
+    assert "RNG001" in perf_selectors
+    assert config.selectors_for("src/repro/pipeline/runall.py") == (
         "RNG",
         "SEED",
         "LAY",

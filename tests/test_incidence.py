@@ -166,3 +166,88 @@ def test_property_drop_sites_reduces_edges(inc, k):
     assert reduced.n_sites == inc.n_sites - k
     assert reduced.n_edges <= inc.n_edges
     assert reduced.n_entities == inc.n_entities
+
+
+def _drop_sites_reference(inc, sites):
+    """Set-based reference for drop_sites (the pre-vectorization shape)."""
+    dropped = {int(s) for s in sites if 0 <= int(s) < inc.n_sites}
+    hosts, idx_parts, mult_parts = [], [], []
+    for s in range(inc.n_sites):
+        if s in dropped:
+            continue
+        hosts.append(inc.site_hosts[s])
+        lo, hi = int(inc.site_ptr[s]), int(inc.site_ptr[s + 1])
+        idx_parts.append(inc.entity_idx[lo:hi])
+        if inc.multiplicity is not None:
+            mult_parts.append(inc.multiplicity[lo:hi])
+    ptr = np.zeros(len(hosts) + 1, dtype=np.int64)
+    ptr[1:] = np.cumsum([len(part) for part in idx_parts])
+    concat = lambda parts: (  # noqa: E731
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    )
+    return BipartiteIncidence(
+        n_entities=inc.n_entities,
+        site_hosts=hosts,
+        site_ptr=ptr,
+        entity_idx=concat(idx_parts),
+        multiplicity=(
+            concat(mult_parts) if inc.multiplicity is not None else None
+        ),
+        entity_ids=inc.entity_ids,
+    )
+
+
+def _assert_incidences_equal(actual, expected):
+    assert actual.n_entities == expected.n_entities
+    assert actual.site_hosts == expected.site_hosts
+    np.testing.assert_array_equal(actual.site_ptr, expected.site_ptr)
+    np.testing.assert_array_equal(actual.entity_idx, expected.entity_idx)
+    if expected.multiplicity is None:
+        assert actual.multiplicity is None
+    else:
+        np.testing.assert_array_equal(actual.multiplicity, expected.multiplicity)
+
+
+@given(
+    incidence_strategy(),
+    st.lists(st.integers(min_value=-3, max_value=12), max_size=8),
+)
+@settings(max_examples=80)
+def test_property_drop_sites_matches_set_based_reference(inc, drops):
+    """The vectorized drop_sites is exactly the old per-site filter."""
+    _assert_incidences_equal(
+        inc.drop_sites(drops), _drop_sites_reference(inc, drops)
+    )
+
+
+def test_drop_sites_parity_with_multiplicity_and_hosts():
+    inc = BipartiteIncidence.from_site_lists(
+        n_entities=5,
+        sites=[
+            ("a.example", [0, 1, 2]),
+            ("b.example", [1, 3]),
+            ("c.example", [4]),
+            ("d.example", [0, 4]),
+        ],
+        multiplicities=[[2, 1, 5], [3, 3], [9], [1, 1]],
+    )
+    # Out-of-range and negative drops are ignored, exactly as the
+    # set-based membership test ignored them.
+    drops = [1, 3, 99, -1]
+    _assert_incidences_equal(
+        inc.drop_sites(drops), _drop_sites_reference(inc, drops)
+    )
+    surviving = inc.drop_sites(drops)
+    assert surviving.site_hosts == ["a.example", "c.example"]
+    assert surviving.site_multiplicities(0).tolist() == [2, 1, 5]
+    assert surviving.site_multiplicities(1).tolist() == [9]
+
+
+def test_drop_sites_everything_leaves_an_empty_incidence():
+    inc = BipartiteIncidence.from_site_lists(
+        n_entities=3, sites=[("a.example", [0]), ("b.example", [1, 2])]
+    )
+    empty = inc.drop_sites(range(inc.n_sites))
+    assert empty.n_sites == 0
+    assert empty.n_edges == 0
+    assert empty.n_entities == 3

@@ -1,0 +1,143 @@
+"""Tests for the staged (and optionally process-parallel) executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.cache import ArtifactCache, configure_cache
+from repro.perf.executor import (
+    ExecutionResult,
+    ExperimentTask,
+    execute_tasks,
+    stage_tasks,
+)
+from repro.perf.fingerprint import fingerprint
+
+
+# Task functions must live at module scope: worker processes import
+# them by reference.
+
+
+def _double(payload):
+    return payload["x"] * 2
+
+
+def _boom(payload):
+    raise RuntimeError("intentional")
+
+
+def _cached_square(payload):
+    """Compute x**2 through a cache installed inside the worker."""
+    cache = ArtifactCache(payload["cache_dir"])
+    configure_cache(cache)
+    key = fingerprint("square", x=payload["x"])
+    rows = cache.get_records(key)
+    if rows is None:
+        rows = [{"value": payload["x"] ** 2}]
+        cache.put_records(key, rows)
+    return rows[0]["value"]
+
+
+def _task(name, requires=(), provides=(), fn=_double, payload=None):
+    return ExperimentTask(
+        name=name,
+        fn=fn,
+        payload=payload if payload is not None else {"x": 1},
+        requires=tuple(requires),
+        provides=tuple(provides),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Staging
+# ---------------------------------------------------------------------------
+
+
+def test_stage_tasks_orders_producers_before_consumers():
+    tasks = [
+        _task("consumer", requires=["a", "b"]),
+        _task("make-a", provides=["a"]),
+        _task("make-b", provides=["b"], requires=["a"]),
+    ]
+    stages = stage_tasks(tasks)
+    names = [[t.name for t in stage] for stage in stages]
+    assert names == [["make-a"], ["make-b"], ["consumer"]]
+
+
+def test_stage_tasks_treats_unprovided_labels_as_satisfied():
+    # Nothing provides "warm" — e.g. an already-populated cache entry —
+    # so the consumer is immediately runnable.
+    stages = stage_tasks([_task("consumer", requires=["warm"])])
+    assert [[t.name for t in s] for s in stages] == [["consumer"]]
+
+
+def test_stage_tasks_groups_independent_tasks_into_one_stage():
+    stages = stage_tasks([_task("a", provides=["pa"]), _task("b", provides=["pb"])])
+    assert len(stages) == 1
+    assert {t.name for t in stages[0]} == {"a", "b"}
+
+
+def test_stage_tasks_rejects_cycles():
+    tasks = [
+        _task("a", requires=["y"], provides=["x"]),
+        _task("b", requires=["x"], provides=["y"]),
+    ]
+    with pytest.raises(ValueError, match="cycle"):
+        stage_tasks(tasks)
+
+
+def test_stage_tasks_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="duplicate"):
+        stage_tasks([_task("same"), _task("same")])
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def test_serial_execution_returns_outcomes_and_wall_clock():
+    tasks = [_task("t1", payload={"x": 2}), _task("t2", payload={"x": 5})]
+    result = execute_tasks(tasks, workers=1)
+    assert isinstance(result, ExecutionResult)
+    assert result.outcomes["t1"].value == 4
+    assert result.outcomes["t2"].value == 10
+    assert result.total_seconds >= 0.0
+    assert all(o.seconds >= 0.0 for o in result.outcomes.values())
+
+
+def test_parallel_execution_matches_serial_results():
+    tasks = [_task(f"t{i}", payload={"x": i}) for i in range(6)]
+    serial = execute_tasks(tasks, workers=1)
+    pooled = execute_tasks(tasks, workers=2)
+    assert {n: o.value for n, o in pooled.outcomes.items()} == {
+        n: o.value for n, o in serial.outcomes.items()
+    }
+
+
+def test_parallel_task_failure_names_the_task():
+    tasks = [_task("fine"), _task("broken", fn=_boom)]
+    with pytest.raises(RuntimeError, match="broken"):
+        execute_tasks(tasks, workers=2)
+
+
+def test_serial_task_failure_propagates():
+    with pytest.raises(RuntimeError, match="intentional"):
+        execute_tasks([_task("broken", fn=_boom)], workers=1)
+
+
+def test_worker_cache_stats_are_reported_per_task(tmp_path):
+    spec = {"cache_dir": str(tmp_path)}
+    producer = _task(
+        "producer", provides=["sq"], fn=_cached_square, payload={"x": 7, **spec}
+    )
+    consumer = _task(
+        "consumer", requires=["sq"], fn=_cached_square, payload={"x": 7, **spec}
+    )
+    result = execute_tasks([producer, consumer], workers=2)
+    assert result.outcomes["producer"].value == 49
+    assert result.outcomes["consumer"].value == 49
+    assert result.outcomes["producer"].cache_stats.misses == 1
+    assert result.outcomes["producer"].cache_stats.puts == 1
+    assert result.outcomes["consumer"].cache_stats.hits == 1
+    assert result.outcomes["consumer"].cache_stats.misses == 0

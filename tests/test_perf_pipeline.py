@@ -1,0 +1,113 @@
+"""End-to-end determinism of the cached / parallel pipeline.
+
+The contract under test: :class:`ExecutionSettings` may change how fast
+``run_everything`` finishes, never what it writes.  Every (workers,
+cache) combination must produce byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline.config import ExecutionSettings, ExperimentConfig
+from repro.pipeline.runall import run_everything_with_report
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    """Smallest config that still runs every figure and table."""
+    return ExperimentConfig(
+        scale="tiny",
+        seed=0,
+        traffic_entities=2000,
+        traffic_events=20000,
+        traffic_cookies=5000,
+    )
+
+
+def _digests(directory: Path) -> dict[str, str]:
+    return {
+        p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in sorted(directory.iterdir())
+        if p.is_file()
+    }
+
+
+@pytest.fixture(scope="module")
+def reference_run(tiny_config, tmp_path_factory):
+    """Serial, uncached artifacts: the pre-perf pipeline's behaviour."""
+    out = tmp_path_factory.mktemp("reference")
+    names, report = run_everything_with_report(
+        out, tiny_config, verbose=False, settings=ExecutionSettings()
+    )
+    assert report.cache.hits == report.cache.misses == 0
+    return names, _digests(out)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_cold_and_warm_cache_match_uncached_bytes(
+    workers, tiny_config, reference_run, tmp_path
+):
+    names, reference = reference_run
+    settings = ExecutionSettings(
+        workers=workers, use_cache=True, cache_dir=str(tmp_path / "cache")
+    )
+
+    cold_out = tmp_path / "cold"
+    cold_names, cold_report = run_everything_with_report(
+        cold_out, tiny_config, verbose=False, settings=settings
+    )
+    assert cold_names == names
+    assert _digests(cold_out) == reference
+    assert cold_report.cache.misses > 0  # nothing was pre-populated
+    assert cold_report.cache.puts > 0
+
+    warm_out = tmp_path / "warm"
+    warm_names, warm_report = run_everything_with_report(
+        warm_out, tiny_config, verbose=False, settings=settings
+    )
+    assert warm_names == names
+    assert _digests(warm_out) == reference
+    assert warm_report.cache.misses == 0  # every artifact came from cache
+    assert warm_report.cache.hits > 0
+    assert warm_report.cache.hit_rate == 1.0
+
+
+def test_cold_run_shares_artifacts_across_experiments(tiny_config, tmp_path):
+    """Cold cache hits prove experiments dedup shared generation."""
+    settings = ExecutionSettings(
+        workers=1, use_cache=True, cache_dir=str(tmp_path / "cache")
+    )
+    __, report = run_everything_with_report(
+        tmp_path / "out", tiny_config, verbose=False, settings=settings
+    )
+    # Figures 1/2/5, Table 2, and Figure 9 all consume the same spread
+    # incidences; Figures 6-8 share the traffic datasets.  A cold run
+    # therefore hits the cache even though it started empty.
+    assert report.cache.hits > 0
+    assert 0.0 < report.cache.hit_rate < 1.0
+
+
+def test_report_timings_cover_every_task(tiny_config, tmp_path):
+    __, report = run_everything_with_report(
+        tmp_path / "out", tiny_config, verbose=False,
+        settings=ExecutionSettings(),
+    )
+    assert report.total_seconds > 0.0
+    named = {t.name for t in report.timings}
+    assert {"table1", "table2", "figure9"} <= named
+    payload = report.as_dict()
+    assert payload["workers"] == 1
+    assert payload["cache"]["hits"] == 0
+
+
+def test_execution_settings_validation():
+    with pytest.raises(ValueError):
+        ExecutionSettings(workers=0)
+    with pytest.raises(ValueError):
+        ExecutionSettings(cache_budget_bytes=0)
+    settings = ExecutionSettings(workers=3, use_cache=True)
+    assert settings.workers == 3
