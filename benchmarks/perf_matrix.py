@@ -30,6 +30,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.io import atomic_write_text  # noqa: E402
 from repro.pipeline.config import ExecutionSettings, ExperimentConfig  # noqa: E402
 from repro.pipeline.runall import run_everything_with_report  # noqa: E402
 
@@ -157,7 +158,7 @@ def main(argv: list[str] | None = None) -> int:
         "byte_identical_across_modes": identical,
         "artifact_sha256": baseline,
     }
-    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(args.out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.out}")
     print(f"byte-identical across modes: {identical}")
     for name in seconds:

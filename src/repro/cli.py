@@ -243,9 +243,32 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
+    import os
+
     from repro.pipeline.config import ExecutionSettings
     from repro.pipeline.runall import run_everything_with_report
+    from repro.resilience import (
+        ENV_FAULTS,
+        FaultPlan,
+        FaultPlanError,
+        JournalMismatchError,
+        clear_plan_cache,
+    )
 
+    if args.inject_faults is not None:
+        try:
+            FaultPlan.parse(args.inject_faults)
+        except FaultPlanError as exc:
+            print(f"bad --inject-faults plan: {exc}", file=sys.stderr)
+            return 2
+        # Through the environment so forked worker processes inherit it.
+        os.environ[ENV_FAULTS] = args.inject_faults
+        clear_plan_cache()
+
+    resume = args.resume is not None
+    run_id = args.run_id
+    if resume and args.resume:  # `--resume RUN_ID` names the journal directly
+        run_id = args.resume
     settings = ExecutionSettings(
         workers=args.workers,
         use_cache=not args.no_cache,
@@ -255,21 +278,43 @@ def _cmd_all(args: argparse.Namespace) -> int:
             if args.cache_budget_mb is None
             else args.cache_budget_mb * 1024 * 1024
         ),
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        failure_mode="raise" if args.fail_fast else "continue",
+        keep_journal=True,
+        run_id=run_id,
+        resume=resume,
+        journal_dir=None if args.journal_dir is None else str(args.journal_dir),
     )
-    written, report = run_everything_with_report(
-        args.output, _config_from(args), settings=settings
-    )
+    try:
+        written, report = run_everything_with_report(
+            args.output, _config_from(args), settings=settings
+        )
+    except JournalMismatchError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
     print(f"\n{len(written)} artifacts in {args.output}")
     stats = report.cache
     if report.cache_enabled:
+        quarantine = (
+            f", {stats.quarantined} quarantined" if stats.quarantined else ""
+        )
         print(
             f"cache: {stats.hits} hits / {stats.misses} misses "
-            f"(hit rate {stats.hit_rate:.0%}) at {report.cache_dir}"
+            f"(hit rate {stats.hit_rate:.0%}{quarantine}) at {report.cache_dir}"
         )
     print(f"total: {report.total_seconds:.1f}s with {report.workers} worker(s)")
     if args.perf_report is not None:
         path = report.write(args.perf_report)
         print(f"perf report written to {path}")
+    if not report.ok:
+        print(
+            f"\n{len(report.failures)} task(s) failed, "
+            f"{len(report.skipped)} skipped; rerun just the missing work "
+            f"with: repro all {args.output} --resume {report.run_id}",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -434,7 +479,59 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         metavar="FILE",
-        help="write a JSON performance report (timings, cache stats)",
+        help="write a JSON performance report (timings, cache stats, "
+        "failure report)",
+    )
+    run_all.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra attempts per task after the first (default: 2)",
+    )
+    run_all.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock budget (pooled execution only)",
+    )
+    run_all.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first terminal task failure instead of "
+        "completing independent branches (exit code 1 instead of 3)",
+    )
+    run_all.add_argument(
+        "--resume",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="RUN_ID",
+        help="skip tasks an existing journal records as done; with no "
+        "RUN_ID the id is re-derived from the config and output dir",
+    )
+    run_all.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="journal id to checkpoint under (default: derived)",
+    )
+    run_all.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="journal location (default: $REPRO_JOURNAL_DIR or "
+        "~/.cache/repro-journals)",
+    )
+    run_all.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan for chaos testing, "
+        "e.g. 'op=error,task=figure3,times=1; op=corrupt,key=*' "
+        "(see docs/robustness.md)",
     )
     run_all.set_defaults(handler=_cmd_all)
     _add_common(run_all)

@@ -7,8 +7,9 @@ Rule families:
 - :mod:`repro.devtools.rules.layering` — import-graph DAG (``LAY001``, ``LAY002``)
 - :mod:`repro.devtools.rules.api` — API hygiene (``API001``–``API003``)
 - :mod:`repro.devtools.rules.perf` — hot-path idioms (``PERF001``–``PERF003``)
+- :mod:`repro.devtools.rules.robustness` — error discipline (``ROB001``–``ROB002``)
 """
 
-from repro.devtools.rules import api, layering, perf, rng, seeding
+from repro.devtools.rules import api, layering, perf, rng, robustness, seeding
 
-__all__ = ["api", "layering", "perf", "rng", "seeding"]
+__all__ = ["api", "layering", "perf", "rng", "robustness", "seeding"]

@@ -29,6 +29,8 @@ LAYERS: dict[str, frozenset[str]] = {
     "core": frozenset(),
     "entities": frozenset(),
     "devtools": frozenset(),
+    # Fault tolerance: retry policy, run journal, fault injection.
+    "resilience": frozenset(),
     # Formatting only; may render core analysis results.
     "report": frozenset({"core"}),
     # Traffic substrate: logs over entities, demand models over core curves.
@@ -43,8 +45,9 @@ LAYERS: dict[str, frozenset[str]] = {
     "clustering": frozenset({"core", "entities", "crawl", "extract"}),
     "linking": frozenset({"core", "entities", "crawl", "extract"}),
     "discovery": frozenset({"core", "entities"}),
-    # Performance layer: caches core artifacts, schedules runners.
-    "perf": frozenset({"core"}),
+    # Performance layer: caches core artifacts, schedules runners with
+    # the resilience layer's retry/fault machinery.
+    "perf": frozenset({"core", "resilience"}),
     # Orchestration sits on top of everything except the CLI layer.
     "pipeline": frozenset(
         {
@@ -59,6 +62,7 @@ LAYERS: dict[str, frozenset[str]] = {
             "traffic",
             "report",
             "perf",
+            "resilience",
         }
     ),
 }

@@ -1,0 +1,106 @@
+"""Robustness rules (``ROB001``–``ROB002``).
+
+The resilience layer (see ``docs/robustness.md``) has two hard
+invariants that code review keeps failing to catch:
+
+- errors must never vanish: an ``except`` clause has to re-raise, log,
+  or hand the failure to something that records it (the cache layer
+  quarantines, the executor builds a failure report) — a handler that
+  just ``pass``es converts a real fault into a silent wrong answer;
+- retry loops belong in :mod:`repro.resilience.policy`: an ad-hoc
+  ``while``/``for`` around ``time.sleep`` has no attempt bound, no
+  seeded backoff, and no failure report, so the pipeline's retry
+  behaviour stops being a pure function of (seed, task, attempt).
+
+They are enabled for ``src/repro/perf`` and ``src/repro/pipeline`` via
+the pyproject per-path config; ``repro.resilience`` itself hosts the
+one sanctioned sleep (``RetryPolicy.sleep``) and is not selected.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.astutil import collect_import_aliases, resolve_name
+from repro.devtools.findings import Finding
+from repro.devtools.registry import ModuleInfo, Rule, register
+
+__all__ = ["SilentExceptRule", "UnmanagedRetrySleepRule"]
+
+
+def _handler_discharges(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or calls *anything*.
+
+    A call is taken as discharging the exception (logging, quarantining,
+    recording a failure); the rule only fires on handlers that provably
+    let the error vanish without a trace.
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Call)):
+            return True
+    return False
+
+
+@register
+class SilentExceptRule(Rule):
+    """ROB001: an ``except`` clause that swallows the error untraced."""
+
+    rule_id = "ROB001"
+    summary = "except clause swallows the error; re-raise, log, or quarantine"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Flag handlers with no ``raise`` and no call of any kind."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _handler_discharges(node):
+                continue
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "Exception"
+            )
+            yield Finding(
+                module.relpath,
+                node.lineno,
+                node.col_offset,
+                self.rule_id,
+                f"`except {caught}` neither re-raises, logs, nor records "
+                "the failure; a swallowed error here becomes a silently "
+                "wrong artifact — quarantine or report it",
+            )
+
+
+@register
+class UnmanagedRetrySleepRule(Rule):
+    """ROB002: ``time.sleep`` in a loop outside ``repro.resilience``."""
+
+    rule_id = "ROB002"
+    summary = "ad-hoc sleep/retry loop; use repro.resilience.RetryPolicy"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Flag ``time.sleep`` calls nested inside ``for``/``while`` bodies."""
+        aliases = collect_import_aliases(module.tree)
+        seen: set[tuple[int, int]] = set()
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for child in loop.body + loop.orelse:
+                for node in ast.walk(child):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if resolve_name(node.func, aliases) != "time.sleep":
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield Finding(
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule_id,
+                        "`time.sleep` inside a loop is an unmanaged retry: "
+                        "no attempt bound, no seeded backoff, no failure "
+                        "report; route it through RetryPolicy "
+                        "(repro.resilience) instead",
+                    )

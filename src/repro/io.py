@@ -10,13 +10,23 @@ externally-built incidence) and reload it later.  Formats:
   entity per line with its keys and payload class noted.
 
 Both roundtrips are exact and covered by tests.
+
+This module also owns the repo-wide **atomic write** helpers.  Every
+small on-disk record that must never be observed half-written — perf
+reports, ``BENCH_*.json``, resilience run journals, cache blobs — goes
+through :func:`atomic_publish` (or the text/bytes conveniences built on
+it): the payload lands in a process-unique temp file next to the target
+and is published with a single ``os.replace``, so readers see either
+the old content or the new, never a torn file.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -26,11 +36,49 @@ from repro.entities.business import BusinessListing
 from repro.entities.catalog import Entity, EntityDatabase
 
 __all__ = [
+    "atomic_publish",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "load_database",
     "load_incidence",
     "save_database",
     "save_incidence",
 ]
+
+
+def atomic_publish(path: str | Path, write: Callable[[Path], None]) -> Path:
+    """Write a file atomically: temp file in-place, then ``os.replace``.
+
+    ``write`` receives a process-unique temp path in the target's own
+    directory (same filesystem, so the final rename is atomic) and must
+    create that file.  The temp name keeps the real suffix (numpy
+    appends ``.npz`` to bare paths) and carries a ``.tmp`` marker so
+    directory scanners can filter unpublished litter.  A failed write
+    never leaves the temp file behind, and concurrent writers racing on
+    the same target simply last-write-win.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.stem}.tmp{os.getpid()}{path.suffix}")
+    try:
+        write(tmp)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # a failed write must not leave litter
+            tmp.unlink()
+    return path
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path`` with ``text`` (parents created)."""
+    return atomic_publish(path, lambda tmp: tmp.write_text(text, encoding=encoding))
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data`` (parents created)."""
+    return atomic_publish(path, lambda tmp: tmp.write_bytes(data))
 
 _PAYLOAD_TYPES = {"BusinessListing": BusinessListing, "Book": Book}
 

@@ -26,6 +26,8 @@ from repro.perf.cache import (
 from repro.perf.executor import (
     ExecutionResult,
     ExperimentTask,
+    TaskExecutionError,
+    TaskFailure,
     TaskOutcome,
     execute_tasks,
     stage_tasks,
@@ -39,6 +41,8 @@ __all__ = [
     "ExecutionResult",
     "ExperimentTask",
     "PerfReport",
+    "TaskExecutionError",
+    "TaskFailure",
     "TaskOutcome",
     "TaskTiming",
     "active_cache",

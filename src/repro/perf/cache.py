@@ -1,4 +1,4 @@
-"""Content-addressed, on-disk artifact cache.
+"""Content-addressed, on-disk artifact cache with integrity checking.
 
 Every expensive intermediate of the experiment pipeline — generated
 incidences, simulated traffic demand vectors, Table 2 graph metrics,
@@ -11,12 +11,21 @@ those inputs (:mod:`repro.perf.fingerprint`) to an on-disk blob:
 - raw array bundles via ``numpy`` ``.npz``;
 - row-oriented records (e.g. Table 2 metrics) as JSON lines.
 
-The cache is safe for concurrent writers: blobs are written to a
-process-unique temp file and published with an atomic ``os.replace``,
-so parallel workers racing on the same key simply last-write-win with
-identical bytes.  A byte budget turns it into an LRU: reads refresh the
-entry mtime and :meth:`ArtifactCache.put` evicts oldest-read entries
-once the budget is exceeded.
+The cache is safe for concurrent writers: blobs are published through
+:func:`repro.io.atomic_publish` (process-unique temp file + atomic
+``os.replace``), so parallel workers racing on the same key simply
+last-write-win with identical bytes.  A byte budget turns it into an
+LRU: reads refresh the entry mtime and :meth:`ArtifactCache.put`
+evicts oldest-read entries once the budget is exceeded.
+
+**Integrity**: every publish also records the blob's sha256 in a
+``.sha256`` sidecar, and every read verifies it before decoding.  An
+entry that fails verification — or that decodes to garbage — is never
+treated as a silent miss: it is *quarantined* (moved, with its sidecar,
+into a ``quarantine/`` subdirectory for post-mortem), counted in
+:attr:`CacheStats.quarantined`, logged, and then reported as a miss so
+the caller regenerates.  ``tests/test_resilience_chaos.py`` drives this
+path with deliberate blob corruption.
 
 The default location honours the ``REPRO_CACHE_DIR`` environment
 variable (escape hatch: point it at a tmpfs, a shared volume, or a
@@ -26,25 +35,37 @@ throwaway dir) and falls back to ``~/.cache/repro-artifacts``.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import logging
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.incidence import BipartiteIncidence
-from repro.io import load_incidence, save_incidence
+from repro.io import atomic_publish, atomic_write_text, load_incidence, save_incidence
+from repro.resilience import active_plan
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
     "ENV_CACHE_DIR",
+    "QUARANTINE_DIR",
     "active_cache",
     "configure_cache",
     "resolve_cache_dir",
 ]
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Subdirectory (under the cache root) holding quarantined blobs.
+QUARANTINE_DIR = "quarantine"
+
+_DIGEST_SUFFIX = ".sha256"
+
+_log = logging.getLogger(__name__)
 
 
 @dataclasses.dataclass
@@ -55,6 +76,7 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -68,6 +90,7 @@ class CacheStats:
         self.misses += other.misses
         self.puts += other.puts
         self.evictions += other.evictions
+        self.quarantined += other.quarantined
 
     def as_dict(self) -> dict[str, float]:
         """JSON-ready rendering, including the derived hit rate."""
@@ -76,6 +99,7 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -88,6 +112,11 @@ def resolve_cache_dir(explicit: str | Path | None = None) -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro-artifacts"
+
+
+def _sha256_file(path: Path) -> str:
+    """Hex sha256 of a file's bytes (blobs are small; one read is fine)."""
+    return hashlib.sha256(path.read_bytes()).hexdigest()
 
 
 class ArtifactCache:
@@ -115,29 +144,94 @@ class ArtifactCache:
         """Blob path for a fingerprint (sharded on the first hex byte)."""
         return self.directory / key[:2] / f"{key}{suffix}"
 
+    @staticmethod
+    def _sidecar(path: Path) -> Path:
+        """The ``.sha256`` digest sidecar for a blob path."""
+        return path.with_name(path.name + _DIGEST_SUFFIX)
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Directory quarantined (corrupt) blobs are moved into."""
+        return self.directory / QUARANTINE_DIR
+
     def _publish(self, path: Path, write) -> None:
-        """Atomically write a blob: temp file in-place, then rename."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Temp name keeps the real suffix (numpy appends ".npz" to bare
-        # paths) and carries a ".tmp" marker that entries() filters out.
-        tmp = path.with_name(f"{path.stem}.tmp{os.getpid()}{path.suffix}")
-        try:
+        """Atomically write a blob, record its digest, enforce budget.
+
+        The digest is computed over the temp file *before* publication,
+        so the sidecar always describes the bytes that were actually
+        written; anything that mangles the blob afterwards (bit rot,
+        torn writes from outside, an injected corruption fault) is
+        caught by the read-side verification.
+        """
+        digest = ""
+
+        def _write(tmp: Path) -> None:
+            nonlocal digest
             write(tmp)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # a failed write must not leave litter
-                tmp.unlink()
+            digest = _sha256_file(tmp)
+
+        atomic_publish(path, _write)
+        atomic_write_text(self._sidecar(path), digest + "\n")
         self.stats.puts += 1
+        plan = active_plan()
+        if plan is not None:
+            # path name is "<key><suffix>", so stem recovers the key.
+            plan.corrupt_blob(path.stem, path)
         self._enforce_budget(keep=path)
 
+    def _verified(self, path: Path) -> bool:
+        """True when the blob's bytes match its recorded digest."""
+        sidecar = self._sidecar(path)
+        if not sidecar.is_file():
+            return False  # integrity unknowable: treat as corrupt
+        expected = sidecar.read_text(encoding="utf-8").strip()
+        return expected == _sha256_file(path)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt blob (and sidecar) aside; never delete evidence.
+
+        Quarantined entries keep their blob name, so re-quarantining the
+        same key overwrites the previous specimen instead of piling up.
+        """
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        _log.warning(
+            "quarantining corrupt cache entry %s (%s)", path.name, reason
+        )
+        try:
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)  # racing reader got there first
+        sidecar = self._sidecar(path)
+        try:
+            os.replace(sidecar, self.quarantine_dir / sidecar.name)
+        except OSError:
+            sidecar.unlink(missing_ok=True)
+
     def _read_hit(self, path: Path) -> bool:
-        """Record hit/miss for ``path``; refresh mtime on hit (LRU)."""
+        """Account one lookup: verify digest, refresh mtime on hit (LRU)."""
         if not path.is_file():
+            self.stats.misses += 1
+            return False
+        if not self._verified(path):
+            self._quarantine(path, "content digest mismatch")
+            self.stats.quarantined += 1
             self.stats.misses += 1
             return False
         os.utime(path)
         self.stats.hits += 1
         return True
+
+    def _decode_failed(self, path: Path) -> None:
+        """A digest-valid blob still failed to decode: quarantine it.
+
+        Converts the already-counted hit into a quarantined miss, so
+        callers regenerate and the corruption is visible in stats —
+        never a silent miss.
+        """
+        self._quarantine(path, "undecodable blob")
+        self.stats.quarantined += 1
+        self.stats.hits -= 1
+        self.stats.misses += 1
 
     # -- incidence blobs ----------------------------------------------------
 
@@ -148,12 +242,10 @@ class ArtifactCache:
             return None
         try:
             return load_incidence(path)
-        except (OSError, ValueError, KeyError):
-            # Unreadable entry (e.g. torn by an external deletion):
-            # drop it and treat as a miss.
-            path.unlink(missing_ok=True)
-            self.stats.hits -= 1
-            self.stats.misses += 1
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # BadZipFile: a truncated ``.npz`` (torn mid-write) subclasses
+            # Exception directly, not OSError/ValueError.
+            self._decode_failed(path)
             return None
 
     def put_incidence(self, key: str, incidence: BipartiteIncidence) -> None:
@@ -173,10 +265,8 @@ class ArtifactCache:
         try:
             with np.load(path, allow_pickle=False) as data:
                 return {name: data[name] for name in data.files}
-        except (OSError, ValueError, KeyError):
-            path.unlink(missing_ok=True)
-            self.stats.hits -= 1
-            self.stats.misses += 1
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            self._decode_failed(path)
             return None
 
     def put_arrays(self, key: str, arrays: dict[str, np.ndarray]) -> None:
@@ -195,9 +285,7 @@ class ArtifactCache:
             with path.open(encoding="utf-8") as handle:
                 return [json.loads(line) for line in handle if line.strip()]
         except (OSError, ValueError):
-            path.unlink(missing_ok=True)
-            self.stats.hits -= 1
-            self.stats.misses += 1
+            self._decode_failed(path)
             return None
 
     def put_records(self, key: str, records: list[dict]) -> None:
@@ -209,13 +297,30 @@ class ArtifactCache:
     # -- maintenance --------------------------------------------------------
 
     def entries(self) -> list[Path]:
-        """All blob paths currently in the cache (sorted for determinism)."""
+        """All blob paths currently in the cache (sorted for determinism).
+
+        Digest sidecars and quarantined blobs are bookkeeping, not
+        entries: they are excluded here and from the byte budget.
+        """
         if not self.directory.is_dir():
             return []
         return sorted(
             p
             for p in self.directory.glob("*/*")
-            if p.is_file() and ".tmp" not in p.name
+            if p.is_file()
+            and ".tmp" not in p.name
+            and not p.name.endswith(_DIGEST_SUFFIX)
+            and p.parent.name != QUARANTINE_DIR
+        )
+
+    def quarantined_entries(self) -> list[Path]:
+        """Quarantined blob paths (sorted; excludes digest sidecars)."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.quarantine_dir.iterdir()
+            if p.is_file() and not p.name.endswith(_DIGEST_SUFFIX)
         )
 
     def total_bytes(self) -> int:
@@ -223,10 +328,11 @@ class ArtifactCache:
         return sum(p.stat().st_size for p in self.entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (and its sidecar); returns the number removed."""
         removed = 0
         for path in self.entries():
             path.unlink(missing_ok=True)
+            self._sidecar(path).unlink(missing_ok=True)
             removed += 1
         return removed
 
@@ -247,6 +353,7 @@ class ArtifactCache:
             if keep is not None and path == keep:
                 continue
             path.unlink(missing_ok=True)
+            self._sidecar(path).unlink(missing_ok=True)
             self.stats.evictions += 1
             total -= size
             if total <= self.max_bytes:

@@ -1,4 +1,4 @@
-"""Process-parallel execution of experiment runners.
+"""Process-parallel execution of experiment runners, fault-tolerantly.
 
 Runners declare the shared artifacts they *require* (cache entries
 such as generated incidences or traffic datasets) and the ones they
@@ -9,29 +9,61 @@ shared artifact exactly once — in parallel — and consumers hit the
 content-addressed cache instead of regenerating, which is what makes
 ``python -m repro all`` faster even cold.
 
+On top of the scheduling sits the resilience contract
+(``docs/robustness.md``):
+
+- every task gets up to :attr:`RetryPolicy.max_attempts` tries with
+  seeded exponential backoff between them, and an optional per-attempt
+  timeout;
+- a worker crash (``BrokenProcessPool``) or a timed-out attempt tears
+  the pool down and rebuilds it; when the pool cannot be rebuilt (or
+  keeps dying) the executor *degrades* to in-process serial execution
+  rather than losing the run;
+- a task that exhausts its attempts fails *alone*: only tasks whose
+  required artifacts it would have provided are skipped, every
+  independent DAG branch still completes, and the failures/skips are
+  returned as structured records (:class:`TaskFailure`) instead of one
+  opaque exception — unless the caller asked for fail-fast semantics
+  (``raise_on_failure=True``, the library default), in which case the
+  pool is shut down with ``cancel_futures=True`` and the original
+  traceback is chained.
+
 Determinism: tasks never communicate through in-memory state, only
 through the cache (whose round-trips are exact) and their own derived
-seeds, so serial and parallel schedules produce byte-identical
-artifacts.  Each task is timed in its worker; cache counters are
-returned as per-task deltas and merged by the driver.
+seeds, so serial, parallel, retried, and resumed schedules all produce
+byte-identical artifacts.  Each task is timed in its worker; cache
+counters are returned as per-task deltas and merged by the driver.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import logging
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
 from repro.perf.cache import CacheStats, active_cache
+from repro.resilience import RetryPolicy, active_plan
 
 __all__ = [
     "ExecutionResult",
     "ExperimentTask",
+    "TaskExecutionError",
+    "TaskFailure",
     "TaskOutcome",
     "execute_tasks",
     "stage_tasks",
 ]
+
+_log = logging.getLogger(__name__)
+
+
+class TaskExecutionError(RuntimeError):
+    """A task failed terminally under fail-fast (``raise_on_failure``)."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -62,6 +94,28 @@ class TaskOutcome:
     value: Any
     seconds: float
     cache_stats: CacheStats
+    attempts: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one task that exhausted its retry budget."""
+
+    name: str
+    attempts: int
+    error_type: str
+    message: str
+    traceback: str
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering for failure reports."""
+        return {
+            "name": self.name,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,10 +125,30 @@ class ExecutionResult:
     The executor owns every clock read so that layers above it (which
     the determinism linter bans from reading clocks) only ever see
     already-measured durations.
+
+    Attributes:
+        outcomes: Successful tasks, keyed by name.
+        total_seconds: End-to-end wall-clock.
+        failures: Tasks that exhausted their retry budget.
+        skipped: Tasks never run because a task they (transitively)
+            depend on failed; maps name → human-readable reason.
+        pool_rebuilds: Worker pools torn down and rebuilt during the
+            run (worker crashes and per-attempt timeouts).
+        degraded: True when the pool could not be (re)built and the
+            remainder of the run fell back to in-process execution.
     """
 
     outcomes: dict[str, TaskOutcome]
     total_seconds: float
+    failures: dict[str, TaskFailure] = dataclasses.field(default_factory=dict)
+    skipped: dict[str, str] = dataclasses.field(default_factory=dict)
+    pool_rebuilds: int = 0
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when every task completed."""
+        return not self.failures and not self.skipped
 
 
 def stage_tasks(
@@ -142,44 +216,331 @@ def _run_one(task: ExperimentTask) -> TaskOutcome:
             misses=cache.stats.misses - base.misses,
             puts=cache.stats.puts - base.puts,
             evictions=cache.stats.evictions - base.evictions,
+            quarantined=cache.stats.quarantined - base.quarantined,
         )
     return TaskOutcome(
         name=task.name, value=value, seconds=seconds, cache_stats=delta
     )
 
 
+def _run_attempt(task: ExperimentTask, attempt: int, in_worker: bool) -> TaskOutcome:
+    """One (possibly fault-injected) attempt at a task.
+
+    The attempt number is threaded from the driver so the fault plan
+    can count attempts without shared state — a plan directive with
+    ``times=k`` fires on attempts 1..k in any process.
+    """
+    plan = active_plan()
+    if plan is not None:
+        plan.apply_task_faults(task.name, attempt, in_worker=in_worker)
+    return _run_one(task)
+
+
+class _StagedRunner:
+    """Mutable state of one ``execute_tasks`` call.
+
+    Owns the worker pool (including teardown/rebuild after crashes and
+    timeouts), the per-task attempt ledger, and the failure/skip
+    bookkeeping that implements partial-failure semantics.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        workers: int,
+        pool_factory: Callable[..., Any],
+        on_complete: Callable[[TaskOutcome], None] | None,
+        raise_on_failure: bool,
+    ) -> None:
+        self.policy = policy
+        self.workers = workers
+        self.pool_factory = pool_factory
+        self.on_complete = on_complete
+        self.raise_on_failure = raise_on_failure
+        self.outcomes: dict[str, TaskOutcome] = {}
+        self.failures: dict[str, TaskFailure] = {}
+        self.skipped: dict[str, str] = {}
+        self.dead_labels: dict[str, str] = {}  # label -> root-cause task
+        self.attempts: dict[str, int] = {}
+        self.pool: Any = None
+        self.pool_broken = False
+        self.rebuilds = 0
+        self.degraded = workers <= 1
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self, stages: list[list[ExperimentTask]]) -> None:
+        """Execute every stage, honouring retries and partial failure."""
+        try:
+            for stage in stages:
+                runnable = self._admit(stage)
+                if not runnable:
+                    continue
+                if self.degraded:
+                    for task in runnable:
+                        self._run_inline(task)
+                else:
+                    self._run_pooled_stage(runnable)
+        finally:
+            self._shutdown_pool()
+
+    def _admit(self, stage: list[ExperimentTask]) -> list[ExperimentTask]:
+        """Split a stage into runnable tasks and skips (dead inputs)."""
+        runnable = []
+        for task in stage:
+            culprits = sorted(
+                {
+                    self.dead_labels[label]
+                    for label in task.requires
+                    if label in self.dead_labels
+                }
+            )
+            if culprits:
+                self.skipped[task.name] = (
+                    "skipped: requires artifacts from failed task(s) "
+                    + ", ".join(culprits)
+                )
+                for label in task.provides:
+                    self.dead_labels.setdefault(label, culprits[0])
+            else:
+                runnable.append(task)
+        return runnable
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self) -> None:
+        """(Re)build the worker pool; flip to degraded mode on failure."""
+        if self.pool is not None and not self.pool_broken:
+            return
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+            self.rebuilds += 1
+        if self.rebuilds > self.policy.max_pool_rebuilds:
+            self.degraded = True
+            return
+        try:
+            self.pool = self.pool_factory(max_workers=self.workers)
+            self.pool_broken = False
+        except Exception:
+            # No pool to be had (fork limits, dead interpreter, ...):
+            # finish the run in-process rather than losing it.
+            _log.warning(
+                "worker pool unavailable; degrading to in-process "
+                "serial execution",
+                exc_info=True,
+            )
+            self.pool = None
+            self.degraded = True
+
+    def _shutdown_pool(self) -> None:
+        """Tear the pool down, cancelling anything still queued."""
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _record_success(self, task: ExperimentTask, outcome: TaskOutcome) -> None:
+        outcome = dataclasses.replace(
+            outcome, attempts=self.attempts.get(task.name, 1)
+        )
+        self.outcomes[task.name] = outcome
+        if self.on_complete is not None:
+            self.on_complete(outcome)
+
+    def _record_failure(self, task: ExperimentTask, exc: BaseException) -> None:
+        attempts = self.attempts.get(task.name, 0)
+        failure = TaskFailure(
+            name=task.name,
+            attempts=attempts,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(traceback_module.format_exception(exc)),
+        )
+        self.failures[task.name] = failure
+        for label in task.provides:
+            self.dead_labels.setdefault(label, task.name)
+        if self.raise_on_failure:
+            self._shutdown_pool()
+            raise TaskExecutionError(
+                f"experiment task {task.name!r} failed after "
+                f"{attempts} attempt(s): {exc}"
+            ) from exc
+
+    def _retry_or_fail(
+        self,
+        task: ExperimentTask,
+        exc: BaseException,
+        queue: "collections.deque[ExperimentTask]",
+    ) -> None:
+        """After a failed attempt: back off and requeue, or fail for good."""
+        attempt = self.attempts.get(task.name, 0)
+        if attempt < self.policy.max_attempts:
+            self.policy.sleep(self.policy.delay_for(task.name, attempt))
+            queue.append(task)
+        else:
+            self._record_failure(task, exc)
+
+    # -- inline (serial / degraded) execution -------------------------------
+
+    def _run_inline(self, task: ExperimentTask) -> None:
+        """Run one task to completion (or terminal failure) in-process."""
+        while True:
+            attempt = self.attempts.get(task.name, 0) + 1
+            self.attempts[task.name] = attempt
+            try:
+                outcome = _run_attempt(task, attempt, in_worker=False)
+            except Exception as exc:
+                if attempt < self.policy.max_attempts:
+                    self.policy.sleep(self.policy.delay_for(task.name, attempt))
+                    continue
+                self._record_failure(task, exc)
+                return
+            self._record_success(task, outcome)
+            return
+
+    # -- pooled execution ---------------------------------------------------
+
+    def _run_pooled_stage(self, stage: list[ExperimentTask]) -> None:
+        """Fan one stage out over the pool with retries and deadlines."""
+        queue: collections.deque[ExperimentTask] = collections.deque(stage)
+        pending: dict[str, tuple[ExperimentTask, Any, float | None]] = {}
+        while queue or pending:
+            if self.degraded:
+                leftovers = [task for task, _, __ in pending.values()]
+                leftovers += list(queue)
+                pending.clear()
+                queue.clear()
+                for task in leftovers:
+                    self._run_inline(task)
+                return
+            self._ensure_pool()
+            if self.pool is None:
+                continue  # degraded flipped; loop handles the migration
+            while queue:
+                task = queue.popleft()
+                attempt = self.attempts.get(task.name, 0) + 1
+                self.attempts[task.name] = attempt
+                future = self.pool.submit(_run_attempt, task, attempt, True)
+                deadline = (
+                    None
+                    if self.policy.timeout_seconds is None
+                    else time.monotonic() + self.policy.timeout_seconds
+                )
+                pending[task.name] = (task, future, deadline)
+            futures = [future for _, future, __ in pending.values()]
+            deadlines = [d for _, __, d in pending.values() if d is not None]
+            wait_timeout = None
+            if deadlines:
+                wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+            done, _ = wait(futures, timeout=wait_timeout, return_when=FIRST_COMPLETED)
+            if done:
+                self._consume_completed(pending, done, queue)
+            else:
+                self._expire_overdue(pending, queue)
+
+    def _consume_completed(
+        self,
+        pending: dict[str, tuple[ExperimentTask, Any, float | None]],
+        done: set,
+        queue: "collections.deque[ExperimentTask]",
+    ) -> None:
+        """Fold finished futures into outcomes/retries/failures."""
+        for name in [n for n, (_, future, __) in pending.items() if future in done]:
+            task, future, _deadline = pending.pop(name)
+            try:
+                outcome = future.result()
+            except BrokenProcessPool as exc:
+                # A worker died; every sibling future is doomed too —
+                # they surface here one by one.  Mark the pool for
+                # rebuild and push the task back through retry logic.
+                self.pool_broken = True
+                self._retry_or_fail(task, exc, queue)
+            except Exception as exc:
+                self._retry_or_fail(task, exc, queue)
+            else:
+                self._record_success(task, outcome)
+
+    def _expire_overdue(
+        self,
+        pending: dict[str, tuple[ExperimentTask, Any, float | None]],
+        queue: "collections.deque[ExperimentTask]",
+    ) -> None:
+        """Handle a wait() that elapsed without any completion.
+
+        Tasks past their deadline are charged a failed (timed-out)
+        attempt.  The pool — which still has their workers occupied —
+        is marked for rebuild, and the innocent in-flight tasks are
+        resubmitted *without* losing an attempt.
+        """
+        now = time.monotonic()
+        expired = [
+            name
+            for name, (_, __, deadline) in pending.items()
+            if deadline is not None and deadline <= now
+        ]
+        if not expired:
+            return  # spurious wakeup; keep waiting
+        for name in expired:
+            task, _future, __ = pending.pop(name)
+            timeout_exc = TimeoutError(
+                f"attempt exceeded the per-task timeout of "
+                f"{self.policy.timeout_seconds}s"
+            )
+            self._retry_or_fail(task, timeout_exc, queue)
+        self.pool_broken = True  # stuck workers: tear down and restart
+        for name in list(pending):
+            task, _future, __ = pending.pop(name)
+            # Not their fault: refund the attempt charged at submit.
+            self.attempts[task.name] -= 1
+            queue.append(task)
+
+
 def execute_tasks(
     tasks: Sequence[ExperimentTask],
     workers: int = 1,
+    policy: RetryPolicy | None = None,
+    raise_on_failure: bool = True,
+    on_complete: Callable[[TaskOutcome], None] | None = None,
+    pool_factory: Callable[..., Any] | None = None,
 ) -> ExecutionResult:
     """Run all tasks, stage by stage; returns outcomes plus wall-clock.
 
-    ``workers <= 1`` runs everything inline (no subprocesses at all —
-    the mode tests and debuggers want).  Otherwise each stage fans out
-    over one shared ``ProcessPoolExecutor``; a task exception cancels
-    the run and re-raises with the task's name attached.
+    Args:
+        tasks: The task graph (see :func:`stage_tasks`).
+        workers: ``<= 1`` runs everything inline (no subprocesses at
+            all — the mode tests and debuggers want); otherwise each
+            stage fans out over one shared ``ProcessPoolExecutor``.
+        policy: Retry/timeout policy; default is the pre-resilience
+            contract (one attempt, no timeout).
+        raise_on_failure: With True (default), the first terminal task
+            failure shuts the pool down (``cancel_futures=True``) and
+            raises :class:`TaskExecutionError` chained to the original
+            exception.  With False, the run continues: independent
+            branches complete and failures/skips come back in the
+            :class:`ExecutionResult`.
+        on_complete: Optional callback invoked in the driver process
+            after each successful task (checkpoint journaling).
+        pool_factory: Worker-pool constructor (tests inject failing
+            factories to exercise degraded mode); defaults to
+            ``ProcessPoolExecutor``.
     """
     stages = stage_tasks(tasks)
-    outcomes: dict[str, TaskOutcome] = {}
+    runner = _StagedRunner(
+        policy=policy or RetryPolicy.single_shot(),
+        workers=workers,
+        pool_factory=pool_factory or ProcessPoolExecutor,
+        on_complete=on_complete,
+        raise_on_failure=raise_on_failure,
+    )
     start = time.perf_counter()
-    if workers <= 1:
-        for stage in stages:
-            for task in stage:
-                outcomes[task.name] = _run_one(task)
-        return ExecutionResult(
-            outcomes=outcomes, total_seconds=time.perf_counter() - start
-        )
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for stage in stages:
-            futures = [(task, pool.submit(_run_one, task)) for task in stage]
-            for task, future in futures:
-                try:
-                    outcome = future.result()
-                except Exception as exc:
-                    raise RuntimeError(
-                        f"experiment task {task.name!r} failed: {exc}"
-                    ) from exc
-                outcomes[task.name] = outcome
+    runner.run(stages)
     return ExecutionResult(
-        outcomes=outcomes, total_seconds=time.perf_counter() - start
+        outcomes=runner.outcomes,
+        total_seconds=time.perf_counter() - start,
+        failures=runner.failures,
+        skipped=runner.skipped,
+        pool_rebuilds=runner.rebuilds,
+        degraded=runner.degraded and workers > 1,
     )

@@ -3,8 +3,12 @@
 The executor measures each runner's wall-clock and each worker's cache
 counters; :class:`PerfReport` merges them into one JSON-serializable
 record — the shape ``BENCH_PR2.json`` and the CI smoke job consume.
-Timing data lives *next to* the reproduction artifacts, never inside
-them, so enabling the perf layer cannot perturb byte-identical outputs.
+Since the resilience layer landed, the same record also carries the
+run's *failure report*: structured entries for every task that
+exhausted its retry budget, every task skipped because its inputs died,
+and the run id a partial run can be resumed under.  Timing data lives
+*next to* the reproduction artifacts, never inside them, so enabling
+the perf layer cannot perturb byte-identical outputs.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import dataclasses
 import json
 from pathlib import Path
 
+from repro.io import atomic_write_text
 from repro.perf.cache import CacheStats
 
 __all__ = ["PerfReport", "TaskTiming"]
@@ -41,6 +46,14 @@ class PerfReport:
         total_seconds: End-to-end wall-clock of the run.
         timings: Per-runner wall-clock, including prewarm tasks.
         cache: Cache counters merged across the driver and all workers.
+        run_id: The journal id this run checkpoints under ("" when
+            journaling is off); the handle ``--resume`` takes.
+        resumed: True when this run skipped tasks a journal recorded.
+        pool_rebuilds: Worker pools rebuilt after crashes/timeouts.
+        degraded: True when pooled execution fell back to in-process.
+        failures: Structured records of terminally-failed tasks (the
+            dict shape of :class:`repro.perf.executor.TaskFailure`).
+        skipped: ``{"name": ..., "reason": ...}`` per skipped task.
     """
 
     workers: int
@@ -49,6 +62,12 @@ class PerfReport:
     total_seconds: float = 0.0
     timings: list[TaskTiming] = dataclasses.field(default_factory=list)
     cache: CacheStats = dataclasses.field(default_factory=CacheStats)
+    run_id: str = ""
+    resumed: bool = False
+    pool_rebuilds: int = 0
+    degraded: bool = False
+    failures: list[dict] = dataclasses.field(default_factory=list)
+    skipped: list[dict] = dataclasses.field(default_factory=list)
 
     def add_timing(self, name: str, seconds: float) -> None:
         """Record one runner's duration."""
@@ -58,6 +77,19 @@ class PerfReport:
         """Fold one worker's cache counters into the run totals."""
         self.cache.merge(stats)
 
+    def add_failure(self, failure: dict) -> None:
+        """Record one terminally-failed task (TaskFailure.as_dict shape)."""
+        self.failures.append(failure)
+
+    def add_skip(self, name: str, reason: str) -> None:
+        """Record one task skipped because a dependency failed."""
+        self.skipped.append({"name": name, "reason": reason})
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed every task."""
+        return not self.failures and not self.skipped
+
     def as_dict(self) -> dict:
         """JSON-ready rendering (stable key order for diffable reports)."""
         return {
@@ -65,7 +97,13 @@ class PerfReport:
             "cache_enabled": self.cache_enabled,
             "cache_dir": self.cache_dir,
             "total_seconds": round(self.total_seconds, 6),
+            "run_id": self.run_id,
+            "resumed": self.resumed,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded": self.degraded,
             "cache": self.cache.as_dict(),
+            "failures": sorted(self.failures, key=lambda f: f["name"]),
+            "skipped": sorted(self.skipped, key=lambda s: s["name"]),
             "timings": [
                 t.as_dict() for t in sorted(self.timings, key=lambda t: t.name)
             ],
@@ -76,8 +114,5 @@ class PerfReport:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
 
     def write(self, path: str | Path) -> Path:
-        """Write the JSON report to ``path`` (parents created)."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
-        return path
+        """Atomically write the JSON report to ``path`` (parents created)."""
+        return atomic_write_text(Path(path), self.to_json() + "\n")

@@ -66,9 +66,9 @@ class ExecutionSettings:
     """How to *run* the pipeline, as opposed to *what* it computes.
 
     None of these knobs may influence artifact bytes: any combination of
-    workers and caching must produce byte-identical outputs for a fixed
-    :class:`ExperimentConfig`.  They are therefore never part of cache
-    fingerprints.
+    workers, caching, retries, and resuming must produce byte-identical
+    outputs for a fixed :class:`ExperimentConfig`.  They are therefore
+    never part of cache fingerprints.
 
     Attributes:
         workers: Worker processes for the staged executor (1 = run
@@ -79,15 +79,57 @@ class ExecutionSettings:
         cache_dir: Cache location; None defers to ``REPRO_CACHE_DIR``
             and then the ``~/.cache/repro-artifacts`` default.
         cache_budget_bytes: Optional LRU byte budget for the cache.
+        retries: Extra attempts per task after the first (0 = never
+            retry); backoff between attempts is seeded and bounded.
+        task_timeout: Optional per-attempt wall-clock budget in seconds
+            (pooled execution only); expiry rebuilds the worker pool
+            and charges a failed attempt.
+        failure_mode: ``"raise"`` (the library default: first terminal
+            task failure raises, as before the resilience layer) or
+            ``"continue"`` (partial-failure semantics: independent DAG
+            branches complete, failures come back in the report).
+        keep_journal: Checkpoint completed tasks to a run journal so
+            the run can be resumed.  Implied by ``resume``/``run_id``/
+            ``journal_dir``.
+        run_id: Explicit journal id; None derives one from the config
+            and output directory (so re-running the same command finds
+            the same journal).
+        resume: Skip every task an existing journal records as done;
+            requires that journal to exist and to match this config.
+        journal_dir: Journal location; None defers to
+            ``REPRO_JOURNAL_DIR`` and then ``~/.cache/repro-journals``.
     """
 
     workers: int = 1
     use_cache: bool = False
     cache_dir: str | None = None
     cache_budget_bytes: int | None = None
+    retries: int = 2
+    task_timeout: float | None = None
+    failure_mode: str = "raise"
+    keep_journal: bool = False
+    run_id: str | None = None
+    resume: bool = False
+    journal_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.cache_budget_bytes is not None and self.cache_budget_bytes <= 0:
             raise ValueError("cache_budget_bytes must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if self.failure_mode not in ("raise", "continue"):
+            raise ValueError("failure_mode must be 'raise' or 'continue'")
+
+    @property
+    def journaling(self) -> bool:
+        """Whether this run writes (or reads) a checkpoint journal."""
+        return (
+            self.keep_journal
+            or self.resume
+            or self.run_id is not None
+            or self.journal_dir is not None
+        )

@@ -12,6 +12,14 @@ inline and uncached, exactly as the pre-perf pipeline did; with a cache
 and/or workers enabled, prewarm tasks generate each shared artifact
 once and the figure tasks read it back.  Artifact bytes are identical
 across every combination of settings.
+
+The run is fault tolerant (see ``docs/robustness.md``): tasks retry
+under the run's :class:`~repro.resilience.RetryPolicy`; with
+``failure_mode="continue"`` a terminal failure marks only its
+dependents skipped while independent branches complete, and the
+failure report lands in the :class:`~repro.perf.PerfReport`; with
+journaling on, every completion is checkpointed so ``--resume``
+re-runs only what is missing.
 """
 
 from __future__ import annotations
@@ -34,11 +42,19 @@ from repro.perf import (
     active_cache,
     configure_cache,
     execute_tasks,
+    fingerprint,
     resolve_cache_dir,
 )
 from repro.pipeline import experiments
 from repro.pipeline.config import ExecutionSettings, ExperimentConfig
 from repro.report.figures import ascii_plot, write_csv
+from repro.resilience import (
+    JournalEntry,
+    RetryPolicy,
+    RunJournal,
+    derive_run_id,
+    resolve_journal_dir,
+)
 
 __all__ = ["run_everything", "run_everything_with_report"]
 
@@ -374,12 +390,38 @@ def run_everything_with_report(
         output_dir: Directory for ``.txt`` (ASCII) and ``.csv`` files.
         config: Experiment configuration (default: small scale, seed 0).
         verbose: Print a progress line per artifact.
-        settings: Scheduling/caching knobs (default: serial, uncached).
+        settings: Scheduling/caching/resilience knobs (default: serial,
+            uncached, journaling off, raise on first terminal failure).
+
+    Raises:
+        repro.perf.TaskExecutionError: A task exhausted its retries and
+            ``settings.failure_mode`` is ``"raise"``.
+        repro.resilience.JournalMismatchError: ``settings.resume`` named
+            a journal that is missing or belongs to a different run.
     """
     config = config or ExperimentConfig()
     settings = settings or ExecutionSettings()
     directory = Path(output_dir)
     directory.mkdir(parents=True, exist_ok=True)
+
+    # The run key fingerprints everything that determines artifact
+    # bytes (config) plus where they land (output dir); execution knobs
+    # stay out so the same reproduction resumes under the same id
+    # regardless of workers/cache/retries.
+    run_key = fingerprint("run", config=config, output=str(directory.resolve()))
+    run_id = settings.run_id or derive_run_id(run_key)
+    journal: RunJournal | None = None
+    completed_entries: dict[str, JournalEntry] = {}
+    if settings.journaling:
+        journal_dir = resolve_journal_dir(settings.journal_dir)
+        if settings.resume:
+            journal = RunJournal.open(
+                journal_dir, run_id, run_key, require_existing=True
+            )
+            completed_entries = dict(journal.entries)
+        else:
+            journal = RunJournal(journal_dir, run_id, run_key)
+            journal.discard()  # a from-scratch run invalidates stale state
 
     cache_spec: tuple[str, int | None] | None = None
     previous = active_cache()
@@ -411,8 +453,34 @@ def run_everything_with_report(
         cache_spec,
         prewarm=settings.use_cache or previous is not None,
     )
+    # Resume: drop tasks the journal records as done.  `stage_tasks`
+    # treats artifact labels no pending task provides as externally
+    # satisfied, so consumers of a completed prewarm schedule normally
+    # (and regenerate via their builders on a cache miss — resuming
+    # never changes bytes, only what gets re-run).
+    pending = [task for task in tasks if task.name not in completed_entries]
+    if verbose and completed_entries:
+        done = len(tasks) - len(pending)
+        print(f"  resume {run_id}: {done} task(s) already completed")
+
+    policy = RetryPolicy(
+        max_attempts=settings.retries + 1,
+        timeout_seconds=settings.task_timeout,
+        seed=config.seed,
+    )
+
+    def _checkpoint(outcome) -> None:
+        if journal is not None:
+            journal.record(outcome.name, tuple(outcome.value), outcome.seconds)
+
     try:
-        result = execute_tasks(tasks, workers=workers)
+        result = execute_tasks(
+            pending,
+            workers=workers,
+            policy=policy,
+            raise_on_failure=settings.failure_mode == "raise",
+            on_complete=_checkpoint,
+        )
     finally:
         # Serial tasks install the run's cache in *this* process; put
         # back whatever the caller had.
@@ -423,16 +491,38 @@ def run_everything_with_report(
         cache_enabled=bool(cache_for_report),
         cache_dir=cache_for_report,
         total_seconds=result.total_seconds,
+        run_id=run_id if journal is not None else "",
+        resumed=bool(completed_entries),
+        pool_rebuilds=result.pool_rebuilds,
+        degraded=result.degraded,
     )
     written: list[str] = []
     for task in tasks:
-        outcome = result.outcomes[task.name]
+        entry = completed_entries.get(task.name)
+        if entry is not None:
+            written.extend(entry.artifacts)  # finished in a previous run
+            continue
+        outcome = result.outcomes.get(task.name)
+        if outcome is None:
+            continue  # failed or skipped; reported below
         report.add_timing(task.name, outcome.seconds)
         report.merge_cache_stats(outcome.cache_stats)
         for name in outcome.value:
             written.append(name)
             if verbose:
                 print(f"  wrote {name}")
+    for name in sorted(result.failures):
+        failure = result.failures[name]
+        report.add_failure(failure.as_dict())
+        if verbose:
+            print(
+                f"  FAILED {failure.name} after {failure.attempts} "
+                f"attempt(s): {failure.message}"
+            )
+    for name in sorted(result.skipped):
+        report.add_skip(name, result.skipped[name])
+        if verbose:
+            print(f"  skipped {name}: {result.skipped[name]}")
     return written, report
 
 

@@ -1,0 +1,61 @@
+"""Fault tolerance for pipeline execution (see ``docs/robustness.md``).
+
+Four cooperating pieces:
+
+- :mod:`repro.resilience.policy` — :class:`RetryPolicy`: bounded
+  per-task retries with *seeded* exponential backoff + jitter and an
+  optional per-attempt timeout, so even the retry schedule is a pure
+  function of (seed, task name, attempt);
+- :mod:`repro.resilience.journal` — :class:`RunJournal`: an atomically
+  rewritten JSON-lines checkpoint of completed tasks, powering
+  ``repro all --resume <run-id>``;
+- :mod:`repro.resilience.faults` — a deterministic fault-injection
+  harness (task exceptions, worker kills, hangs, cache-blob
+  corruption) driven by a seeded plan in ``REPRO_FAULTS`` /
+  ``--inject-faults``;
+- failure reporting types consumed by :mod:`repro.perf.executor` and
+  merged into the perf report.
+
+The subsystem is a leaf in the DESIGN.md §3 layering DAG: the perf and
+pipeline layers build on it, never the reverse, and nothing here may
+influence artifact bytes — retries, resumes, and fault plans change
+*when* work happens, never *what* it computes.
+"""
+
+from repro.resilience.faults import (
+    ENV_FAULTS,
+    FaultDirective,
+    FaultPlan,
+    FaultPlanError,
+    InjectedTaskError,
+    InjectedWorkerKill,
+    active_plan,
+    clear_plan_cache,
+)
+from repro.resilience.journal import (
+    ENV_JOURNAL_DIR,
+    JournalEntry,
+    JournalMismatchError,
+    RunJournal,
+    derive_run_id,
+    resolve_journal_dir,
+)
+from repro.resilience.policy import RetryPolicy
+
+__all__ = [
+    "ENV_FAULTS",
+    "ENV_JOURNAL_DIR",
+    "FaultDirective",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedTaskError",
+    "InjectedWorkerKill",
+    "JournalEntry",
+    "JournalMismatchError",
+    "RetryPolicy",
+    "RunJournal",
+    "active_plan",
+    "clear_plan_cache",
+    "derive_run_id",
+    "resolve_journal_dir",
+]

@@ -1,0 +1,228 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+A fault *plan* is a small textual spec — carried in the ``REPRO_FAULTS``
+environment variable (so worker processes inherit it) or passed via
+``repro all --inject-faults`` — describing exactly which faults to fire
+and when.  Because every directive is keyed on stable coordinates (task
+name pattern + attempt number, or cache-key prefix), a plan is fully
+deterministic: the same plan against the same run produces the same
+faults, which is what lets ``tests/test_resilience_chaos.py`` assert
+byte-identical artifacts after recovery.
+
+Spec grammar (directives joined by ``;``, fields by ``,``)::
+
+    op=error,task=figure3,times=2          # raise on attempts 1..2
+    op=kill,task=warm:traffic:*,times=1    # worker os._exit on attempt 1
+    op=hang,task=table2,times=1,seconds=5  # sleep 5s before running
+    op=corrupt,key=*                       # corrupt every published blob
+    op=corrupt,key=3fa9,suffix=.npz        # ...or only matching blobs
+
+``task`` patterns use :func:`fnmatch.fnmatchcase`.  ``times=k`` fires
+the fault on attempts 1..k and lets attempt k+1 through — the attempt
+number is threaded from the driver, so counting needs no shared state
+and survives worker restarts.  ``corrupt`` is stateless by design: it
+mangles *every* publish of a matching blob, exercising the cache's
+quarantine path on each subsequent read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "ENV_FAULTS",
+    "FaultDirective",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedTaskError",
+    "InjectedWorkerKill",
+    "active_plan",
+    "clear_plan_cache",
+]
+
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: Worker processes killed by an injected fault exit with this code.
+KILL_EXIT_CODE = 73
+
+_OPS = frozenset({"error", "kill", "hang", "corrupt"})
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan spec that cannot be parsed."""
+
+
+class InjectedTaskError(RuntimeError):
+    """The exception an ``op=error`` directive raises inside a task."""
+
+
+class InjectedWorkerKill(RuntimeError):
+    """Stand-in for a worker kill when there is no worker to kill.
+
+    Inline (serial) execution cannot ``os._exit`` without taking the
+    whole run down, so ``op=kill`` degrades to this exception there —
+    same retry accounting, survivable process.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultDirective:
+    """One parsed fault directive.
+
+    Attributes:
+        op: ``error`` / ``kill`` / ``hang`` / ``corrupt``.
+        task: fnmatch pattern for task names (task-scoped ops).
+        times: Fire on attempts ``1..times`` (task-scoped ops).
+        seconds: Sleep duration for ``hang``.
+        key: Cache-key prefix for ``corrupt`` (``*`` = every key).
+        suffix: Optional blob suffix filter for ``corrupt``.
+    """
+
+    op: str
+    task: str = "*"
+    times: int = 1
+    seconds: float = 30.0
+    key: str = "*"
+    suffix: str = ""
+
+    def matches_task(self, task_name: str, attempt: int) -> bool:
+        """True when this directive fires for (task, attempt)."""
+        if self.op not in ("error", "kill", "hang"):
+            return False
+        if attempt > self.times:
+            return False
+        return fnmatch.fnmatchcase(task_name, self.task)
+
+    def matches_blob(self, key: str, path: Path) -> bool:
+        """True when this directive corrupts the blob named ``key``."""
+        if self.op != "corrupt":
+            return False
+        if self.suffix and path.suffix != self.suffix:
+            return False
+        return self.key == "*" or key.startswith(self.key)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A parsed, immutable set of fault directives."""
+
+    directives: tuple[FaultDirective, ...] = ()
+    spec: str = ""
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a spec string (see module docstring for the grammar)."""
+        directives: list[FaultDirective] = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            fields: dict[str, str] = {}
+            for pair in chunk.split(","):
+                if "=" not in pair:
+                    raise FaultPlanError(
+                        f"malformed fault field {pair!r} in {chunk!r}; "
+                        "expected key=value"
+                    )
+                name, value = pair.split("=", 1)
+                fields[name.strip()] = value.strip()
+            op = fields.pop("op", "")
+            if op not in _OPS:
+                raise FaultPlanError(
+                    f"unknown fault op {op!r} in {chunk!r}; "
+                    f"known: {sorted(_OPS)}"
+                )
+            try:
+                directive = FaultDirective(
+                    op=op,
+                    task=fields.pop("task", "*"),
+                    times=int(fields.pop("times", "1")),
+                    seconds=float(fields.pop("seconds", "30")),
+                    key=fields.pop("key", "*"),
+                    suffix=fields.pop("suffix", ""),
+                )
+            except ValueError as exc:
+                raise FaultPlanError(f"bad fault directive {chunk!r}: {exc}") from exc
+            if fields:
+                raise FaultPlanError(
+                    f"unknown fault field(s) {sorted(fields)} in {chunk!r}"
+                )
+            if directive.times < 0:
+                raise FaultPlanError(f"times must be >= 0 in {chunk!r}")
+            directives.append(directive)
+        return cls(directives=tuple(directives), spec=spec)
+
+    def apply_task_faults(
+        self, task_name: str, attempt: int, in_worker: bool
+    ) -> None:
+        """Fire any matching task-scoped faults before a task runs.
+
+        ``hang`` sleeps (tripping a configured per-attempt timeout),
+        ``error`` raises :class:`InjectedTaskError`, ``kill`` hard-exits
+        the worker process (or raises :class:`InjectedWorkerKill`
+        inline).  Evaluated in directive order so a plan can compose,
+        e.g., a hang on attempt 1 with an error on attempt 2.
+        """
+        for directive in self.directives:
+            if not directive.matches_task(task_name, attempt):
+                continue
+            if directive.op == "hang":
+                time.sleep(directive.seconds)
+            elif directive.op == "error":
+                raise InjectedTaskError(
+                    f"injected failure for task {task_name!r} "
+                    f"(attempt {attempt}/{directive.times})"
+                )
+            elif directive.op == "kill":
+                if in_worker:
+                    os._exit(KILL_EXIT_CODE)
+                raise InjectedWorkerKill(
+                    f"injected worker kill for task {task_name!r} "
+                    f"(attempt {attempt}, inline execution)"
+                )
+
+    def corrupt_blob(self, key: str, path: Path) -> bool:
+        """Mangle a just-published cache blob in place, if planned.
+
+        Flips a run of bytes in the middle of the file — enough to break
+        the content digest (and usually the format) while keeping the
+        file present, which is exactly the failure mode silent-miss bugs
+        hide in.  Returns True when corruption was applied.
+        """
+        if not any(d.matches_blob(key, path) for d in self.directives):
+            return False
+        data = bytearray(path.read_bytes())
+        if not data:
+            data = bytearray(b"\xa5")
+        start = len(data) // 2
+        for offset in range(start, min(start + 8, len(data))):
+            data[offset] ^= 0xA5
+        path.write_bytes(bytes(data))
+        return True
+
+
+_PARSED: dict[str, FaultPlan] = {}
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in ``REPRO_FAULTS``, or None when no faults are armed.
+
+    Parsed lazily and memoized per spec string: worker processes read
+    the environment they inherited, so driver and workers always agree
+    on the plan without any extra plumbing.
+    """
+    spec = os.environ.get(ENV_FAULTS, "").strip()
+    if not spec:
+        return None
+    if spec not in _PARSED:
+        _PARSED[spec] = FaultPlan.parse(spec)
+    return _PARSED[spec]
+
+
+def clear_plan_cache() -> None:
+    """Drop memoized plans (tests that mutate ``REPRO_FAULTS``)."""
+    _PARSED.clear()

@@ -1,0 +1,195 @@
+"""Checkpoint/resume: the per-run journal of completed tasks.
+
+A :class:`RunJournal` is a JSON-lines file — one header line naming the
+run and the config fingerprint it belongs to, then one line per
+completed task with the artifact names it wrote and its wall-clock.
+After every completion the *whole* file is rewritten through
+:func:`repro.io.atomic_write_text`, so the journal on disk is always a
+consistent prefix of the run: a crash, kill, or power loss can lose at
+most the most recent completion, never corrupt the file.
+
+``repro all --resume <run-id>`` loads the journal, skips every task it
+records, and re-runs only the remainder — the header fingerprint guard
+refuses to resume a journal produced by a different configuration or
+output directory, which would otherwise silently mix artifacts from two
+incompatible runs.
+
+Journals deliberately live *outside* the artifact output directory
+(default ``~/.cache/repro-journals``, overridable via
+``REPRO_JOURNAL_DIR``): they record timings, which would break the
+byte-identity contract if they sat next to the artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+from repro.io import atomic_write_text
+
+__all__ = [
+    "ENV_JOURNAL_DIR",
+    "JournalEntry",
+    "JournalMismatchError",
+    "RunJournal",
+    "derive_run_id",
+    "resolve_journal_dir",
+]
+
+ENV_JOURNAL_DIR = "REPRO_JOURNAL_DIR"
+
+_FORMAT = "repro-journal-v1"
+
+
+class JournalMismatchError(ValueError):
+    """Resuming against a journal written by an incompatible run."""
+
+
+def resolve_journal_dir(explicit: str | Path | None = None) -> Path:
+    """Journal directory: explicit arg > ``REPRO_JOURNAL_DIR`` > default."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(ENV_JOURNAL_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-journals"
+
+
+def derive_run_id(config_fingerprint: str) -> str:
+    """Default run id: a short, human-quotable prefix of the run key.
+
+    Re-invoking the identical command derives the identical run id, so
+    ``--resume`` without an explicit id finds the matching journal.
+    """
+    return config_fingerprint[:12]
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalEntry:
+    """One completed task, as recorded in the journal."""
+
+    task: str
+    artifacts: tuple[str, ...]
+    seconds: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (one journal line)."""
+        return {
+            "task": self.task,
+            "artifacts": list(self.artifacts),
+            "seconds": round(self.seconds, 6),
+        }
+
+
+class RunJournal:
+    """Atomically-rewritten record of one run's completed tasks.
+
+    Args:
+        directory: Journal directory (see :func:`resolve_journal_dir`).
+        run_id: The run's identifier; also the journal's file stem.
+        config_fingerprint: Fingerprint of everything that determines
+            the run's artifacts (config + output dir); the resume guard.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        run_id: str,
+        config_fingerprint: str,
+    ) -> None:
+        self.directory = Path(directory)
+        self.run_id = run_id
+        self.config_fingerprint = config_fingerprint
+        self.entries: dict[str, JournalEntry] = {}
+
+    @property
+    def path(self) -> Path:
+        """The journal file for this run."""
+        return self.directory / f"{self.run_id}.jsonl"
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        run_id: str,
+        config_fingerprint: str,
+        require_existing: bool = False,
+    ) -> "RunJournal":
+        """Load (or start) the journal for ``run_id``.
+
+        An existing journal is validated against ``config_fingerprint``
+        — a mismatch raises :class:`JournalMismatchError` rather than
+        resuming a run whose artifacts would not line up.  With
+        ``require_existing`` a missing journal is an error too (the
+        ``--resume`` path; resuming nothing is almost always a typo'd
+        run id).
+        """
+        journal = cls(directory, run_id, config_fingerprint)
+        if not journal.path.is_file():
+            if require_existing:
+                raise JournalMismatchError(
+                    f"no journal for run id {run_id!r} in {journal.directory}"
+                )
+            return journal
+        with journal.path.open(encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+            if header.get("format") != _FORMAT:
+                raise JournalMismatchError(
+                    f"{journal.path} is not a {_FORMAT} journal"
+                )
+            recorded = header.get("config_fingerprint", "")
+            if recorded != config_fingerprint:
+                raise JournalMismatchError(
+                    f"journal {run_id!r} was written by a different "
+                    "configuration or output directory; refusing to resume "
+                    f"(journal fingerprint {recorded[:12]}…, "
+                    f"this run {config_fingerprint[:12]}…)"
+                )
+            for line in handle:
+                if not line.strip():
+                    continue
+                row = json.loads(line)
+                entry = JournalEntry(
+                    task=row["task"],
+                    artifacts=tuple(row.get("artifacts", ())),
+                    seconds=float(row.get("seconds", 0.0)),
+                )
+                journal.entries[entry.task] = entry
+        return journal
+
+    def completed(self) -> frozenset[str]:
+        """Names of every task this journal records as finished."""
+        return frozenset(self.entries)
+
+    def record(
+        self, task: str, artifacts: tuple[str, ...], seconds: float
+    ) -> None:
+        """Checkpoint one completed task and persist atomically.
+
+        Rewriting the whole file per completion keeps every on-disk
+        state a valid journal; at pipeline scale (a few dozen tasks of
+        a few hundred bytes each) the rewrite cost is noise.
+        """
+        self.entries[task] = JournalEntry(
+            task=task, artifacts=tuple(artifacts), seconds=seconds
+        )
+        self._flush()
+
+    def _flush(self) -> None:
+        """Atomically rewrite the journal file from in-memory state."""
+        header = {
+            "format": _FORMAT,
+            "run_id": self.run_id,
+            "config_fingerprint": self.config_fingerprint,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        for name in sorted(self.entries):
+            lines.append(json.dumps(self.entries[name].as_dict(), sort_keys=True))
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+    def discard(self) -> None:
+        """Delete the journal file (a run restarted from scratch)."""
+        self.path.unlink(missing_ok=True)
+        self.entries.clear()

@@ -1,0 +1,96 @@
+"""Retry policy: bounded attempts, seeded backoff, per-attempt timeout.
+
+A retry schedule is part of a run's behaviour, so it must be as
+deterministic as the artifacts themselves: the backoff delay for
+(task, attempt) is derived from the policy seed with the same
+CRC-mixing idiom the experiment runners use for stream seeds — never
+from a global RNG or the wall clock.  Jitter therefore decorrelates
+concurrent retries *across tasks* (different task names yield different
+delays) while remaining bit-stable across runs.
+
+The policy also owns *sleeping*: reprolint's ROB002 bans bare
+``time.sleep`` retry loops outside this package, so every backoff wait
+in the executor goes through :meth:`RetryPolicy.sleep`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import zlib
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How stubbornly to re-run a failing task.
+
+    Attributes:
+        max_attempts: Total tries per task (1 = never retry).
+        timeout_seconds: Optional per-attempt wall-clock budget; on
+            expiry the worker pool is torn down and the attempt counts
+            as failed.  ``None`` disables timeouts.  Only enforced for
+            pooled execution — an inline attempt cannot be interrupted.
+        base_delay: Backoff before the second attempt, in seconds; the
+            span doubles per subsequent attempt.
+        max_delay: Upper bound on any single backoff span.
+        jitter: Fraction of each span that is randomized (0 = fixed
+            delays, 1 = anywhere in ``[0, span]``).  The draw is seeded.
+        seed: Mixed with the task name and attempt number to derive
+            each jittered delay deterministically.
+        max_pool_rebuilds: Pool reconstructions (after worker kills or
+            timeouts) tolerated before the executor degrades to
+            in-process serial execution for the rest of the run.
+    """
+
+    max_attempts: int = 3
+    timeout_seconds: float | None = None
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    max_pool_rebuilds: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+
+    @classmethod
+    def single_shot(cls) -> "RetryPolicy":
+        """The pre-resilience contract: one attempt, no timeout."""
+        return cls(max_attempts=1, timeout_seconds=None)
+
+    def delay_for(self, task_name: str, attempt: int) -> float:
+        """Seconds to back off after ``attempt`` of ``task_name`` failed.
+
+        Exponential span (``base_delay * 2**(attempt-1)``, capped at
+        ``max_delay``) with a seeded jitter draw: the low bits of a CRC
+        over ``seed:task:attempt`` scale the randomized fraction of the
+        span.  Identical inputs always produce the identical delay.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        span = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        if span <= 0.0:
+            return 0.0
+        token = f"{self.seed}:{task_name}:{attempt}".encode()
+        unit = zlib.crc32(token) / 0x1_0000_0000  # uniform-ish in [0, 1)
+        return span * (1.0 - self.jitter) + span * self.jitter * unit
+
+    def sleep(self, seconds: float) -> None:
+        """Back off for ``seconds`` (no-op for non-positive values).
+
+        The single sanctioned sleep call of the retry machinery; tests
+        monkeypatch :func:`time.sleep` here to run chaos suites fast.
+        """
+        if seconds > 0:
+            time.sleep(seconds)

@@ -410,16 +410,20 @@ def test_load_config_reads_real_pyproject():
         "PERF",
     )
     # The perf layer may read clocks (that is its job) but keeps the
-    # rest of the determinism contract.
+    # rest of the determinism contract, plus the ROB error discipline.
     perf_selectors = config.selectors_for("src/repro/perf/executor.py")
     assert "RNG004" not in perf_selectors
     assert "RNG001" in perf_selectors
+    assert "ROB" in perf_selectors
     assert config.selectors_for("src/repro/pipeline/runall.py") == (
         "RNG",
         "SEED",
         "LAY",
         "API",
+        "ROB",
     )
+    # repro.resilience hosts the sanctioned sleep; no ROB select there.
+    assert "ROB" not in config.selectors_for("src/repro/resilience/policy.py")
     assert "API001" not in config.selectors_for("benchmarks/bench_fig1.py")
 
 

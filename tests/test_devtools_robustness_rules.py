@@ -1,0 +1,138 @@
+"""Tests for the ROB error-discipline rules (ROB001–ROB002)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.lint import check_source
+
+
+def _rules(source: str, select=("ROB",)):
+    findings = check_source(textwrap.dedent(source), select=list(select))
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# ROB001: except clauses that swallow the error
+# ---------------------------------------------------------------------------
+
+
+def test_rob001_flags_bare_except_pass():
+    assert _rules(
+        """
+        def f():
+            try:
+                work()
+            except Exception:
+                pass
+        """
+    ) == ["ROB001"]
+
+
+def test_rob001_flags_swallow_via_continue_and_constant_return():
+    assert _rules(
+        """
+        def f(paths):
+            for path in paths:
+                try:
+                    read(path)
+                except OSError:
+                    continue
+
+        def g():
+            try:
+                return parse()
+            except (ValueError, KeyError):
+                return None
+        """
+    ) == ["ROB001", "ROB001"]
+
+
+def test_rob001_clean_when_handler_reraises():
+    assert _rules(
+        """
+        def f():
+            try:
+                work()
+            except OSError as exc:
+                raise RuntimeError("context") from exc
+        """
+    ) == []
+
+
+def test_rob001_clean_when_handler_logs_or_quarantines():
+    assert _rules(
+        """
+        def f(cache, path):
+            try:
+                return cache.read(path)
+            except OSError:
+                cache.quarantine(path, reason="torn read")
+                return None
+
+        def g(log):
+            try:
+                work()
+            except ValueError:
+                log.warning("work failed", exc_info=True)
+        """
+    ) == []
+
+
+def test_rob001_inline_suppression():
+    assert _rules(
+        """
+        def f():
+            try:
+                work()
+            except Exception:  # reprolint: disable=ROB001
+                pass
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# ROB002: ad-hoc sleep/retry loops
+# ---------------------------------------------------------------------------
+
+
+def test_rob002_flags_sleep_in_while_loop():
+    assert _rules(
+        """
+        import time
+
+        def f():
+            while not ready():
+                time.sleep(0.1)
+        """
+    ) == ["ROB002"]
+
+
+def test_rob002_flags_aliased_sleep_in_for_loop():
+    assert _rules(
+        """
+        from time import sleep
+
+        def f(attempts):
+            for _ in range(attempts):
+                if try_once():
+                    return True
+                sleep(1.0)
+            return False
+        """
+    ) == ["ROB002"]
+
+
+def test_rob002_ignores_sleep_outside_loops_and_policy_sleep():
+    assert _rules(
+        """
+        import time
+
+        def settle():
+            time.sleep(0.01)
+
+        def f(policy, tasks):
+            for task in tasks:
+                policy.sleep(policy.delay_for(task, 1))
+        """
+    ) == []

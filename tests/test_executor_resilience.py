@@ -1,0 +1,190 @@
+"""Executor resilience: retries, partial failure, pool recovery, timeouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.executor import (
+    ExperimentTask,
+    TaskExecutionError,
+    execute_tasks,
+)
+from repro.resilience import (
+    ENV_FAULTS,
+    InjectedTaskError,
+    RetryPolicy,
+    clear_plan_cache,
+)
+
+
+def _double(payload):
+    return payload["x"] * 2
+
+
+def _task(name, requires=(), provides=(), fn=_double, payload=None):
+    return ExperimentTask(
+        name=name,
+        fn=fn,
+        payload=payload if payload is not None else {"x": 1},
+        requires=tuple(requires),
+        provides=tuple(provides),
+    )
+
+
+@pytest.fixture
+def fast_retries(monkeypatch):
+    """No real sleeping between attempts; tests assert behaviour, not waits."""
+    monkeypatch.setattr(RetryPolicy, "sleep", lambda self, seconds: None)
+
+
+@pytest.fixture
+def faults(monkeypatch):
+    """Arm a fault plan through the environment, like --inject-faults does."""
+
+    def _arm(spec: str) -> None:
+        monkeypatch.setenv(ENV_FAULTS, spec)
+        clear_plan_cache()
+
+    yield _arm
+    monkeypatch.delenv(ENV_FAULTS, raising=False)
+    clear_plan_cache()
+
+
+# ---------------------------------------------------------------------------
+# Retries
+# ---------------------------------------------------------------------------
+
+
+def test_transient_failure_is_retried_to_success(fast_retries, faults):
+    faults("op=error,task=flaky,times=2")
+    result = execute_tasks(
+        [_task("flaky")], policy=RetryPolicy(max_attempts=3)
+    )
+    assert result.ok
+    assert result.outcomes["flaky"].value == 2
+    assert result.outcomes["flaky"].attempts == 3
+
+
+def test_retry_budget_exhaustion_is_a_structured_failure(fast_retries, faults):
+    faults("op=error,task=flaky,times=99")
+    result = execute_tasks(
+        [_task("flaky"), _task("fine")],
+        policy=RetryPolicy(max_attempts=3),
+        raise_on_failure=False,
+    )
+    assert not result.ok
+    assert result.outcomes["fine"].value == 2  # independent branch completed
+    failure = result.failures["flaky"]
+    assert failure.attempts == 3
+    assert failure.error_type == "InjectedTaskError"
+    assert "injected failure" in failure.message
+    assert "InjectedTaskError" in failure.traceback  # full chained traceback
+
+
+def test_fail_fast_raises_chained_task_execution_error(fast_retries, faults):
+    faults("op=error,task=flaky,times=99")
+    with pytest.raises(TaskExecutionError, match="flaky.*3 attempt") as info:
+        execute_tasks(
+            [_task("flaky")],
+            policy=RetryPolicy(max_attempts=3),
+            raise_on_failure=True,
+        )
+    assert isinstance(info.value.__cause__, InjectedTaskError)
+
+
+def test_single_shot_policy_preserves_legacy_semantics(faults):
+    faults("op=error,task=flaky,times=1")
+    with pytest.raises(TaskExecutionError):
+        execute_tasks([_task("flaky")])  # default policy: one attempt
+
+
+# ---------------------------------------------------------------------------
+# Partial-failure semantics
+# ---------------------------------------------------------------------------
+
+
+def test_failed_task_skips_only_its_transitive_dependents(fast_retries, faults):
+    faults("op=error,task=producer,times=99")
+    tasks = [
+        _task("producer", provides=["a"]),
+        _task("consumer", requires=["a"], provides=["b"]),
+        _task("grandchild", requires=["b"]),
+        _task("bystander", provides=["c"]),
+        _task("bystander-child", requires=["c"]),
+    ]
+    result = execute_tasks(
+        tasks, policy=RetryPolicy(max_attempts=2), raise_on_failure=False
+    )
+    assert set(result.failures) == {"producer"}
+    assert set(result.skipped) == {"consumer", "grandchild"}
+    assert "producer" in result.skipped["consumer"]
+    assert "producer" in result.skipped["grandchild"]  # root cause, not chain
+    assert set(result.outcomes) == {"bystander", "bystander-child"}
+
+
+def test_on_complete_fires_once_per_success(fast_retries, faults):
+    faults("op=error,task=flaky,times=1")
+    seen = []
+    result = execute_tasks(
+        [_task("flaky"), _task("fine")],
+        policy=RetryPolicy(max_attempts=2),
+        on_complete=lambda outcome: seen.append(outcome.name),
+    )
+    assert result.ok
+    assert sorted(seen) == ["fine", "flaky"]
+
+
+# ---------------------------------------------------------------------------
+# Pool recovery and degradation
+# ---------------------------------------------------------------------------
+
+
+def test_unbuildable_pool_degrades_to_inline_execution(fast_retries):
+    def broken_factory(max_workers):
+        raise OSError("no forks today")
+
+    tasks = [_task(f"t{i}", payload={"x": i}) for i in range(4)]
+    result = execute_tasks(tasks, workers=2, pool_factory=broken_factory)
+    assert result.ok
+    assert result.degraded
+    assert {n: o.value for n, o in result.outcomes.items()} == {
+        f"t{i}": i * 2 for i in range(4)
+    }
+
+
+def test_worker_kill_rebuilds_pool_and_retries(fast_retries, faults):
+    faults("op=kill,task=victim,times=1")
+    tasks = [_task("victim"), _task("other", payload={"x": 3})]
+    result = execute_tasks(
+        tasks, workers=2, policy=RetryPolicy(max_attempts=3)
+    )
+    assert result.ok
+    assert result.outcomes["victim"].value == 2
+    assert result.outcomes["other"].value == 6
+    assert result.pool_rebuilds >= 1
+    assert not result.degraded
+
+
+def test_timeout_expires_attempt_and_recovers(fast_retries, faults):
+    faults("op=hang,task=slow,times=1,seconds=2")
+    result = execute_tasks(
+        [_task("slow")],
+        workers=2,
+        policy=RetryPolicy(max_attempts=2, timeout_seconds=0.2),
+    )
+    assert result.ok
+    assert result.outcomes["slow"].value == 2
+    assert result.outcomes["slow"].attempts == 2
+    assert result.pool_rebuilds >= 1
+
+
+def test_timeout_exhaustion_reports_timeout_error(fast_retries, faults):
+    faults("op=hang,task=slow,times=99,seconds=2")
+    result = execute_tasks(
+        [_task("slow")],
+        workers=2,
+        policy=RetryPolicy(max_attempts=2, timeout_seconds=0.2),
+        raise_on_failure=False,
+    )
+    assert result.failures["slow"].error_type == "TimeoutError"
+    assert result.failures["slow"].attempts == 2

@@ -97,7 +97,8 @@ def test_incidence_round_trip_is_exact(tmp_path, tiny_incidence):
     np.testing.assert_array_equal(loaded.site_ptr, tiny_incidence.site_ptr)
     np.testing.assert_array_equal(loaded.entity_idx, tiny_incidence.entity_idx)
     assert cache.stats.as_dict() == {
-        "hits": 1, "misses": 1, "puts": 1, "evictions": 0, "hit_rate": 0.5,
+        "hits": 1, "misses": 1, "puts": 1, "evictions": 0,
+        "quarantined": 0, "hit_rate": 0.5,
     }
 
 
@@ -154,6 +155,114 @@ def test_entries_excludes_temp_files(tmp_path):
     litter = entry.with_name(f"{entry.stem}.tmp999{entry.suffix}")
     litter.write_text("partial")
     assert cache.entries() == [entry]
+
+
+# ---------------------------------------------------------------------------
+# Integrity: digests, quarantine, and the decode swallow sites
+# ---------------------------------------------------------------------------
+#
+# Every corrupt-read path must end in the quarantine directory with the
+# `quarantined` counter bumped — never a silent miss that regenerates
+# over the evidence.
+
+
+def _resign(entry):
+    """Rewrite an entry's digest sidecar to match its (mangled) bytes.
+
+    Makes the digest check pass so the *decoder* swallow sites are the
+    ones exercised, not the verification layer.
+    """
+    import hashlib
+
+    sidecar = entry.with_name(entry.name + ".sha256")
+    sidecar.write_text(hashlib.sha256(entry.read_bytes()).hexdigest() + "\n")
+
+
+def _assert_quarantined(cache, n=1):
+    assert cache.stats.quarantined == n
+    assert len(cache.quarantined_entries()) == n
+    assert cache.entries() == []  # gone from the readable cache...
+    assert cache.stats.hits == 0  # ...and never reported as a hit
+
+
+def test_digest_mismatch_is_quarantined_not_silently_missed(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = fingerprint("traffic", site="bitrot")
+    cache.put_arrays(key, {"x": np.ones(3)})
+    (entry,) = cache.entries()
+    data = bytearray(entry.read_bytes())
+    data[len(data) // 2] ^= 0xFF  # one flipped bit, stale sidecar
+    entry.write_bytes(bytes(data))
+    assert cache.get_arrays(key) is None
+    assert cache.stats.misses == 1
+    _assert_quarantined(cache)
+
+
+def test_missing_sidecar_is_quarantined(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = fingerprint("traffic", site="unsigned")
+    cache.put_arrays(key, {"x": np.ones(3)})
+    (entry,) = cache.entries()
+    entry.with_name(entry.name + ".sha256").unlink()
+    assert cache.get_arrays(key) is None
+    _assert_quarantined(cache)
+
+
+def test_truncated_npz_hits_quarantine(tmp_path, tiny_incidence):
+    cache = ArtifactCache(tmp_path)
+    key = fingerprint("incidence", fixture="torn")
+    cache.put_incidence(key, tiny_incidence)
+    (entry,) = cache.entries()
+    entry.write_bytes(entry.read_bytes()[:40])  # torn mid-write
+    _resign(entry)  # digest passes; np.load is what fails
+    assert cache.get_incidence(key) is None
+    assert cache.stats.misses == 1
+    _assert_quarantined(cache)
+
+
+def test_mangled_json_lines_hit_quarantine(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = fingerprint("table2-row", domain="mangled")
+    cache.put_records(key, [{"domain": "d", "diameter": 4}])
+    (entry,) = cache.entries()
+    entry.write_text('{"domain": "d", "diam')  # not valid JSON lines
+    _resign(entry)
+    assert cache.get_records(key) is None
+    _assert_quarantined(cache)
+
+
+def test_missing_key_blob_hits_quarantine(tmp_path, tiny_incidence):
+    cache = ArtifactCache(tmp_path)
+    key = fingerprint("incidence", fixture="wrong-keys")
+    cache.put_incidence(key, tiny_incidence)
+    (entry,) = cache.entries()
+    np.savez(entry.open("wb"), unrelated=np.ones(2))  # valid npz, wrong keys
+    _resign(entry)
+    assert cache.get_incidence(key) is None
+    _assert_quarantined(cache)
+
+
+def test_quarantine_preserves_the_corrupt_bytes(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = fingerprint("table2-row", domain="evidence")
+    cache.put_records(key, [{"a": 1}])
+    (entry,) = cache.entries()
+    entry.write_text("forensic evidence")
+    assert cache.get_records(key) is None
+    (quarantined,) = cache.quarantined_entries()
+    assert quarantined.read_text() == "forensic evidence"
+
+
+def test_regeneration_after_quarantine_round_trips(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = fingerprint("table2-row", domain="healed")
+    cache.put_records(key, [{"a": 1}])
+    (entry,) = cache.entries()
+    entry.write_text("junk")
+    assert cache.get_records(key) is None  # quarantined
+    cache.put_records(key, [{"a": 1}])  # regenerated by the caller
+    assert cache.get_records(key) == [{"a": 1}]
+    assert cache.stats.quarantined == 1
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,211 @@
+"""Chaos suite: every fault mode converges to byte-identical artifacts.
+
+The determinism contract says execution settings change how fast a run
+is, never what bytes it writes.  These tests extend that to faults: a
+pipeline run under injected task errors, worker kills, hangs, or cache
+corruption must — after retries and/or a resume — produce artifacts
+byte-identical to an undisturbed serial run, and every failure must be
+visible (structured failure report, quarantine counter), never silent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline.config import ExecutionSettings, ExperimentConfig
+from repro.pipeline.runall import run_everything_with_report
+from repro.resilience import ENV_FAULTS, RetryPolicy, clear_plan_cache
+
+# Small enough that a full pipeline run is ~a second; the chaos suite
+# runs several of them.
+CONFIG = ExperimentConfig(scale="tiny", seed=0).scaled_down(400)
+
+
+def _digests(directory: Path) -> dict[str, str]:
+    return {
+        path.name: hashlib.sha256(path.read_bytes()).hexdigest()
+        for path in sorted(directory.iterdir())
+        if path.is_file()
+    }
+
+
+@pytest.fixture(autouse=True)
+def fast_backoff(monkeypatch):
+    monkeypatch.setattr(RetryPolicy, "sleep", lambda self, seconds: None)
+
+
+@pytest.fixture
+def faults(monkeypatch):
+    def _arm(spec: str) -> None:
+        if spec:
+            monkeypatch.setenv(ENV_FAULTS, spec)
+        else:
+            monkeypatch.delenv(ENV_FAULTS, raising=False)
+        clear_plan_cache()
+
+    _arm("")  # make sure nothing leaks in
+    yield _arm
+    _arm("")
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """Digests of an undisturbed serial, uncached run."""
+    previous = os.environ.pop(ENV_FAULTS, None)
+    clear_plan_cache()
+    out = tmp_path_factory.mktemp("baseline")
+    try:
+        run_everything_with_report(out, CONFIG, verbose=False)
+    finally:
+        if previous is not None:
+            os.environ[ENV_FAULTS] = previous
+        clear_plan_cache()
+    return _digests(out)
+
+
+# ---------------------------------------------------------------------------
+# Fault modes converge without resume
+# ---------------------------------------------------------------------------
+
+
+def test_task_error_fault_retries_to_byte_identical(tmp_path, faults, baseline):
+    faults("op=error,task=figure3,times=2; op=error,task=table2,times=1")
+    out = tmp_path / "out"
+    settings = ExecutionSettings(retries=2)
+    __, report = run_everything_with_report(
+        out, CONFIG, verbose=False, settings=settings
+    )
+    assert report.ok
+    assert _digests(out) == baseline
+
+
+def test_inline_kill_fault_converges(tmp_path, faults, baseline):
+    faults("op=kill,task=table1,times=1")
+    out = tmp_path / "out"
+    __, report = run_everything_with_report(
+        out, CONFIG, verbose=False, settings=ExecutionSettings(retries=1)
+    )
+    assert report.ok
+    assert _digests(out) == baseline
+
+
+def test_worker_kill_rebuilds_pool_and_converges(tmp_path, faults, baseline):
+    faults("op=kill,task=warm:traffic:*,times=1")
+    out = tmp_path / "out"
+    settings = ExecutionSettings(
+        workers=2,
+        use_cache=True,
+        cache_dir=str(tmp_path / "cache"),
+        retries=2,
+    )
+    __, report = run_everything_with_report(
+        out, CONFIG, verbose=False, settings=settings
+    )
+    assert report.ok
+    assert _digests(out) == baseline
+    if report.workers > 1:  # single-CPU runners clamp to inline mode
+        assert report.pool_rebuilds >= 1
+
+
+def test_hang_fault_times_out_and_converges(tmp_path, faults, baseline):
+    faults("op=hang,task=table2,times=1,seconds=2")
+    out = tmp_path / "out"
+    settings = ExecutionSettings(workers=2, task_timeout=0.3, retries=1)
+    __, report = run_everything_with_report(
+        out, CONFIG, verbose=False, settings=settings
+    )
+    assert report.ok
+    assert _digests(out) == baseline
+
+
+def test_cache_corruption_quarantines_and_converges(tmp_path, faults, baseline):
+    faults("op=corrupt,key=*")
+    out = tmp_path / "out"
+    cache_dir = tmp_path / "cache"
+    settings = ExecutionSettings(use_cache=True, cache_dir=str(cache_dir))
+    __, report = run_everything_with_report(
+        out, CONFIG, verbose=False, settings=settings
+    )
+    assert report.ok
+    assert _digests(out) == baseline
+    # Corruption is loud, never a silent miss: quarantined blobs are
+    # counted and preserved on disk.
+    assert report.cache.quarantined > 0
+    assert any((cache_dir / "quarantine").iterdir())
+    assert report.cache.hits == 0  # nothing corrupt was ever served
+
+
+# ---------------------------------------------------------------------------
+# Partial failure + resume
+# ---------------------------------------------------------------------------
+
+
+def test_partial_failure_then_resume_converges(tmp_path, faults, baseline):
+    out = tmp_path / "out"
+    common = dict(
+        use_cache=True,
+        cache_dir=str(tmp_path / "cache"),
+        keep_journal=True,
+        journal_dir=str(tmp_path / "journals"),
+        failure_mode="continue",
+    )
+
+    faults("op=error,task=warm:traffic:*,times=99")
+    __, report = run_everything_with_report(
+        out, CONFIG, verbose=False, settings=ExecutionSettings(retries=1, **common)
+    )
+    assert not report.ok
+    assert {f["name"] for f in report.failures} == {
+        "warm:traffic:imdb", "warm:traffic:amazon", "warm:traffic:yelp"
+    }
+    assert {s["name"] for s in report.skipped} == {
+        "figure6", "figure7", "figure8"
+    }
+    assert all(f["attempts"] == 2 for f in report.failures)
+    assert all("InjectedTaskError" in f["traceback"] for f in report.failures)
+    assert report.run_id  # the handle --resume takes
+
+    faults("")  # outage over
+    written, resumed = run_everything_with_report(
+        out,
+        CONFIG,
+        verbose=False,
+        settings=ExecutionSettings(resume=True, **common),
+    )
+    assert resumed.ok
+    assert resumed.resumed
+    assert resumed.run_id == report.run_id
+    # Only the failed tasks and their dependents re-ran.
+    rerun = {timing.name for timing in resumed.timings}
+    assert rerun == {
+        "warm:traffic:imdb", "warm:traffic:amazon", "warm:traffic:yelp",
+        "figure6", "figure7", "figure8",
+    }
+    assert _digests(out) == baseline
+    # The returned artifact list covers the whole run, journaled tasks
+    # included, in canonical order.
+    assert "table1" in written and "figure6_search" in written
+
+
+def test_resume_with_nothing_missing_is_a_no_op(tmp_path, faults, baseline):
+    out = tmp_path / "out"
+    common = dict(
+        keep_journal=True, journal_dir=str(tmp_path / "journals")
+    )
+    run_everything_with_report(
+        out, CONFIG, verbose=False, settings=ExecutionSettings(**common)
+    )
+    written, report = run_everything_with_report(
+        out,
+        CONFIG,
+        verbose=False,
+        settings=ExecutionSettings(resume=True, **common),
+    )
+    assert report.ok and report.resumed
+    assert report.timings == []  # nothing re-ran
+    assert _digests(out) == baseline
+    assert "table1" in written

@@ -1,0 +1,239 @@
+"""Unit tests for repro.resilience: policy, journal, and fault plans."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    ENV_FAULTS,
+    ENV_JOURNAL_DIR,
+    FaultPlan,
+    FaultPlanError,
+    InjectedTaskError,
+    InjectedWorkerKill,
+    JournalMismatchError,
+    RetryPolicy,
+    RunJournal,
+    active_plan,
+    clear_plan_cache,
+    derive_run_id,
+    resolve_journal_dir,
+)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout_seconds=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_pool_rebuilds=-1)
+
+
+def test_single_shot_is_the_pre_resilience_contract():
+    policy = RetryPolicy.single_shot()
+    assert policy.max_attempts == 1
+    assert policy.timeout_seconds is None
+
+
+def test_delay_is_deterministic_and_bounded():
+    policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.5, seed=7)
+    first = policy.delay_for("figure3", 1)
+    assert first == policy.delay_for("figure3", 1)  # bit-stable
+    assert first != policy.delay_for("figure4", 1)  # decorrelated by task
+    assert first != RetryPolicy(
+        base_delay=0.1, max_delay=1.0, jitter=0.5, seed=8
+    ).delay_for("figure3", 1)  # and by seed
+    for attempt in range(1, 12):
+        delay = policy.delay_for("figure3", attempt)
+        span = min(1.0, 0.1 * 2 ** (attempt - 1))
+        assert span * 0.5 <= delay <= span  # jittered half of the span
+
+
+def test_delay_without_jitter_is_the_exact_span():
+    policy = RetryPolicy(base_delay=0.25, max_delay=10.0, jitter=0.0)
+    assert policy.delay_for("t", 1) == 0.25
+    assert policy.delay_for("t", 2) == 0.5
+    assert policy.delay_for("t", 3) == 1.0
+
+
+def test_delay_rejects_attempt_zero():
+    with pytest.raises(ValueError):
+        RetryPolicy().delay_for("t", 0)
+
+
+def test_sleep_skips_non_positive_waits(monkeypatch):
+    calls = []
+    monkeypatch.setattr(
+        "repro.resilience.policy.time.sleep", lambda s: calls.append(s)
+    )
+    policy = RetryPolicy()
+    policy.sleep(0.0)
+    policy.sleep(-1.0)
+    assert calls == []
+    policy.sleep(0.01)
+    assert calls == [0.01]
+
+
+# ---------------------------------------------------------------------------
+# RunJournal
+# ---------------------------------------------------------------------------
+
+
+def test_journal_round_trip(tmp_path):
+    journal = RunJournal(tmp_path, "run1", "f" * 64)
+    journal.record("table1", ("table1",), 0.5)
+    journal.record("warm:traffic:siteA", (), 1.25)
+
+    loaded = RunJournal.open(tmp_path, "run1", "f" * 64)
+    assert loaded.completed() == {"table1", "warm:traffic:siteA"}
+    assert loaded.entries["table1"].artifacts == ("table1",)
+    assert loaded.entries["warm:traffic:siteA"].seconds == pytest.approx(1.25)
+
+
+def test_journal_file_is_always_valid_json_lines(tmp_path):
+    journal = RunJournal(tmp_path, "run1", "f" * 64)
+    for index in range(5):
+        journal.record(f"task{index}", (f"a{index}",), 0.1)
+        lines = journal.path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["config_fingerprint"] == "f" * 64
+        assert len(lines) == index + 2  # header + one line per completion
+
+
+def test_journal_fingerprint_guard(tmp_path):
+    RunJournal(tmp_path, "run1", "a" * 64).record("t", (), 0.0)
+    with pytest.raises(JournalMismatchError, match="different"):
+        RunJournal.open(tmp_path, "run1", "b" * 64)
+
+
+def test_resume_requires_an_existing_journal(tmp_path):
+    with pytest.raises(JournalMismatchError, match="no journal"):
+        RunJournal.open(tmp_path, "nope", "a" * 64, require_existing=True)
+
+
+def test_journal_discard(tmp_path):
+    journal = RunJournal(tmp_path, "run1", "a" * 64)
+    journal.record("t", (), 0.0)
+    assert journal.path.is_file()
+    journal.discard()
+    assert not journal.path.is_file()
+    assert journal.completed() == frozenset()
+
+
+def test_resolve_journal_dir_precedence(tmp_path, monkeypatch):
+    explicit = tmp_path / "explicit"
+    monkeypatch.setenv(ENV_JOURNAL_DIR, str(tmp_path / "env"))
+    assert resolve_journal_dir(explicit) == explicit
+    assert resolve_journal_dir(None) == tmp_path / "env"
+    monkeypatch.delenv(ENV_JOURNAL_DIR)
+    assert resolve_journal_dir(None) == (
+        resolve_journal_dir(None).home() / ".cache" / "repro-journals"
+    )
+
+
+def test_derive_run_id_is_a_stable_prefix():
+    assert derive_run_id("abcdef0123456789" * 4) == "abcdef012345"
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+
+
+def test_plan_parses_the_documented_grammar():
+    plan = FaultPlan.parse(
+        "op=error,task=figure3,times=2; op=kill,task=warm:traffic:*;"
+        " op=hang,task=table2,seconds=5; op=corrupt,key=3fa9,suffix=.npz"
+    )
+    ops = [d.op for d in plan.directives]
+    assert ops == ["error", "kill", "hang", "corrupt"]
+    assert plan.directives[0].times == 2
+    assert plan.directives[2].seconds == 5.0
+    assert plan.directives[3].suffix == ".npz"
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "op=explode,task=x",  # unknown op
+        "error,task=x",  # missing key=value
+        "op=error,times=nope",  # unparseable int
+        "op=error,color=red",  # unknown field
+        "op=error,times=-1",  # negative count
+    ],
+)
+def test_plan_rejects_malformed_specs(spec):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.parse(spec)
+
+
+def test_task_directives_count_attempts_without_state():
+    plan = FaultPlan.parse("op=error,task=figure*,times=2")
+    (directive,) = plan.directives
+    assert directive.matches_task("figure3", 1)
+    assert directive.matches_task("figure3", 2)
+    assert not directive.matches_task("figure3", 3)  # retry gets through
+    assert not directive.matches_task("table1", 1)
+
+
+def test_error_fault_raises_and_then_clears():
+    plan = FaultPlan.parse("op=error,task=t,times=1")
+    with pytest.raises(InjectedTaskError):
+        plan.apply_task_faults("t", 1, in_worker=False)
+    plan.apply_task_faults("t", 2, in_worker=False)  # attempt 2 survives
+
+
+def test_kill_fault_degrades_to_an_exception_inline():
+    plan = FaultPlan.parse("op=kill,task=t")
+    with pytest.raises(InjectedWorkerKill):
+        plan.apply_task_faults("t", 1, in_worker=False)
+
+
+def test_hang_fault_sleeps(monkeypatch):
+    naps = []
+    monkeypatch.setattr(
+        "repro.resilience.faults.time.sleep", lambda s: naps.append(s)
+    )
+    plan = FaultPlan.parse("op=hang,task=t,seconds=2.5")
+    plan.apply_task_faults("t", 1, in_worker=True)
+    assert naps == [2.5]
+
+
+def test_corrupt_blob_mangles_matching_files(tmp_path):
+    plan = FaultPlan.parse("op=corrupt,key=3fa9,suffix=.npz")
+    matching = tmp_path / "3fa9beef.npz"
+    original = bytes(range(64))
+    matching.write_bytes(original)
+    assert plan.corrupt_blob("3fa9beef", matching)
+    assert matching.read_bytes() != original
+    assert len(matching.read_bytes()) == len(original)  # same size, torn bytes
+
+    other_key = tmp_path / "aaaa.npz"
+    other_key.write_bytes(original)
+    assert not plan.corrupt_blob("aaaa", other_key)
+    other_suffix = tmp_path / "3fa9cafe.jsonl"
+    other_suffix.write_bytes(original)
+    assert not plan.corrupt_blob("3fa9cafe", other_suffix)
+
+
+def test_active_plan_reads_env_and_memoizes(monkeypatch):
+    monkeypatch.delenv(ENV_FAULTS, raising=False)
+    clear_plan_cache()
+    assert active_plan() is None
+    monkeypatch.setenv(ENV_FAULTS, "op=error,task=t")
+    first = active_plan()
+    assert first is not None and first is active_plan()
+    clear_plan_cache()
+    assert active_plan() is not first  # re-parsed after cache clear

@@ -81,3 +81,88 @@ def test_cli_all_command(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "artifacts in" in out
     assert (tmp_path / "out" / "table2.txt").exists()
+
+
+# ------------------------------------------------------ exit-code contract
+#
+# 0 = complete, 2 = usage (bad fault plan, unresumable journal),
+# 3 = partial failure (some tasks failed/skipped; resumable).
+
+CLI_TINY = [
+    "--scale", "tiny", "--no-cache",
+    "--traffic-entities", "300",
+    "--traffic-events", "1500",
+    "--traffic-cookies", "300",
+]
+
+
+@pytest.fixture
+def cli_env(tmp_path, monkeypatch):
+    from repro.resilience import ENV_FAULTS, ENV_JOURNAL_DIR, RetryPolicy
+    from repro.resilience import clear_plan_cache
+
+    # Register ENV_FAULTS with monkeypatch so whatever --inject-faults
+    # exports is rolled back after the test.
+    monkeypatch.setenv(ENV_FAULTS, "")
+    monkeypatch.setenv(ENV_JOURNAL_DIR, str(tmp_path / "journals"))
+    monkeypatch.setattr(RetryPolicy, "sleep", lambda self, seconds: None)
+    clear_plan_cache()
+    yield monkeypatch
+    clear_plan_cache()
+
+
+def test_cli_partial_failure_exits_3_and_resume_completes(
+    tmp_path, capsys, cli_env
+):
+    from repro.cli import main
+    from repro.resilience import ENV_FAULTS, clear_plan_cache
+
+    out = tmp_path / "out"
+    code = main(
+        ["all", str(out), *CLI_TINY, "--retries", "0",
+         "--inject-faults", "op=error,task=figure3,times=99"]
+    )
+    assert code == 3
+    captured = capsys.readouterr()
+    assert "1 task(s) failed" in captured.err
+    assert "--resume" in captured.err  # tells the user how to recover
+    assert not (out / "figure3.txt").exists()
+    assert (out / "table1.txt").exists()  # independent branches completed
+
+    cli_env.setenv(ENV_FAULTS, "")  # outage over
+    clear_plan_cache()
+    assert main(["all", str(out), *CLI_TINY, "--resume"]) == 0
+    assert (out / "figure3.txt").exists()
+
+
+def test_cli_rejects_malformed_fault_plan(tmp_path, capsys, cli_env):
+    from repro.cli import main
+
+    code = main(
+        ["all", str(tmp_path / "out"), *CLI_TINY,
+         "--inject-faults", "op=explode"]
+    )
+    assert code == 2
+    assert "bad --inject-faults" in capsys.readouterr().err
+
+
+def test_cli_rejects_unknown_resume_id(tmp_path, capsys, cli_env):
+    from repro.cli import main
+
+    code = main(
+        ["all", str(tmp_path / "out"), *CLI_TINY, "--resume", "deadbeef"]
+    )
+    assert code == 2
+    assert "cannot resume" in capsys.readouterr().err
+
+
+def test_cli_fail_fast_raises(tmp_path, cli_env):
+    from repro.cli import main
+    from repro.perf import TaskExecutionError
+
+    with pytest.raises(TaskExecutionError, match="figure3"):
+        main(
+            ["all", str(tmp_path / "out"), *CLI_TINY, "--fail-fast",
+             "--retries", "0",
+             "--inject-faults", "op=error,task=figure3,times=99"]
+        )
