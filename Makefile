@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint lint-changed bench bench-json artifacts examples clean
+.PHONY: install test lint lint-changed bench bench-json bench-serve artifacts examples clean
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
@@ -26,6 +26,14 @@ bench:
 # byte-identity check included; writes BENCH_PR2.json at the repo root.
 bench-json:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_matrix.py --out BENCH_PR2.json
+
+# Serve-side latency benchmark: build artifacts, replay a seeded load
+# against a self-hosted server; writes BENCH_PR4.json at the repo root.
+bench-serve:
+	PYTHONPATH=src $(PYTHON) -m repro all artifacts/
+	PYTHONPATH=src $(PYTHON) -m repro serve-bench artifacts/ \
+		--seed 7 --clients 4 --requests 200 --report BENCH_PR4.json
+	PYTHONPATH=src $(PYTHON) -m repro bench --history
 
 artifacts:
 	$(PYTHON) -m repro all artifacts/

@@ -9,6 +9,10 @@ be regenerated without writing Python:
 - ``python -m repro discover`` (bootstrapping, perfect vs budgeted)
 - ``python -m repro crawl`` (focused-crawl policy comparison)
 - ``python -m repro resolve`` (entity-resolution demo)
+- ``python -m repro serve`` / ``serve-bench`` (the online query
+  service over a finished ``repro all`` run, and its load generator)
+- ``python -m repro journal-gc`` (reap old run journals)
+- ``python -m repro bench --history`` (cross-PR benchmark trajectory)
 
 ``--csv DIR`` writes each figure's series as long-format CSV next to
 the ASCII rendering.
@@ -243,27 +247,13 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    import os
-
     from repro.pipeline.config import ExecutionSettings
     from repro.pipeline.runall import run_everything_with_report
-    from repro.resilience import (
-        ENV_FAULTS,
-        FaultPlan,
-        FaultPlanError,
-        JournalMismatchError,
-        clear_plan_cache,
-    )
+    from repro.resilience import JournalMismatchError
 
-    if args.inject_faults is not None:
-        try:
-            FaultPlan.parse(args.inject_faults)
-        except FaultPlanError as exc:
-            print(f"bad --inject-faults plan: {exc}", file=sys.stderr)
-            return 2
-        # Through the environment so forked worker processes inherit it.
-        os.environ[ENV_FAULTS] = args.inject_faults
-        clear_plan_cache()
+    status = _install_fault_plan(args.inject_faults)
+    if status:
+        return status
 
     resume = args.resume is not None
     run_id = args.run_id
@@ -315,6 +305,197 @@ def _cmd_all(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
+    return 0
+
+
+def _install_fault_plan(plan_text: str | None) -> int:
+    """Validate and install an ``--inject-faults`` plan; 0 on success."""
+    import os
+
+    from repro.resilience import ENV_FAULTS, FaultPlan, FaultPlanError, clear_plan_cache
+
+    if plan_text is None:
+        return 0
+    try:
+        FaultPlan.parse(plan_text)
+    except FaultPlanError as exc:
+        print(f"bad --inject-faults plan: {exc}", file=sys.stderr)
+        return 2
+    # Through the environment so forked worker processes inherit it.
+    os.environ[ENV_FAULTS] = plan_text
+    clear_plan_cache()
+    return 0
+
+
+def _build_serve_index(args: argparse.Namespace):
+    """Load a run manifest and build the serving index (cache-aware)."""
+    from repro.perf import ArtifactCache, configure_cache
+    from repro.serve import build_index, load_manifest
+
+    if not args.no_cache:
+        configure_cache(
+            ArtifactCache(
+                directory=args.cache_dir,
+                max_bytes=(
+                    None
+                    if args.cache_budget_mb is None
+                    else args.cache_budget_mb * 1024 * 1024
+                ),
+            )
+        )
+    manifest = load_manifest(args.artifacts)
+    index = build_index(manifest)
+    print(
+        f"index built in {index.build_seconds:.2f}s: "
+        f"{len(index.pairs)} (domain, attribute) pairs, "
+        f"{len(index.demand)} traffic sites "
+        f"[fingerprint {index.identity[:12]}]"
+    )
+    return index
+
+
+def _serve_settings(args: argparse.Namespace, port: int):
+    """ServeSettings from the shared serve/serve-bench flag set."""
+    from repro.serve import ServeSettings
+
+    return ServeSettings(
+        host=args.host,
+        port=port,
+        deadline_seconds=args.deadline,
+        query_threads=args.query_threads,
+        response_cache_entries=(
+            0 if args.no_response_cache else args.response_cache_entries
+        ),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeApp, make_server
+
+    status = _install_fault_plan(args.inject_faults)
+    if status:
+        return status
+    try:
+        index = _build_serve_index(args)
+    except FileNotFoundError as exc:
+        print(f"no manifest: {exc}", file=sys.stderr)
+        return 2
+    app = ServeApp(index, _serve_settings(args, args.port))
+    server = make_server(app)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.close()
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.serve import (
+        LoadPlan,
+        ServeApp,
+        build_streams,
+        make_server,
+        run_load,
+        stream_digest,
+        write_bench_report,
+    )
+
+    status = _install_fault_plan(args.inject_faults)
+    if status:
+        return status
+    try:
+        index = _build_serve_index(args)
+    except FileNotFoundError as exc:
+        print(f"no manifest: {exc}", file=sys.stderr)
+        return 2
+    plan = LoadPlan(
+        seed=args.seed,
+        clients=args.clients,
+        requests=args.requests,
+        zipf_exponent=args.zipf_exponent,
+    )
+    streams = build_streams(index.summary(), plan)
+    print(f"request stream sha256: {stream_digest(streams)}")
+    if args.dry_run:
+        return 0
+
+    # Self-hosted target: ephemeral port, torn down after the run.
+    app = ServeApp(index, _serve_settings(args, 0))
+    server = make_server(app)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        result = run_load(host, port, streams)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join()
+    import json
+
+    __, metrics_body = app.handle("/metrics")
+    metrics = json.loads(metrics_body)
+    app.close()
+    payload = write_bench_report(
+        args.report,
+        plan,
+        result,
+        server_metrics=metrics,
+        target=f"self-hosted {host}:{port}",
+    )
+    latency = payload["latency_ms"]
+    print(
+        f"{result.total_requests} requests in {result.wall_seconds:.2f}s "
+        f"({payload['throughput_rps']} req/s) with {plan.clients} client(s)"
+    )
+    print(
+        f"latency p50={latency['p50_ms']}ms p95={latency['p95_ms']}ms "
+        f"p99={latency['p99_ms']}ms"
+    )
+    print(f"statuses: {payload['statuses']}")
+    print(f"report written to {args.report}")
+    return 1 if result.transport_errors else 0
+
+
+def _cmd_journal_gc(args: argparse.Namespace) -> int:
+    from repro.resilience import gc_journals
+
+    try:
+        result = gc_journals(
+            directory=args.journal_dir,
+            keep=args.keep,
+            max_age_days=args.max_age_days,
+            protect=tuple(args.protect),
+            grace_seconds=args.grace_seconds,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(result.summary())
+    for run_id in result.removed:
+        print(f"  removed {run_id}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import collect_bench_rows, format_history, update_performance_doc
+
+    if not args.history:
+        print("nothing to do; pass --history", file=sys.stderr)
+        return 2
+    rows = collect_bench_rows(args.root)
+    if not args.no_doc:
+        update_performance_doc(args.doc, rows)
+        print(f"(history table written to {args.doc})\n")
+    print(format_history(rows))
     return 0
 
 
@@ -535,6 +716,181 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_all.set_defaults(handler=_cmd_all)
     _add_common(run_all)
+
+    def add_serve_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "artifacts",
+            type=Path,
+            help="output directory of a finished `repro all` run "
+            "(or its manifest.json)",
+        )
+        sub.add_argument("--host", default="127.0.0.1", help="bind address")
+        sub.add_argument(
+            "--deadline",
+            type=float,
+            default=5.0,
+            metavar="SECONDS",
+            help="per-request wall-clock budget (default: 5.0)",
+        )
+        sub.add_argument(
+            "--query-threads",
+            type=int,
+            default=8,
+            help="worker threads executing query bodies (default: 8)",
+        )
+        sub.add_argument(
+            "--response-cache-entries",
+            type=int,
+            default=1024,
+            metavar="N",
+            help="LRU response-cache capacity (default: 1024)",
+        )
+        sub.add_argument(
+            "--no-response-cache",
+            action="store_true",
+            help="disable the response cache (byte-identity checks)",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="build the index without the artifact cache",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            type=Path,
+            default=None,
+            metavar="DIR",
+            help="artifact cache location (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro-artifacts)",
+        )
+        sub.add_argument(
+            "--cache-budget-mb",
+            type=int,
+            default=None,
+            metavar="MB",
+            help="LRU byte budget for the artifact cache",
+        )
+        sub.add_argument(
+            "--inject-faults",
+            default=None,
+            metavar="PLAN",
+            help="fault plan targeting serve handlers, e.g. "
+            "'op=hang,task=serve:setcover,seconds=30'",
+        )
+
+    serve = commands.add_parser(
+        "serve", help="HTTP query service over a finished run's artifacts"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8123, help="bind port (0 = ephemeral)"
+    )
+    add_serve_common(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="seeded closed-loop load generator against a self-hosted server",
+    )
+    serve_bench.add_argument("--seed", type=int, default=7, help="stream seed")
+    serve_bench.add_argument(
+        "--clients", type=int, default=4, help="concurrent closed-loop clients"
+    )
+    serve_bench.add_argument(
+        "--requests", type=int, default=200, help="total requests across clients"
+    )
+    serve_bench.add_argument(
+        "--zipf-exponent",
+        type=float,
+        default=1.1,
+        help="popularity skew of entity/site/depth picks (default: 1.1)",
+    )
+    serve_bench.add_argument(
+        "--report",
+        type=Path,
+        default=Path("BENCH_PR4.json"),
+        metavar="FILE",
+        help="latency/throughput report path (default: BENCH_PR4.json)",
+    )
+    serve_bench.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the request-stream digest without issuing requests",
+    )
+    add_serve_common(serve_bench)
+    serve_bench.set_defaults(handler=_cmd_serve_bench)
+
+    journal_gc = commands.add_parser(
+        "journal-gc", help="reap old run journals (keep/max-age retention)"
+    )
+    journal_gc.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="journal location (default: $REPRO_JOURNAL_DIR or "
+        "~/.cache/repro-journals)",
+    )
+    journal_gc.add_argument(
+        "--keep",
+        type=int,
+        default=10,
+        metavar="N",
+        help="keep the N most recent unprotected journals (default: 10)",
+    )
+    journal_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="additionally remove journals older than D days",
+    )
+    journal_gc.add_argument(
+        "--protect",
+        action="append",
+        default=[],
+        metavar="RUN_ID",
+        help="run id that must survive (repeatable); e.g. one about to "
+        "be --resume'd",
+    )
+    journal_gc.add_argument(
+        "--grace-seconds",
+        type=float,
+        default=3600.0,
+        metavar="S",
+        help="journals touched within S seconds are treated as in "
+        "flight and kept (default: 3600)",
+    )
+    journal_gc.set_defaults(handler=_cmd_journal_gc)
+
+    bench = commands.add_parser(
+        "bench", help="benchmark tooling (currently: --history)"
+    )
+    bench.add_argument(
+        "--history",
+        action="store_true",
+        help="aggregate BENCH_PR*.json into the cross-PR trajectory table",
+    )
+    bench.add_argument(
+        "--root",
+        type=Path,
+        default=Path("."),
+        metavar="DIR",
+        help="directory holding BENCH_PR*.json (default: .)",
+    )
+    bench.add_argument(
+        "--doc",
+        type=Path,
+        default=Path("docs/performance.md"),
+        metavar="FILE",
+        help="performance doc whose data section to refresh "
+        "(default: docs/performance.md)",
+    )
+    bench.add_argument(
+        "--no-doc",
+        action="store_true",
+        help="print the table without touching the doc",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     evolve = commands.add_parser(
         "evolve", help="corpus churn, staleness, re-crawl policies"

@@ -48,7 +48,8 @@ LAYERS: dict[str, frozenset[str]] = {
     # Performance layer: caches core artifacts, schedules runners with
     # the resilience layer's retry/fault machinery.
     "perf": frozenset({"core", "resilience"}),
-    # Orchestration sits on top of everything except the CLI layer.
+    # Batch orchestration sits on top of everything below the serving
+    # and CLI layers.
     "pipeline": frozenset(
         {
             "core",
@@ -65,6 +66,11 @@ LAYERS: dict[str, frozenset[str]] = {
             "resilience",
         }
     ),
+    # Online serving: read-optimized indices over the batch pipeline's
+    # artifacts.  The one subsystem allowed above `pipeline` — it is an
+    # online *consumer* of the pipeline's cache-aware builders — and a
+    # sink: nothing below (only the root CLI) may import it.
+    "serve": frozenset({"core", "perf", "pipeline", "resilience"}),
 }
 
 

@@ -9,7 +9,9 @@ Three cooperating pieces (see ``docs/performance.md``):
 - :mod:`repro.perf.executor` — topologically staged, process-parallel
   execution of experiment runners;
 - :mod:`repro.perf.report` — the structured perf report the staged
-  runs emit.
+  runs emit;
+- :mod:`repro.perf.history` — the cross-PR benchmark trajectory table
+  (``repro bench --history``) aggregated from ``BENCH_PR*.json``.
 
 The layer is strictly optional: with no cache installed and one worker,
 the pipeline behaves exactly as before, and outputs are byte-identical
@@ -33,6 +35,11 @@ from repro.perf.executor import (
     stage_tasks,
 )
 from repro.perf.fingerprint import canonical_payload, fingerprint
+from repro.perf.history import (
+    collect_bench_rows,
+    format_history,
+    update_performance_doc,
+)
 from repro.perf.report import PerfReport, TaskTiming
 
 __all__ = [
@@ -47,9 +54,12 @@ __all__ = [
     "TaskTiming",
     "active_cache",
     "canonical_payload",
+    "collect_bench_rows",
     "configure_cache",
     "execute_tasks",
     "fingerprint",
+    "format_history",
     "resolve_cache_dir",
     "stage_tasks",
+    "update_performance_doc",
 ]

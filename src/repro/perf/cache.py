@@ -164,6 +164,11 @@ class ArtifactCache:
         caught by the read-side verification.
         """
         digest = ""
+        plan = active_plan()
+        if plan is not None:
+            # op=stall wedges the publish (path name is "<key><suffix>",
+            # so stem recovers the key); the attempt timeout must trip.
+            plan.stall_cache_io(path.stem, path)
 
         def _write(tmp: Path) -> None:
             nonlocal digest
@@ -173,7 +178,6 @@ class ArtifactCache:
         atomic_publish(path, _write)
         atomic_write_text(self._sidecar(path), digest + "\n")
         self.stats.puts += 1
-        plan = active_plan()
         if plan is not None:
             # path name is "<key><suffix>", so stem recovers the key.
             plan.corrupt_blob(path.stem, path)
@@ -209,6 +213,10 @@ class ArtifactCache:
 
     def _read_hit(self, path: Path) -> bool:
         """Account one lookup: verify digest, refresh mtime on hit (LRU)."""
+        plan = active_plan()
+        if plan is not None:
+            # op=stall wedges the read before the blob is touched.
+            plan.stall_cache_io(path.stem, path)
         if not path.is_file():
             self.stats.misses += 1
             return False

@@ -24,6 +24,7 @@ re-runs only what is missing.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Any
@@ -45,6 +46,7 @@ from repro.perf import (
     fingerprint,
     resolve_cache_dir,
 )
+from repro.io import atomic_write_text
 from repro.pipeline import experiments
 from repro.pipeline.config import ExecutionSettings, ExperimentConfig
 from repro.report.figures import ascii_plot, write_csv
@@ -56,7 +58,55 @@ from repro.resilience import (
     resolve_journal_dir,
 )
 
-__all__ = ["run_everything", "run_everything_with_report"]
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "manifest_payload",
+    "run_everything",
+    "run_everything_with_report",
+    "write_manifest",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "repro-manifest-v1"
+
+
+def manifest_payload(
+    config: ExperimentConfig, artifacts: list[str]
+) -> dict[str, Any]:
+    """The run manifest: what a completed ``repro all`` produced.
+
+    Everything here is a pure function of the experiment config plus the
+    canonical artifact list, so manifests are byte-identical across
+    execution modes (workers/cache/resume) — the same invariant the
+    artifacts themselves obey.  :mod:`repro.serve` reads this file to
+    reconstruct the config and rebuild its indices through the
+    cache-aware builders.
+    """
+    return {
+        "format": MANIFEST_FORMAT,
+        "config": {
+            "scale": config.scale,
+            "seed": config.seed,
+            "ks": list(config.ks),
+            "max_bfs": config.max_bfs,
+            "traffic_entities": config.traffic_entities,
+            "traffic_events": config.traffic_events,
+            "traffic_cookies": config.traffic_cookies,
+        },
+        "spread_pairs": [list(pair) for pair in _spread_pairs()],
+        "traffic_sites": list(experiments.TRAFFIC_SITES),
+        "artifacts": sorted(artifacts),
+    }
+
+
+def write_manifest(
+    directory: str | Path, config: ExperimentConfig, artifacts: list[str]
+) -> Path:
+    """Atomically write ``manifest.json`` into a run's output directory."""
+    payload = manifest_payload(config, artifacts)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    return atomic_write_text(Path(directory) / MANIFEST_NAME, text)
 
 
 def _write(directory: Path, name: str, text: str) -> None:
@@ -523,6 +573,13 @@ def run_everything_with_report(
         report.add_skip(name, result.skipped[name])
         if verbose:
             print(f"  skipped {name}: {result.skipped[name]}")
+    if report.ok:
+        # Only a complete run earns a manifest: serving from a partial
+        # run would answer queries from indices that silently miss
+        # domains.  Resumed completions finish with report.ok too.
+        write_manifest(directory, config, written)
+        if verbose:
+            print(f"  wrote {MANIFEST_NAME}")
     return written, report
 
 

@@ -32,8 +32,10 @@ from repro.resilience.faults import (
     active_plan,
     clear_plan_cache,
 )
+from repro.resilience.gc import JournalGCResult, gc_journals
 from repro.resilience.journal import (
     ENV_JOURNAL_DIR,
+    JOURNAL_FORMAT,
     JournalEntry,
     JournalMismatchError,
     RunJournal,
@@ -50,12 +52,15 @@ __all__ = [
     "FaultPlanError",
     "InjectedTaskError",
     "InjectedWorkerKill",
+    "JOURNAL_FORMAT",
     "JournalEntry",
+    "JournalGCResult",
     "JournalMismatchError",
     "RetryPolicy",
     "RunJournal",
     "active_plan",
     "clear_plan_cache",
     "derive_run_id",
+    "gc_journals",
     "resolve_journal_dir",
 ]

@@ -16,13 +16,17 @@ Spec grammar (directives joined by ``;``, fields by ``,``)::
     op=hang,task=table2,times=1,seconds=5  # sleep 5s before running
     op=corrupt,key=*                       # corrupt every published blob
     op=corrupt,key=3fa9,suffix=.npz        # ...or only matching blobs
+    op=stall,key=*,seconds=5               # wedge cache reads/writes 5s
 
 ``task`` patterns use :func:`fnmatch.fnmatchcase`.  ``times=k`` fires
 the fault on attempts 1..k and lets attempt k+1 through — the attempt
 number is threaded from the driver, so counting needs no shared state
 and survives worker restarts.  ``corrupt`` is stateless by design: it
 mangles *every* publish of a matching blob, exercising the cache's
-quarantine path on each subsequent read.
+quarantine path on each subsequent read.  ``stall`` is the cache-I/O
+analogue of ``hang``: every matching cache read or publish sleeps
+before touching the blob, modelling a wedged filesystem or NFS mount —
+the attempt timeout, not the cache, must unstick the run.
 """
 
 from __future__ import annotations
@@ -49,7 +53,7 @@ ENV_FAULTS = "REPRO_FAULTS"
 #: Worker processes killed by an injected fault exit with this code.
 KILL_EXIT_CODE = 73
 
-_OPS = frozenset({"error", "kill", "hang", "corrupt"})
+_OPS = frozenset({"error", "kill", "hang", "corrupt", "stall"})
 
 
 class FaultPlanError(ValueError):
@@ -74,12 +78,12 @@ class FaultDirective:
     """One parsed fault directive.
 
     Attributes:
-        op: ``error`` / ``kill`` / ``hang`` / ``corrupt``.
+        op: ``error`` / ``kill`` / ``hang`` / ``corrupt`` / ``stall``.
         task: fnmatch pattern for task names (task-scoped ops).
         times: Fire on attempts ``1..times`` (task-scoped ops).
-        seconds: Sleep duration for ``hang``.
-        key: Cache-key prefix for ``corrupt`` (``*`` = every key).
-        suffix: Optional blob suffix filter for ``corrupt``.
+        seconds: Sleep duration for ``hang`` and ``stall``.
+        key: Cache-key prefix for ``corrupt``/``stall`` (``*`` = every key).
+        suffix: Optional blob suffix filter for ``corrupt``/``stall``.
     """
 
     op: str
@@ -101,6 +105,16 @@ class FaultDirective:
         """True when this directive corrupts the blob named ``key``."""
         if self.op != "corrupt":
             return False
+        return self._matches_key(key, path)
+
+    def matches_cache_io(self, key: str, path: Path) -> bool:
+        """True when this directive stalls cache I/O on ``key``."""
+        if self.op != "stall":
+            return False
+        return self._matches_key(key, path)
+
+    def _matches_key(self, key: str, path: Path) -> bool:
+        """Shared key-prefix + suffix filter for blob-scoped ops."""
         if self.suffix and path.suffix != self.suffix:
             return False
         return self.key == "*" or key.startswith(self.key)
@@ -184,6 +198,21 @@ class FaultPlan:
                     f"injected worker kill for task {task_name!r} "
                     f"(attempt {attempt}, inline execution)"
                 )
+
+    def stall_cache_io(self, key: str, path: Path) -> float:
+        """Sleep before cache I/O on a matching blob, if planned.
+
+        Stateless like ``corrupt``: *every* matching read or publish
+        stalls, modelling a persistently wedged filesystem rather than a
+        transient blip.  Returns the total seconds slept (0.0 when no
+        directive matched), so callers and tests can account for it.
+        """
+        slept = 0.0
+        for directive in self.directives:
+            if directive.matches_cache_io(key, path):
+                time.sleep(directive.seconds)
+                slept += directive.seconds
+        return slept
 
     def corrupt_blob(self, key: str, path: Path) -> bool:
         """Mangle a just-published cache blob in place, if planned.

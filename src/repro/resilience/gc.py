@@ -1,0 +1,147 @@
+"""Garbage collection for the run-journal directory.
+
+Journals accumulate forever by design — every ``repro all`` with
+journaling on leaves a ``<run-id>.jsonl`` checkpoint behind, and a
+finished run has no reason to delete its own (the user may still want
+to inspect timings or re-resume).  :func:`gc_journals` is the explicit
+reaper behind ``repro journal-gc``: keep the N most recent journals
+and/or drop those older than a cutoff.
+
+Safety properties, in order of precedence:
+
+- Only files that *parse as journals* (first line is a
+  ``repro-journal-v1`` header) are candidates.  Anything else in the
+  directory — notes, tarballs, half-written garbage — is never touched.
+- Explicitly protected run ids (the CLI passes ``--protect``) are
+  always kept.
+- Journals with a fresh mtime (within ``grace_seconds``) are treated as
+  *in flight* and kept: a live ``--resume`` run atomically rewrites its
+  journal on every task completion, so its mtime stays current.  This
+  is what makes the reaper safe to run concurrently with a resumable
+  run without run-id plumbing between the two processes.
+- Retention is then newest-first: the ``keep`` most recent survivors
+  stay, and ``max_age_days`` evicts regardless of count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.resilience.journal import JOURNAL_FORMAT, resolve_journal_dir
+
+__all__ = ["JournalGCResult", "gc_journals"]
+
+#: Journals touched within this window are presumed in flight.
+DEFAULT_GRACE_SECONDS = 3600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalGCResult:
+    """What one GC pass did (run ids, newest first in each bucket)."""
+
+    directory: str
+    removed: tuple[str, ...]
+    kept: tuple[str, ...]
+    protected: tuple[str, ...]
+
+    def summary(self) -> str:
+        """One-line human rendering for the CLI."""
+        return (
+            f"{self.directory}: removed {len(self.removed)}, "
+            f"kept {len(self.kept)}, protected {len(self.protected)}"
+        )
+
+
+def _journal_header(path: Path) -> dict | None:
+    """Parse a candidate's header line; None when it is not a journal."""
+    try:
+        with path.open(encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(header, dict) or header.get("format") != JOURNAL_FORMAT:
+        return None
+    return header
+
+
+def gc_journals(
+    directory: str | Path | None = None,
+    keep: int | None = 10,
+    max_age_days: float | None = None,
+    protect: tuple[str, ...] = (),
+    grace_seconds: float = DEFAULT_GRACE_SECONDS,
+    now: float | None = None,
+) -> JournalGCResult:
+    """Reap old run journals; returns what was removed/kept/protected.
+
+    Args:
+        directory: Journal directory (defaults like
+            :func:`~repro.resilience.journal.resolve_journal_dir`:
+            ``REPRO_JOURNAL_DIR`` then ``~/.cache/repro-journals``).
+        keep: Keep this many of the most recent unprotected journals
+            (None = no count limit).
+        max_age_days: Additionally remove journals older than this,
+            regardless of count (None = no age limit).
+        protect: Run ids that must survive (e.g. a run about to be
+            ``--resume``\\ d).
+        grace_seconds: Freshness window treated as in-flight; such
+            journals are protected, never removed.
+        now: Reference epoch seconds for age computation; defaults to
+            the current time (injectable for deterministic tests).
+
+    Returns:
+        A :class:`JournalGCResult`; the pass is a no-op (empty result)
+        when the directory does not exist.
+    """
+    if keep is not None and keep < 0:
+        raise ValueError("keep must be >= 0")
+    if max_age_days is not None and max_age_days < 0:
+        raise ValueError("max_age_days must be >= 0")
+    root = resolve_journal_dir(directory)
+    if not root.is_dir():
+        return JournalGCResult(
+            directory=str(root), removed=(), kept=(), protected=()
+        )
+    if now is None:
+        now = time.time()  # reprolint: disable=RNG004
+
+    protected_ids = set(protect)
+    candidates: list[tuple[float, str, Path]] = []
+    protected: list[tuple[float, str]] = []
+    for path in sorted(root.glob("*.jsonl")):
+        header = _journal_header(path)
+        if header is None:
+            continue  # not a journal: out of scope, never touched
+        run_id = str(header.get("run_id", path.stem))
+        mtime = path.stat().st_mtime
+        if run_id in protected_ids or (now - mtime) < grace_seconds:
+            protected.append((mtime, run_id))
+            continue
+        candidates.append((mtime, run_id, path))
+
+    # Newest first; run id as a deterministic tie-break.
+    candidates.sort(key=lambda item: (-item[0], item[1]))
+    removed: list[str] = []
+    kept: list[str] = []
+    for rank, (mtime, run_id, path) in enumerate(candidates):
+        too_many = keep is not None and rank >= keep
+        too_old = (
+            max_age_days is not None
+            and (now - mtime) > max_age_days * 86400.0
+        )
+        if too_many or too_old:
+            path.unlink(missing_ok=True)
+            removed.append(run_id)
+        else:
+            kept.append(run_id)
+
+    protected.sort(key=lambda item: (-item[0], item[1]))
+    return JournalGCResult(
+        directory=str(root),
+        removed=tuple(removed),
+        kept=tuple(kept),
+        protected=tuple(run_id for __, run_id in protected),
+    )

@@ -31,6 +31,7 @@ from repro.io import atomic_write_text
 
 __all__ = [
     "ENV_JOURNAL_DIR",
+    "JOURNAL_FORMAT",
     "JournalEntry",
     "JournalMismatchError",
     "RunJournal",
@@ -40,7 +41,10 @@ __all__ = [
 
 ENV_JOURNAL_DIR = "REPRO_JOURNAL_DIR"
 
-_FORMAT = "repro-journal-v1"
+#: Header format tag; files without it are never treated as journals.
+JOURNAL_FORMAT = "repro-journal-v1"
+
+_FORMAT = JOURNAL_FORMAT
 
 
 class JournalMismatchError(ValueError):

@@ -1,0 +1,71 @@
+"""Online serving: a read-optimized entity-query service (``repro serve``).
+
+The batch pipeline (``repro all``) computes the paper's artifacts once;
+this subsystem turns them into the indices a production system would
+*serve* — the Google-Dataset-Search shape of the workload.  Five
+cooperating pieces:
+
+- :mod:`repro.serve.indices` — immutable in-memory indices built from a
+  run's :data:`~repro.pipeline.runall.MANIFEST_NAME` manifest: CSR
+  entity↔site adjacency per (domain, attribute), per-site k-coverage
+  tables, demand-vs-reviews lookup tables, and catalog id maps.
+- :mod:`repro.serve.server` — a stdlib ``ThreadingHTTPServer`` JSON API
+  over those indices (``/v1/entity``, ``/v1/site``, ``/v1/coverage``,
+  ``/v1/demand``, ``/v1/setcover``, ``/healthz``, ``/metrics``) with
+  per-request deadlines from :class:`repro.resilience.RetryPolicy` and
+  fault-injectable handlers (``--inject-faults``).
+- :mod:`repro.serve.rcache` — an LRU response cache keyed on
+  :func:`repro.perf.fingerprint` digests; responses are byte-identical
+  with and without it.
+- :mod:`repro.serve.batcher` — a micro-batcher that coalesces
+  concurrent identical queries (one greedy set-cover run serves every
+  simultaneous requester).
+- :mod:`repro.serve.loadgen` — a seeded closed-loop load generator
+  (``repro serve-bench``) with Zipf-distributed entity popularity,
+  emitting p50/p95/p99 latency and throughput to ``BENCH_PR4.json``.
+
+Layering: ``serve`` sits *above* ``pipeline`` in the DESIGN.md §3 DAG —
+the only subsystem allowed to, because it is an online consumer of the
+batch pipeline's artifact builders.  Nothing imports ``serve`` except
+the CLI.  Serving never mutates indices; every structure is built once
+and read concurrently without locks.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.indices import (
+    PairIndex,
+    ServeIndex,
+    build_index,
+    load_manifest,
+)
+from repro.serve.loadgen import (
+    LoadPlan,
+    LoadResult,
+    build_streams,
+    run_load,
+    stream_digest,
+    write_bench_report,
+)
+from repro.serve.metrics import LatencyHistogram, ServeMetrics
+from repro.serve.rcache import ResponseCache
+from repro.serve.server import ServeApp, ServeSettings, make_server
+
+__all__ = [
+    "LatencyHistogram",
+    "LoadPlan",
+    "LoadResult",
+    "MicroBatcher",
+    "PairIndex",
+    "ResponseCache",
+    "ServeApp",
+    "ServeIndex",
+    "ServeMetrics",
+    "ServeSettings",
+    "build_index",
+    "build_streams",
+    "load_manifest",
+    "make_server",
+    "run_load",
+    "stream_digest",
+    "write_bench_report",
+]

@@ -1,0 +1,333 @@
+"""Seeded closed-loop load generator (``repro serve-bench``).
+
+Builds a deterministic request stream from the server's own ``/healthz``
+shape summary plus a master seed, then drives it closed-loop (each
+client waits for a response before sending its next request) over
+``http.client`` connections and reports exact p50/p95/p99 latency and
+throughput to ``BENCH_PR4.json``.
+
+Determinism contract: the request stream is a pure function of
+``(healthz summary, LoadPlan)``.  Each client derives its own seed with
+the pipeline's CRC stream-derivation formula and draws from an
+independent ``numpy`` generator, so streams are reproducible per client
+regardless of thread interleaving; ``request_stream_sha256`` in the
+report is the proof — two runs with the same seed against the same
+index hash identically.
+
+Popularity follows the paper's head/tail framing: entity picks are
+Zipf-distributed over the catalog (rank 1 hottest), site picks are Zipf
+over the size-ranked host head, and coverage depths are Zipf over
+``t`` so shallow top-t queries dominate — the shape a real query
+service absorbs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.io import atomic_write_text
+
+__all__ = [
+    "LoadPlan",
+    "LoadResult",
+    "build_streams",
+    "run_load",
+    "stream_digest",
+    "write_bench_report",
+]
+
+#: Endpoint mix (weights sum to 100): reads dominate, set cover is the
+#: expensive minority that exercises batching and caching.
+_ENDPOINT_WEIGHTS = (
+    ("entity", 40),
+    ("site", 20),
+    ("coverage", 15),
+    ("demand", 15),
+    ("setcover", 10),
+)
+
+_SETCOVER_BUDGETS = (5, 10, 20, 50)
+_REVIEW_COUNTS = (0, 1, 2, 4, 8, 16, 64, 256, 1024)
+_DEMAND_SOURCES = ("search", "browse")
+
+#: Status code recorded for client-side transport failures.
+CLIENT_ERROR_STATUS = 599
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """Knobs of one load-generation run."""
+
+    seed: int = 7
+    clients: int = 4
+    requests: int = 200
+    zipf_exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+
+
+def _client_seed(plan: LoadPlan, client: int) -> int:
+    """Per-client stream seed (same formula the pipeline uses)."""
+    label = f"serve-bench:client:{client}"
+    return (plan.seed * 7_368_787 + zlib.crc32(label.encode())) & 0x7FFFFFFF
+
+
+def _zipf_probs(n: int, exponent: float) -> np.ndarray:
+    """Zipf probability vector over ranks ``1..n``."""
+    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** exponent
+    return weights / weights.sum()
+
+
+def build_streams(summary: dict, plan: LoadPlan) -> list[list[str]]:
+    """Deterministic per-client request paths from a ``/healthz`` summary.
+
+    Args:
+        summary: The server's ``/healthz`` payload (``pairs`` with
+            ``domain``/``attribute``/``n_entities``/``n_sites``/``ks``/
+            ``top_hosts``, plus ``traffic_sites``).
+        plan: Seed and sizing.
+
+    Returns:
+        ``plan.clients`` path lists whose lengths sum to
+        ``plan.requests`` (earlier clients absorb the remainder).
+    """
+    pairs = summary["pairs"]
+    traffic_sites = summary["traffic_sites"]
+    if not pairs:
+        raise ValueError("healthz summary lists no (domain, attribute) pairs")
+    endpoints = [name for name, __ in _ENDPOINT_WEIGHTS]
+    mix = np.asarray([w for __, w in _ENDPOINT_WEIGHTS], dtype=np.float64)
+    mix /= mix.sum()
+    probs_cache: dict[int, np.ndarray] = {}
+
+    def zipf_pick(rng: np.random.Generator, n: int) -> int:
+        if n not in probs_cache:
+            probs_cache[n] = _zipf_probs(n, plan.zipf_exponent)
+        return int(rng.choice(n, p=probs_cache[n]))
+
+    base, remainder = divmod(plan.requests, plan.clients)
+    streams: list[list[str]] = []
+    for client in range(plan.clients):
+        count = base + (1 if client < remainder else 0)
+        rng = np.random.default_rng(_client_seed(plan, client))
+        paths: list[str] = []
+        for __ in range(count):
+            endpoint = endpoints[int(rng.choice(len(endpoints), p=mix))]
+            pair = pairs[int(rng.integers(len(pairs)))]
+            domain, attribute = pair["domain"], pair["attribute"]
+            if endpoint == "entity":
+                entity = zipf_pick(rng, pair["n_entities"])
+                paths.append(
+                    f"/v1/entity/{domain}/{entity}/sites?attribute={attribute}"
+                )
+            elif endpoint == "site":
+                hosts = pair["top_hosts"]
+                host = hosts[zipf_pick(rng, len(hosts))]
+                paths.append(
+                    f"/v1/site/{host}/entities"
+                    f"?domain={domain}&attribute={attribute}"
+                )
+            elif endpoint == "coverage":
+                k = int(pair["ks"][int(rng.integers(len(pair["ks"])))])
+                top_t = zipf_pick(rng, pair["n_sites"]) + 1
+                paths.append(
+                    f"/v1/coverage/{domain}"
+                    f"?attribute={attribute}&k={k}&t={top_t}"
+                )
+            elif endpoint == "demand":
+                site = traffic_sites[int(rng.integers(len(traffic_sites)))]
+                reviews = _REVIEW_COUNTS[int(rng.integers(len(_REVIEW_COUNTS)))]
+                source = _DEMAND_SOURCES[int(rng.integers(2))]
+                paths.append(
+                    f"/v1/demand/{site}?n_reviews={reviews}&source={source}"
+                )
+            else:  # setcover
+                budget = _SETCOVER_BUDGETS[
+                    int(rng.integers(len(_SETCOVER_BUDGETS)))
+                ]
+                paths.append(
+                    f"/v1/setcover/{domain}"
+                    f"?attribute={attribute}&budget={budget}"
+                )
+        streams.append(paths)
+    return streams
+
+
+def stream_digest(streams: list[list[str]]) -> str:
+    """sha256 over the full request stream (client-major order)."""
+    hasher = hashlib.sha256()
+    for client, paths in enumerate(streams):
+        for path in paths:
+            hasher.update(f"{client}:{path}\n".encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _endpoint_of(path: str) -> str:
+    """Logical endpoint name of a request path (metrics cardinality)."""
+    segments = [s for s in path.split("?", 1)[0].split("/") if s]
+    if len(segments) >= 2 and segments[0] == "v1":
+        return segments[1]
+    return segments[0] if segments else "unknown"
+
+
+@dataclass
+class LoadResult:
+    """Measured outcome of one closed-loop run."""
+
+    wall_seconds: float
+    stream_sha256: str
+    latencies: dict[str, list[float]] = field(repr=False, default_factory=dict)
+    statuses: dict[str, int] = field(default_factory=dict)
+    transport_errors: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        """Requests completed (including error responses)."""
+        return sum(len(samples) for samples in self.latencies.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        """Aggregate requests per second over the wall-clock window."""
+        return self.total_requests / self.wall_seconds if self.wall_seconds else 0.0
+
+    def all_latencies(self) -> list[float]:
+        """Every latency sample, across endpoints."""
+        merged: list[float] = []
+        for samples in self.latencies.values():
+            merged.extend(samples)
+        return merged
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Exact nearest-rank percentile of a sample list (0.0 when empty)."""
+    if not samples:
+        return 0.0
+    ranked = sorted(samples)
+    rank = max(1, int(np.ceil(q * len(ranked))))
+    return ranked[rank - 1]
+
+
+def _latency_summary(samples: list[float]) -> dict[str, float]:
+    """p50/p95/p99/mean/max in milliseconds."""
+    if not samples:
+        return {name: 0.0 for name in ("p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms")}
+    return {
+        "p50_ms": round(_percentile(samples, 0.50) * 1000.0, 3),
+        "p95_ms": round(_percentile(samples, 0.95) * 1000.0, 3),
+        "p99_ms": round(_percentile(samples, 0.99) * 1000.0, 3),
+        "mean_ms": round(sum(samples) / len(samples) * 1000.0, 3),
+        "max_ms": round(max(samples) * 1000.0, 3),
+    }
+
+
+def run_load(
+    host: str,
+    port: int,
+    streams: list[list[str]],
+    timeout: float = 30.0,
+) -> LoadResult:
+    """Drive the request streams closed-loop; one thread per client.
+
+    Each client owns one keep-alive connection (re-opened after a
+    transport failure, with the failure recorded as status 599) and
+    issues its stream strictly in order, waiting for each response —
+    the classic closed-loop model, so measured latency includes the
+    full server-side queueing the concurrency level induces.
+    """
+    lock = threading.Lock()
+    result = LoadResult(wall_seconds=0.0, stream_sha256=stream_digest(streams))
+
+    def record(endpoint: str, status: int, seconds: float) -> None:
+        with lock:
+            result.latencies.setdefault(endpoint, []).append(seconds)
+            key = str(status)
+            result.statuses[key] = result.statuses.get(key, 0) + 1
+            if status == CLIENT_ERROR_STATUS:
+                result.transport_errors += 1
+
+    def client_loop(paths: list[str]) -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            for path in paths:
+                started = time.perf_counter()
+                try:
+                    connection.request("GET", path)
+                    response = connection.getresponse()
+                    response.read()
+                    status = response.status
+                except (OSError, http.client.HTTPException):
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout
+                    )
+                    status = CLIENT_ERROR_STATUS
+                record(
+                    _endpoint_of(path), status, time.perf_counter() - started
+                )
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=client_loop, args=(paths,), daemon=True)
+        for paths in streams
+        if paths
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def write_bench_report(
+    path: str | Path,
+    plan: LoadPlan,
+    result: LoadResult,
+    server_metrics: dict | None = None,
+    target: str = "",
+) -> dict:
+    """Write the BENCH_PR4-style JSON report; returns the payload."""
+    payload = {
+        "benchmark": "repro serve closed-loop load generator",
+        "target": target,
+        "plan": {
+            "seed": plan.seed,
+            "clients": plan.clients,
+            "requests": plan.requests,
+            "zipf_exponent": plan.zipf_exponent,
+        },
+        "request_stream_sha256": result.stream_sha256,
+        "wall_seconds": round(result.wall_seconds, 3),
+        "throughput_rps": round(result.throughput_rps, 2),
+        "latency_ms": _latency_summary(result.all_latencies()),
+        "per_endpoint": {
+            endpoint: {
+                "count": len(samples),
+                **_latency_summary(samples),
+            }
+            for endpoint, samples in sorted(result.latencies.items())
+        },
+        "statuses": dict(sorted(result.statuses.items())),
+        "transport_errors": result.transport_errors,
+    }
+    if server_metrics is not None:
+        payload["server_metrics"] = server_metrics
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload

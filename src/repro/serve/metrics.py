@@ -1,0 +1,147 @@
+"""Thread-safe request metrics for the serve subsystem.
+
+``ServeMetrics`` aggregates request counts, status counts, and latency
+histograms per endpoint, plus whole-process gauges (index build time).
+Latencies go into :class:`LatencyHistogram`, a fixed set of log-spaced
+buckets — observation is O(log buckets) under a lock, and quantile
+estimates are read straight off the bucket boundaries, so `/metrics`
+stays cheap no matter how many requests have been served.
+
+Quantiles are *upper-bound* estimates: ``quantile(0.95)`` returns the
+upper edge of the bucket containing the 95th-percentile observation.
+That bias is deliberate — for capacity planning an overestimate fails
+safe, and it keeps the histogram mergeable and bounded.  Exact
+percentiles for benchmarking come from the load generator
+(:mod:`repro.serve.loadgen`), which keeps every sample.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = ["LatencyHistogram", "ServeMetrics"]
+
+# Bucket upper bounds in seconds: 100 µs .. ~13 s, ×2 per bucket, plus
+# a catch-all overflow bucket.  17 buckets cover the realistic range of
+# an in-memory query service.
+_BUCKET_BOUNDS: tuple[float, ...] = tuple(0.0001 * (2.0**i) for i in range(17))
+
+
+class LatencyHistogram:
+    """Fixed log-spaced latency histogram with upper-bound quantiles."""
+
+    __slots__ = ("_counts", "_overflow", "_total_seconds", "_max_seconds", "_count")
+
+    def __init__(self) -> None:
+        """Create an empty histogram."""
+        self._counts = [0] * len(_BUCKET_BOUNDS)
+        self._overflow = 0
+        self._total_seconds = 0.0
+        self._max_seconds = 0.0
+        self._count = 0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (non-negative, in seconds)."""
+        value = max(0.0, float(seconds))
+        index = bisect.bisect_left(_BUCKET_BOUNDS, value)
+        if index >= len(_BUCKET_BOUNDS):
+            self._overflow += 1
+        else:
+            self._counts[index] += 1
+        self._total_seconds += value
+        if value > self._max_seconds:
+            self._max_seconds = value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed."""
+        return self._count
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean observed latency in seconds (0.0 when empty)."""
+        return self._total_seconds / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q`` quantile in seconds.
+
+        Returns the upper edge of the bucket holding the ``q``-th
+        sample; overflow samples report the observed maximum.
+        """
+        if self._count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        target = max(1, int(q * self._count + 0.999999))
+        running = 0
+        for bound, bucket_count in zip(_BUCKET_BOUNDS, self._counts):
+            running += bucket_count
+            if running >= target:
+                return bound
+        return self._max_seconds
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Summarize as a plain dict (milliseconds for readability)."""
+        return {
+            "count": self._count,
+            "mean_ms": round(self.mean_seconds * 1000.0, 4),
+            "p50_ms": round(self.quantile(0.50) * 1000.0, 4),
+            "p95_ms": round(self.quantile(0.95) * 1000.0, 4),
+            "p99_ms": round(self.quantile(0.99) * 1000.0, 4),
+            "max_ms": round(self._max_seconds * 1000.0, 4),
+        }
+
+
+class ServeMetrics:
+    """Aggregated counters and latency histograms for the server.
+
+    All mutation happens under one lock; `/metrics` snapshots are a
+    consistent copy.  Endpoint names are the logical route names
+    (``entity``, ``site``, ``coverage``, ``demand``, ``setcover``,
+    ``healthz``, ``metrics``) rather than raw paths, so cardinality is
+    bounded.
+    """
+
+    def __init__(self) -> None:
+        """Create an empty metrics registry."""
+        self._lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+        self._statuses: dict[str, dict[str, int]] = {}
+        self._latency: dict[str, LatencyHistogram] = {}
+        self._index_build_seconds = 0.0
+
+    def set_index_build_seconds(self, seconds: float) -> None:
+        """Record how long the in-memory indices took to build."""
+        with self._lock:
+            self._index_build_seconds = float(seconds)
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one completed request for ``endpoint``."""
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            per_status = self._statuses.setdefault(endpoint, {})
+            key = str(int(status))
+            per_status[key] = per_status.get(key, 0) + 1
+            histogram = self._latency.get(endpoint)
+            if histogram is None:
+                histogram = self._latency[endpoint] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    def snapshot(self) -> dict[str, object]:
+        """Return a consistent copy of all counters for `/metrics`."""
+        with self._lock:
+            endpoints = {
+                name: {
+                    "requests": self._requests.get(name, 0),
+                    "statuses": dict(self._statuses.get(name, {})),
+                    "latency": self._latency[name].as_dict(),
+                }
+                for name in sorted(self._latency)
+            }
+            return {
+                "requests_total": sum(self._requests.values()),
+                "index_build_seconds": round(self._index_build_seconds, 4),
+                "endpoints": endpoints,
+            }

@@ -1,0 +1,69 @@
+"""LRU response cache keyed on `repro.perf` fingerprints.
+
+Stores fully rendered response bodies (status + bytes) for the five
+query endpoints, keyed by :func:`repro.perf.fingerprint` digests that
+cover the endpoint name, the normalized query parameters, and the
+serving index's identity fingerprint.  Because every cached entry is
+the exact byte string a cold handler would have produced (handlers are
+pure functions of immutable indices and render JSON with sorted keys),
+serving from cache is byte-identical to recomputing — the same
+invariant `repro.perf.cache` maintains for batch artifacts.
+
+Only successful (HTTP 200) responses are cached; errors stay cheap to
+produce and should never be pinned.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["ResponseCache"]
+
+
+class ResponseCache:
+    """Bounded thread-safe LRU mapping fingerprint -> (status, body)."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        """Create a cache holding at most ``max_entries`` responses."""
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[int, bytes]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> tuple[int, bytes] | None:
+        """Return the cached (status, body) for ``key``, or None on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: str, status: int, body: bytes) -> None:
+        """Insert a response, evicting the least recently used if full."""
+        with self._lock:
+            self._entries[key] = (int(status), bytes(body))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def stats(self) -> dict[str, float | int]:
+        """Return hit/miss/eviction counters and the current hit rate."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": round(self._hits / lookups, 4) if lookups else 0.0,
+            }

@@ -1,0 +1,431 @@
+"""The HTTP query service: routing, deadlines, caching, fault hooks.
+
+Two layers, split for testability:
+
+- :class:`ServeApp` — the pure request handler.  ``handle(path)`` maps
+  a request path (with query string) to ``(status, body_bytes)``.  All
+  heavy queries run on a worker pool so the caller can enforce the
+  per-request deadline (``RetryPolicy.timeout_seconds`` semantics from
+  :mod:`repro.resilience`) with ``future.result(timeout=...)``; a
+  deadline miss returns 504 without wedging the accept loop.  Tests
+  drive this object directly, no sockets needed.
+- :class:`_RequestHandler`/:func:`make_server` — the thin
+  ``ThreadingHTTPServer`` shell around it.
+
+Determinism contract: handlers are pure functions of the immutable
+:class:`~repro.serve.indices.ServeIndex`, and bodies are rendered with
+sorted keys, so a response is byte-identical whether it came from the
+LRU cache, the micro-batcher's shared future, or a cold computation.
+
+Fault injection: each query endpoint calls
+``active_plan().apply_task_faults("serve:<endpoint>", ...)`` inside the
+pooled work, so an ``op=hang,task=serve:*`` directive wedges the
+handler — and must trip the deadline — while ``op=error`` surfaces as a
+500.  This puts the serving path under the same chaos suite as the
+batch pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.perf import fingerprint
+from repro.resilience import InjectedTaskError, RetryPolicy, active_plan
+from repro.serve.batcher import MicroBatcher
+from repro.serve.indices import ServeIndex
+from repro.serve.metrics import ServeMetrics
+from repro.serve.rcache import ResponseCache
+
+__all__ = ["ServeApp", "ServeSettings", "make_server"]
+
+_JSON = "application/json"
+
+#: Query endpoints eligible for response caching and batching.
+_CACHEABLE = frozenset({"entity", "site", "coverage", "demand", "setcover"})
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """Operational knobs for the query service.
+
+    Attributes:
+        host: Bind address for the HTTP shell.
+        port: Bind port (0 = ephemeral, useful in tests/CI).
+        deadline_seconds: Per-request wall-clock budget, enforced with
+            ``RetryPolicy`` semantics (one attempt, hard timeout).
+        query_threads: Worker threads executing query bodies.
+        response_cache_entries: LRU response-cache capacity; 0 disables
+            the cache entirely (for byte-identity comparisons).
+        max_setcover_budget: Upper bound on ``/v1/setcover?budget=``.
+        max_site_entities: Truncation limit for ``/v1/site`` listings.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8123
+    deadline_seconds: float = 5.0
+    query_threads: int = 8
+    response_cache_entries: int = 1024
+    max_setcover_budget: int = 500
+    max_site_entities: int = 500
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if self.query_threads < 1:
+            raise ValueError("query_threads must be >= 1")
+        if self.response_cache_entries < 0:
+            raise ValueError("response_cache_entries must be >= 0")
+        if self.max_setcover_budget < 1 or self.max_site_entities < 1:
+            raise ValueError("limits must be >= 1")
+
+
+class _HTTPError(Exception):
+    """Internal control flow: an error response with a status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _render(payload: dict[str, object]) -> bytes:
+    """Canonical JSON bytes: sorted keys, compact, trailing newline."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+class ServeApp:
+    """Socket-free request handler over an immutable :class:`ServeIndex`."""
+
+    def __init__(
+        self, index: ServeIndex, settings: ServeSettings | None = None
+    ) -> None:
+        """Wire the index to a worker pool, caches, and metrics."""
+        self.index = index
+        self.settings = settings or ServeSettings()
+        self.policy = RetryPolicy(
+            max_attempts=1, timeout_seconds=self.settings.deadline_seconds
+        )
+        self.metrics = ServeMetrics()
+        self.metrics.set_index_build_seconds(index.build_seconds)
+        self.batcher = MicroBatcher()
+        self.rcache: ResponseCache | None = (
+            ResponseCache(self.settings.response_cache_entries)
+            if self.settings.response_cache_entries
+            else None
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.settings.query_threads,
+            thread_name_prefix="serve-query",
+        )
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- routing --------------------------------------------------------------
+
+    def handle(self, target: str) -> tuple[int, bytes]:
+        """Serve one GET request path; never raises."""
+        started = time.perf_counter()
+        endpoint = "unknown"
+        try:
+            parts = urlsplit(target)
+            segments = [s for s in parts.path.split("/") if s]
+            params = dict(parse_qsl(parts.query, keep_blank_values=True))
+            endpoint, status, body = self._route(segments, params)
+        except _HTTPError as exc:
+            status, body = exc.status, _render(
+                {"error": str(exc), "status": exc.status}
+            )
+        except InjectedTaskError as exc:
+            status, body = 500, _render({"error": str(exc), "status": 500})
+        except Exception as exc:
+            # Process boundary: a handler bug must become a 500 response,
+            # never a dropped connection or a dead server thread.
+            status, body = 500, _render(
+                {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+            )
+        self.metrics.observe(endpoint, status, time.perf_counter() - started)
+        return status, body
+
+    def _route(
+        self, segments: list[str], params: dict[str, str]
+    ) -> tuple[str, int, bytes]:
+        """Dispatch to an endpoint; returns (endpoint, status, body)."""
+        if segments == ["healthz"]:
+            return "healthz", 200, _render(self.index.summary())
+        if segments == ["metrics"]:
+            return "metrics", 200, _render(self._metrics_payload())
+        if len(segments) >= 2 and segments[0] == "v1":
+            kind = segments[1]
+            if kind == "entity" and len(segments) == 5 and segments[4] == "sites":
+                return "entity", *self._query(
+                    "entity", {"domain": segments[2], "id": segments[3], **params}
+                )
+            if kind == "site" and len(segments) == 4 and segments[3] == "entities":
+                return "site", *self._query(
+                    "site", {"host": segments[2], **params}
+                )
+            if kind == "coverage" and len(segments) == 3:
+                return "coverage", *self._query(
+                    "coverage", {"domain": segments[2], **params}
+                )
+            if kind == "demand" and len(segments) == 3:
+                return "demand", *self._query(
+                    "demand", {"site": segments[2], **params}
+                )
+            if kind == "setcover" and len(segments) == 3:
+                return "setcover", *self._query(
+                    "setcover", {"domain": segments[2], **params}
+                )
+        raise _HTTPError(404, f"no route for /{'/'.join(segments)}")
+
+    # -- query execution ------------------------------------------------------
+
+    def _query(
+        self, endpoint: str, params: dict[str, str]
+    ) -> tuple[int, bytes]:
+        """Run one cacheable query: LRU -> micro-batcher -> worker pool.
+
+        The cache key fingerprints (endpoint, normalized params, index
+        identity); the same key coalesces concurrent identical requests
+        onto one future.  Each caller applies its own deadline, so a
+        wedged handler (fault-injected or not) costs its requesters one
+        timeout each, never the server.
+        """
+        assert endpoint in _CACHEABLE
+        key = fingerprint(
+            "serve-response",
+            endpoint=endpoint,
+            params=dict(sorted(params.items())),
+            index=self.index.identity,
+        )
+        if self.rcache is not None:
+            cached = self.rcache.get(key)
+            if cached is not None:
+                return cached
+        future: Future = self.batcher.submit(
+            key, self._executor, lambda: self._compute(endpoint, params)
+        )
+        try:
+            status, body = future.result(timeout=self.policy.timeout_seconds)
+        except FutureTimeout:
+            message = (
+                f"deadline of {self.policy.timeout_seconds:g}s exceeded "
+                f"for {endpoint}"
+            )
+            return 504, _render({"error": message, "status": 504})
+        if self.rcache is not None and status == 200:
+            self.rcache.put(key, status, body)
+        return status, body
+
+    def _compute(self, endpoint: str, params: dict[str, str]) -> tuple[int, bytes]:
+        """Query body, run on the worker pool (fault-injectable).
+
+        Always returns a response tuple — errors become status codes
+        here, inside the endpoint's attribution scope, so `/metrics`
+        charges a 400/404/500 to the endpoint that produced it rather
+        than to ``unknown``.
+        """
+        try:
+            plan = active_plan()
+            if plan is not None:
+                plan.apply_task_faults(
+                    f"serve:{endpoint}", attempt=1, in_worker=False
+                )
+            payload = getattr(self, f"_handle_{endpoint}")(params)
+        except _HTTPError as exc:
+            return exc.status, _render({"error": str(exc), "status": exc.status})
+        except (KeyError, ValueError) as exc:
+            return 400, _render({"error": str(exc), "status": 400})
+        except Exception as exc:
+            # Includes injected faults: a wedged or raising handler must
+            # answer its own requesters, never take the pool down.
+            return 500, _render(
+                {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+            )
+        return 200, _render(payload)
+
+    def _pair(self, params: dict[str, str]):
+        """Resolve the (domain, attribute) pair named by request params."""
+        domain = params["domain"]
+        pair = self.index.resolve_pair(domain, params.get("attribute"))
+        if pair is None:
+            raise _HTTPError(
+                404,
+                f"unknown domain/attribute "
+                f"{domain}/{params.get('attribute') or '<default>'}",
+            )
+        return pair
+
+    @staticmethod
+    def _int_param(params: dict[str, str], name: str, default: int | None = None) -> int:
+        """Parse a required-or-defaulted integer query parameter."""
+        raw = params.get(name)
+        if raw is None:
+            if default is None:
+                raise _HTTPError(400, f"missing required parameter {name!r}")
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise _HTTPError(400, f"parameter {name!r} must be an integer") from None
+
+    def _handle_entity(self, params: dict[str, str]) -> dict[str, object]:
+        """GET /v1/entity/{domain}/{id}/sites — where does an entity live?"""
+        pair = self._pair(params)
+        entity = pair.resolve_entity(params["id"])
+        if entity is None:
+            raise _HTTPError(
+                404, f"unknown entity {params['id']!r} in {pair.domain}"
+            )
+        sites = pair.sites_of_entity(entity)
+        return {
+            "domain": pair.domain,
+            "attribute": pair.attribute,
+            "entity": pair.entity_label(entity),
+            "entity_index": int(entity),
+            "n_sites": int(len(sites)),
+            "sites": [pair.incidence.site_hosts[int(s)] for s in sites],
+        }
+
+    def _handle_site(self, params: dict[str, str]) -> dict[str, object]:
+        """GET /v1/site/{host}/entities — what does a site mention?"""
+        host = params["host"]
+        domain = params.get("domain")
+        attribute = params.get("attribute")
+        matches = []
+        for key in sorted(self.index.pairs):
+            pair = self.index.pairs[key]
+            if domain is not None and pair.domain != domain:
+                continue
+            if attribute is not None and pair.attribute != attribute:
+                continue
+            site = pair.host_to_site.get(host)
+            if site is None:
+                continue
+            entities = pair.entities_on_site(site)
+            limit = self.settings.max_site_entities
+            matches.append(
+                {
+                    "domain": pair.domain,
+                    "attribute": pair.attribute,
+                    "n_entities": int(len(entities)),
+                    "truncated": bool(len(entities) > limit),
+                    "entities": [
+                        pair.entity_label(int(e)) for e in entities[:limit]
+                    ],
+                }
+            )
+        if not matches:
+            raise _HTTPError(404, f"unknown host {host!r}")
+        return {"host": host, "matches": matches}
+
+    def _handle_coverage(self, params: dict[str, str]) -> dict[str, object]:
+        """GET /v1/coverage/{domain}?k=&t= — dense-table k-coverage."""
+        pair = self._pair(params)
+        k = self._int_param(params, "k", default=1)
+        top_t = self._int_param(params, "t", default=pair.n_sites)
+        try:
+            value = pair.coverage_at(k, top_t)
+        except (KeyError, ValueError) as exc:
+            raise _HTTPError(400, str(exc)) from exc
+        return {
+            "domain": pair.domain,
+            "attribute": pair.attribute,
+            "k": k,
+            "t": top_t,
+            "coverage": round(value, 6),
+        }
+
+    def _handle_demand(self, params: dict[str, str]) -> dict[str, object]:
+        """GET /v1/demand/{site}?n_reviews=&source= — Figure-7 lookup."""
+        site = params["site"]
+        table = self.index.demand.get(site)
+        if table is None:
+            raise _HTTPError(
+                404,
+                f"unknown traffic site {site!r}; "
+                f"have {sorted(self.index.demand)}",
+            )
+        n_reviews = self._int_param(params, "n_reviews")
+        if n_reviews < 0:
+            raise _HTTPError(400, "n_reviews must be non-negative")
+        source = params.get("source", "search")
+        try:
+            result = table.lookup(source, n_reviews)
+        except KeyError as exc:
+            raise _HTTPError(400, str(exc)) from exc
+        return {"site": site, "source": source, "n_reviews": n_reviews, **result}
+
+    def _handle_setcover(self, params: dict[str, str]) -> dict[str, object]:
+        """GET /v1/setcover/{domain}?budget= — bounded greedy cover."""
+        pair = self._pair(params)
+        budget = self._int_param(params, "budget", default=10)
+        if not 1 <= budget <= self.settings.max_setcover_budget:
+            raise _HTTPError(
+                400,
+                f"budget must be in [1, {self.settings.max_setcover_budget}], "
+                f"got {budget}",
+            )
+        return {
+            "domain": pair.domain,
+            "attribute": pair.attribute,
+            **pair.set_cover(budget),
+        }
+
+    def _metrics_payload(self) -> dict[str, object]:
+        """The `/metrics` document: counters, histograms, cache stats."""
+        payload = self.metrics.snapshot()
+        payload["response_cache"] = (
+            self.rcache.stats() if self.rcache is not None else {"enabled": False}
+        )
+        payload["batcher"] = self.batcher.stats()
+        payload["deadline_seconds"] = self.policy.timeout_seconds
+        return payload
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Minimal GET-only shell delegating to the app (quiet logging)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+    # Without TCP_NODELAY, Nagle + delayed ACK quantizes every loopback
+    # response at ~40ms and the latency benchmark measures the kernel,
+    # not the server.
+    disable_nagle_algorithm = True
+    app: ServeApp  # attached by make_server
+
+    def do_GET(self) -> None:
+        """Serve one request through :meth:`ServeApp.handle`."""
+        status, body = self.app.handle(self.path)
+        self.send_response(status)
+        self.send_header("Content-Type", _JSON)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Suppress stderr access logs (metrics cover observability)."""
+
+
+def make_server(app: ServeApp) -> ThreadingHTTPServer:
+    """Bind a :class:`ThreadingHTTPServer` serving ``app``.
+
+    The handler class is specialized per call so multiple servers (and
+    tests) can run distinct apps in one process.  Caller owns the server
+    lifecycle: ``serve_forever()`` / ``shutdown()`` / ``server_close()``.
+    """
+    handler = type("BoundRequestHandler", (_RequestHandler,), {"app": app})
+    server = ThreadingHTTPServer(
+        (app.settings.host, app.settings.port), handler
+    )
+    server.daemon_threads = True
+    return server

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
 
 from repro.cli import main
@@ -93,3 +97,115 @@ def test_probe(capsys):
     out = capsys.readouterr().out
     assert "harvested" in out
     assert "queries issued" in out
+
+
+# ---------------------------------------------------------------------------
+# journal-gc, bench --history, serve-bench
+# ---------------------------------------------------------------------------
+
+
+def test_journal_gc_cli(tmp_path, capsys):
+    from repro.resilience import JOURNAL_FORMAT
+
+    now = time.time()  # reprolint: disable=RNG004  (file aging only)
+    for index in range(3):
+        path = tmp_path / f"run-{index}.jsonl"
+        path.write_text(
+            json.dumps({"format": JOURNAL_FORMAT, "run_id": f"run-{index}"})
+            + "\n"
+        )
+        stamp = now - 7200 - index * 60  # run-0 newest, all past the grace
+        os.utime(path, (stamp, stamp))
+    assert main(
+        ["journal-gc", "--journal-dir", str(tmp_path), "--keep", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "removed 2, kept 1" in out
+    assert "removed run-1" in out and "removed run-2" in out
+    assert (tmp_path / "run-0.jsonl").is_file()
+
+
+def test_journal_gc_cli_rejects_bad_knobs(tmp_path, capsys):
+    assert main(
+        ["journal-gc", "--journal-dir", str(tmp_path), "--keep", "-1"]
+    ) == 2
+    assert "keep" in capsys.readouterr().err
+
+
+def test_bench_history_cli(tmp_path, capsys):
+    (tmp_path / "BENCH_PR4.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "serve latency/throughput",
+                "throughput_rps": 100.0,
+                "latency_ms": {"p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0},
+            }
+        )
+    )
+    doc = tmp_path / "performance.md"
+    assert main(
+        ["bench", "--history", "--root", str(tmp_path), "--doc", str(doc)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "100.0 req/s" in out
+    assert doc.is_file() and "100.0 req/s" in doc.read_text()
+
+
+def test_bench_without_history_flag_exits(capsys):
+    assert main(["bench"]) == 2
+    assert "--history" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def serve_artifacts(tmp_path_factory):
+    """A run directory holding a manifest trimmed to one pair, one site."""
+    from repro.pipeline.config import ExperimentConfig
+    from repro.pipeline.runall import write_manifest
+
+    root = tmp_path_factory.mktemp("serve-artifacts")
+    config = ExperimentConfig(scale="tiny", seed=0).scaled_down(400)
+    path = write_manifest(root, config, ["table1.txt"])
+    payload = json.loads(path.read_text())
+    payload["spread_pairs"] = [["restaurants", "phone"]]
+    payload["traffic_sites"] = ["imdb"]
+    path.write_text(json.dumps(payload))
+    return root
+
+
+def test_serve_bench_dry_run_is_deterministic(serve_artifacts, capsys):
+    argv = [
+        "serve-bench", str(serve_artifacts),
+        "--seed", "7", "--clients", "2", "--requests", "30",
+        "--dry-run", "--no-cache",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "request stream sha256:" in first
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    sha = [line for line in first.splitlines() if "sha256" in line]
+    assert sha == [line for line in second.splitlines() if "sha256" in line]
+
+
+def test_serve_bench_self_hosted_run(serve_artifacts, tmp_path, capsys):
+    report = tmp_path / "BENCH_TEST.json"
+    assert main(
+        [
+            "serve-bench", str(serve_artifacts),
+            "--seed", "7", "--clients", "2", "--requests", "20",
+            "--report", str(report), "--no-cache",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "20 requests" in out
+    payload = json.loads(report.read_text())
+    assert payload["statuses"] == {"200": 20}
+    assert payload["throughput_rps"] > 0
+    assert payload["server_metrics"]["requests_total"] >= 20
+
+
+def test_serve_bench_missing_manifest(tmp_path, capsys):
+    assert main(
+        ["serve-bench", str(tmp_path / "nope"), "--dry-run", "--no-cache"]
+    ) == 2
+    assert "no manifest" in capsys.readouterr().err

@@ -504,8 +504,16 @@ def test_layering_dag_matches_design_section3():
     assert "webgen" not in LAYERS["entities"]
     # report renders results; it must not reach back into pipeline.
     assert "pipeline" not in LAYERS["report"]
-    # nothing may import pipeline except root modules (it is the top).
-    assert all("pipeline" not in allowed for allowed in LAYERS.values())
+    # nothing may import pipeline except serve (the online consumer of
+    # the batch pipeline's builders) and root modules.
+    assert all(
+        "pipeline" not in allowed
+        for pkg, allowed in LAYERS.items()
+        if pkg != "serve"
+    )
+    # serve is the top of the DAG: a sink no other subsystem imports.
+    assert "pipeline" in LAYERS["serve"]
+    assert all("serve" not in allowed for allowed in LAYERS.values())
     # devtools is a leaf: lints the tree without participating in it.
     assert LAYERS["devtools"] == frozenset()
     # The whitelist itself is acyclic (defensive: config drift).

@@ -68,3 +68,60 @@ def test_deterministic(config):
     a = run_discovery_study(config)
     b = run_discovery_study(config)
     assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Artifact-cache integration (warm runs must be indistinguishable)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    """Install a fresh artifact cache; restore whatever was active."""
+    from repro.perf import ArtifactCache, configure_cache
+
+    installed = ArtifactCache(directory=tmp_path)
+    previous = configure_cache(installed)
+    yield installed
+    configure_cache(previous)
+
+
+def test_discovery_study_warm_cache_round_trips(config, cache):
+    cold = run_discovery_study(config)
+    puts_after_cold = cache.stats.puts
+    assert puts_after_cold >= 1
+    warm = run_discovery_study(config)
+    assert warm == cold  # plain-scalar record: bit-equal after JSON
+    assert cache.stats.hits >= 1  # the study row came from the cache
+    assert cache.stats.puts == puts_after_cold  # nothing recomputed
+
+
+def test_redundancy_study_warm_cache_round_trips(config, cache):
+    cold = run_redundancy_study(config)
+    puts_after_cold = cache.stats.puts
+    warm = run_redundancy_study(config)
+    assert warm == cold
+    assert cache.stats.hits >= len(cold)  # one cached row per pair
+    assert cache.stats.puts == puts_after_cold
+
+
+def test_staleness_study_warm_cache_round_trips(config, cache):
+    cold = run_staleness_study(config, epochs=3)
+    puts_after_cold = cache.stats.puts
+    warm = run_staleness_study(config, epochs=3)
+    # decay is an ndarray, so compare fields rather than dataclass ==.
+    assert np.array_equal(warm.decay, cold.decay)
+    assert warm.policies == cold.policies
+    assert (warm.domain, warm.attribute, warm.epochs) == (
+        cold.domain, cold.attribute, cold.epochs
+    )
+    assert cache.stats.hits >= 1
+    assert cache.stats.puts == puts_after_cold
+
+
+def test_study_cache_key_tracks_the_knobs(config, cache):
+    run_staleness_study(config, epochs=3)
+    puts_after_cold = cache.stats.puts
+    other = run_staleness_study(config, epochs=3, churn=0.2)
+    assert cache.stats.puts > puts_after_cold  # different knobs, new entry
+    assert len(other.decay) == 3

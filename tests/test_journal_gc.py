@@ -1,0 +1,115 @@
+"""repro journal-gc: retention, protection, and the in-flight grace window."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.resilience import JOURNAL_FORMAT, gc_journals
+from repro.resilience.gc import DEFAULT_GRACE_SECONDS
+
+
+def make_journal(directory, run_id: str, age_seconds: float, now: float) -> None:
+    """Write a minimal valid journal aged ``age_seconds`` before ``now``."""
+    path = directory / f"{run_id}.jsonl"
+    header = {"format": JOURNAL_FORMAT, "run_id": run_id}
+    path.write_text(json.dumps(header) + "\n")
+    stamp = now - age_seconds
+    os.utime(path, (stamp, stamp))
+
+
+@pytest.fixture()
+def now() -> float:
+    # Ages file mtimes relative to the present; never feeds an artifact.
+    return time.time()  # reprolint: disable=RNG004
+
+
+def test_keep_n_most_recent(tmp_path, now):
+    for i in range(6):
+        make_journal(tmp_path, f"run-{i}", age_seconds=7200 + i * 60, now=now)
+    result = gc_journals(tmp_path, keep=2, now=now)
+    # run-0 is newest (smallest age); the two newest survive.
+    assert result.kept == ("run-0", "run-1")
+    assert result.removed == ("run-2", "run-3", "run-4", "run-5")
+    survivors = {p.stem for p in tmp_path.glob("*.jsonl")}
+    assert survivors == {"run-0", "run-1"}
+
+
+def test_max_age_trumps_keep(tmp_path, now):
+    make_journal(tmp_path, "young", age_seconds=7200, now=now)
+    make_journal(tmp_path, "old", age_seconds=30 * 86400, now=now)
+    result = gc_journals(tmp_path, keep=10, max_age_days=7, now=now)
+    assert result.removed == ("old",)
+    assert result.kept == ("young",)
+
+
+def test_protected_run_ids_survive(tmp_path, now):
+    for i in range(4):
+        make_journal(tmp_path, f"run-{i}", age_seconds=7200 + i * 60, now=now)
+    result = gc_journals(tmp_path, keep=0, protect=("run-3",), now=now)
+    assert "run-3" in result.protected
+    assert "run-3" not in result.removed
+    assert (tmp_path / "run-3.jsonl").is_file()
+
+
+def test_fresh_journals_presumed_in_flight(tmp_path, now):
+    """A journal touched within the grace window is never reaped.
+
+    Resumable runs atomically rewrite their journal on every task
+    completion, so an in-flight ``--resume`` target always has a fresh
+    mtime — this is the run-id-free safety interlock.
+    """
+    make_journal(tmp_path, "live", age_seconds=5.0, now=now)
+    make_journal(tmp_path, "stale", age_seconds=2 * DEFAULT_GRACE_SECONDS, now=now)
+    result = gc_journals(tmp_path, keep=0, now=now)
+    assert result.protected == ("live",)
+    assert result.removed == ("stale",)
+    assert (tmp_path / "live.jsonl").is_file()
+
+
+def test_non_journal_files_never_touched(tmp_path, now):
+    (tmp_path / "notes.jsonl").write_text("not json at all\n")
+    (tmp_path / "other.jsonl").write_text(
+        json.dumps({"format": "something-else"}) + "\n"
+    )
+    (tmp_path / "tarball.tar").write_bytes(b"\x00")
+    for name in ("notes.jsonl", "other.jsonl", "tarball.tar"):
+        stamp = now - 400 * 86400
+        os.utime(tmp_path / name, (stamp, stamp))
+    result = gc_journals(tmp_path, keep=0, max_age_days=0, now=now)
+    assert result.removed == ()
+    assert sorted(p.name for p in tmp_path.iterdir()) == [
+        "notes.jsonl", "other.jsonl", "tarball.tar"
+    ]
+
+
+def test_missing_directory_is_a_noop(tmp_path):
+    result = gc_journals(tmp_path / "never-created")
+    assert result.removed == ()
+    assert result.kept == ()
+    assert "removed 0" in result.summary()
+
+
+def test_validation(tmp_path):
+    with pytest.raises(ValueError):
+        gc_journals(tmp_path, keep=-1)
+    with pytest.raises(ValueError):
+        gc_journals(tmp_path, max_age_days=-0.5)
+
+
+def test_real_journal_is_recognized_and_reaped(tmp_path, now):
+    """GC works against journals the resilience layer actually writes."""
+    from repro.resilience.journal import RunJournal
+
+    journal = RunJournal(tmp_path, "real-run", config_fingerprint="abc")
+    journal.record("table1", artifacts=("table1.txt",), seconds=0.1)
+    path = tmp_path / "real-run.jsonl"
+    assert path.is_file()
+    stamp = now - 2 * DEFAULT_GRACE_SECONDS
+    os.utime(path, (stamp, stamp))
+    result = gc_journals(tmp_path, keep=0, now=now)
+    assert result.removed == ("real-run",)
+    assert not path.exists()

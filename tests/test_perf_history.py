@@ -1,0 +1,105 @@
+"""repro.perf.history: bench-report aggregation and doc maintenance."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.history import (
+    BEGIN_MARKER,
+    END_MARKER,
+    collect_bench_rows,
+    format_history,
+    update_performance_doc,
+)
+
+PR2_SHAPE = {
+    "benchmark": "workers-x-cache matrix",
+    "speedup_vs_serial_nocache": {"parallel+cache": 3.4, "cache-only": 1.8},
+    "byte_identical_across_modes": True,
+}
+
+PR4_SHAPE = {
+    "benchmark": "serve latency/throughput",
+    "throughput_rps": 2347.1,
+    "latency_ms": {"p50_ms": 1.4, "p95_ms": 3.2, "p99_ms": 5.9},
+}
+
+
+def _write_reports(root) -> None:
+    (root / "BENCH_PR2.json").write_text(json.dumps(PR2_SHAPE))
+    (root / "BENCH_PR4.json").write_text(json.dumps(PR4_SHAPE))
+
+
+def test_collect_orders_by_pr_and_extracts_headlines(tmp_path):
+    _write_reports(tmp_path)
+    rows = collect_bench_rows(tmp_path)
+    assert [row["pr"] for row in rows] == [2, 4]
+    assert rows[0]["headline"] == "best 3.4x (parallel+cache), byte-identical"
+    assert rows[1]["headline"] == (
+        "2347.1 req/s, p50 1.4ms / p95 3.2ms / p99 5.9ms"
+    )
+
+
+def test_collect_tolerates_unreadable_and_unknown_reports(tmp_path):
+    (tmp_path / "BENCH_PR3.json").write_text("{not json")
+    (tmp_path / "BENCH_PR9.json").write_text(json.dumps({"benchmark": "odd"}))
+    (tmp_path / "BENCH_PRx.json").write_text("{}")  # name mismatch: skipped
+    rows = collect_bench_rows(tmp_path)
+    assert [row["pr"] for row in rows] == [3, 9]
+    assert rows[0]["benchmark"].startswith("unreadable")
+    assert rows[0]["headline"] == "-"
+    assert rows[1]["headline"] == "odd"
+
+
+def test_collect_empty_directory(tmp_path):
+    assert collect_bench_rows(tmp_path) == []
+    assert format_history([]) == "(no BENCH_PR*.json reports found)"
+
+
+def test_format_is_an_aligned_markdown_table(tmp_path):
+    _write_reports(tmp_path)
+    table = format_history(collect_bench_rows(tmp_path))
+    lines = table.splitlines()
+    assert lines[0].startswith("| PR")
+    assert set(lines[1]) <= {"|", "-"}
+    assert len({len(line) for line in lines}) == 1  # aligned columns
+    assert len(lines) == 4  # header + separator + two PR rows
+
+
+def test_update_doc_replaces_only_the_marked_section(tmp_path):
+    _write_reports(tmp_path)
+    doc = tmp_path / "performance.md"
+    doc.write_text(
+        "# Performance\n\nprose before\n\n"
+        f"{BEGIN_MARKER}\nstale table\n{END_MARKER}\n\nprose after\n"
+    )
+    table = update_performance_doc(doc, collect_bench_rows(tmp_path))
+    text = doc.read_text()
+    assert "stale table" not in text
+    assert table in text
+    assert text.startswith("# Performance\n\nprose before")
+    assert text.endswith("prose after\n")
+
+
+def test_update_doc_appends_section_when_markers_absent(tmp_path):
+    _write_reports(tmp_path)
+    doc = tmp_path / "performance.md"
+    doc.write_text("# Performance\n")
+    update_performance_doc(doc, collect_bench_rows(tmp_path))
+    text = doc.read_text()
+    assert "## Benchmark trajectory" in text
+    assert text.index(BEGIN_MARKER) < text.index(END_MARKER)
+    # And creates the file outright when it does not exist yet.
+    fresh = tmp_path / "new.md"
+    update_performance_doc(fresh, collect_bench_rows(tmp_path))
+    assert BEGIN_MARKER in fresh.read_text()
+
+
+def test_update_doc_is_idempotent(tmp_path):
+    _write_reports(tmp_path)
+    doc = tmp_path / "performance.md"
+    rows = collect_bench_rows(tmp_path)
+    update_performance_doc(doc, rows)
+    first = doc.read_text()
+    update_performance_doc(doc, rows)
+    assert doc.read_text() == first

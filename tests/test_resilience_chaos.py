@@ -16,6 +16,12 @@ from pathlib import Path
 
 import pytest
 
+from repro.perf import (
+    ArtifactCache,
+    ExperimentTask,
+    configure_cache,
+    execute_tasks,
+)
 from repro.pipeline.config import ExecutionSettings, ExperimentConfig
 from repro.pipeline.runall import run_everything_with_report
 from repro.resilience import ENV_FAULTS, RetryPolicy, clear_plan_cache
@@ -209,3 +215,69 @@ def test_resume_with_nothing_missing_is_a_no_op(tmp_path, faults, baseline):
     assert report.timings == []  # nothing re-ran
     assert _digests(out) == baseline
     assert "table1" in written
+
+
+def _stalled_cache_roundtrip(payload):
+    """Publish then read back one records blob through a fresh cache.
+
+    Module-level so forked pool workers can unpickle it by reference.
+    With a ``stall`` fault armed, both the publish and the read sleep —
+    this is the cache-touching task the executor's per-attempt timeout
+    must cut short.
+    """
+    cache = ArtifactCache(directory=Path(payload["cache_dir"]))
+    configure_cache(cache)
+    cache.put_records(payload["key"], payload["records"])
+    return cache.get_records(payload["key"])
+
+
+def _io_free_value(payload):
+    """A sibling task that never touches the cache."""
+    return payload
+
+
+def test_cache_stall_trips_attempt_timeout_then_recovers(tmp_path, faults):
+    """A wedged cache filesystem must cost timeouts, never a hung run.
+
+    ``op=stall`` is stateless — every matching cache read or publish
+    sleeps in whichever process performs the I/O.  The executor's
+    per-attempt timeout is the defence: with the stall armed, the
+    cache-touching task blows its budget and fails loudly (while an
+    I/O-free sibling completes untouched); with the stall cleared, the
+    same task graph converges to the exact faultless value.
+    """
+    records = [{"rank": index, "score": index * 0.5} for index in range(4)]
+    payload = {
+        "cache_dir": str(tmp_path / "cache"),
+        "key": "deadbeef" * 8,
+        "records": records,
+    }
+    tasks = [
+        ExperimentTask("stalled", _stalled_cache_roundtrip, payload),
+        ExperimentTask("untouched", _io_free_value, 41),
+    ]
+    # One attempt, tight deadline: the 3 s stall must trip the 0.5 s
+    # timeout rather than run to completion (and an orphaned worker
+    # sleeps out harmlessly in the background after pool teardown).
+    policy = RetryPolicy(max_attempts=1, timeout_seconds=0.5, seed=0)
+
+    faults("op=stall,key=*,seconds=3")
+    result = execute_tasks(
+        tasks, workers=2, policy=policy, raise_on_failure=False
+    )
+    assert "stalled" in result.failures  # the stall was felt, loudly
+    failure = result.failures["stalled"]
+    assert failure.error_type == "TimeoutError"
+    assert "timeout" in failure.message.lower()
+    assert result.outcomes["untouched"].value == 41
+    # Tripped deadline, not a wedged run: well under one full stall nap.
+    assert result.total_seconds < 2.5
+    assert failure.attempts == 1  # charged exactly the one timed-out try
+
+    faults("")  # filesystem unwedged
+    clean = execute_tasks(
+        tasks, workers=2, policy=policy, raise_on_failure=False
+    )
+    assert clean.ok
+    assert clean.outcomes["stalled"].value == records
+    assert clean.outcomes["untouched"].value == 41

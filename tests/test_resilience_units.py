@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -237,3 +238,32 @@ def test_active_plan_reads_env_and_memoizes(monkeypatch):
     assert first is not None and first is active_plan()
     clear_plan_cache()
     assert active_plan() is not first  # re-parsed after cache clear
+
+
+def test_stall_directive_parses_and_matches():
+    plan = FaultPlan.parse("op=stall,key=3fa9,suffix=.npz,seconds=1.5")
+    (directive,) = plan.directives
+    assert directive.op == "stall"
+    assert directive.matches_cache_io("3fa9beef", Path("x/3fa9beef.npz"))
+    assert not directive.matches_cache_io("aaaa", Path("x/aaaa.npz"))
+    assert not directive.matches_cache_io("3fa9beef", Path("x/3fa9beef.json"))
+    # stall never fires through the task- or corrupt-scoped matchers
+    assert not directive.matches_task("anything", 1)
+    assert not directive.matches_blob("3fa9beef", Path("x/3fa9beef.npz"))
+
+
+def test_stall_cache_io_sleeps_per_matching_directive(monkeypatch):
+    naps = []
+    monkeypatch.setattr(
+        "repro.resilience.faults.time.sleep", lambda s: naps.append(s)
+    )
+    plan = FaultPlan.parse("op=stall,key=*,seconds=2; op=stall,key=beef,seconds=3")
+    slept = plan.stall_cache_io("beefcafe", Path("x/beefcafe.npz"))
+    assert naps == [2.0, 3.0]
+    assert slept == 5.0
+    naps.clear()
+    # Stateless: a second touch of the same key stalls again.
+    assert plan.stall_cache_io("beefcafe", Path("x/beefcafe.npz")) == 5.0
+    assert naps == [2.0, 3.0]
+    naps.clear()
+    assert plan.stall_cache_io("aaaa", Path("x/aaaa.npz")) == 2.0  # key=* only

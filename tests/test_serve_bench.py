@@ -1,0 +1,150 @@
+"""repro.serve.loadgen: stream determinism, percentiles, report shape."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.loadgen import (
+    CLIENT_ERROR_STATUS,
+    LoadPlan,
+    LoadResult,
+    _endpoint_of,
+    _percentile,
+    build_streams,
+    stream_digest,
+    write_bench_report,
+)
+
+SUMMARY = {
+    "status": "ok",
+    "pairs": [
+        {
+            "domain": "restaurants",
+            "attribute": "phone",
+            "n_entities": 120,
+            "n_sites": 60,
+            "ks": [1, 2, 3],
+            "top_hosts": ["a.example", "b.example", "c.example"],
+        },
+        {
+            "domain": "books",
+            "attribute": "isbn",
+            "n_entities": 80,
+            "n_sites": 40,
+            "ks": [1, 2],
+            "top_hosts": ["d.example", "e.example"],
+        },
+    ],
+    "traffic_sites": ["imdb", "yelp"],
+}
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        LoadPlan(clients=0)
+    with pytest.raises(ValueError):
+        LoadPlan(requests=0)
+    with pytest.raises(ValueError):
+        LoadPlan(zipf_exponent=0.0)
+
+
+def test_same_seed_same_stream():
+    plan = LoadPlan(seed=7, clients=3, requests=50)
+    first = build_streams(SUMMARY, plan)
+    second = build_streams(SUMMARY, plan)
+    assert first == second
+    assert stream_digest(first) == stream_digest(second)
+
+
+def test_different_seed_different_stream():
+    base = build_streams(SUMMARY, LoadPlan(seed=7, clients=2, requests=40))
+    other = build_streams(SUMMARY, LoadPlan(seed=8, clients=2, requests=40))
+    assert stream_digest(base) != stream_digest(other)
+
+
+def test_stream_sizes_sum_to_requests():
+    plan = LoadPlan(seed=1, clients=4, requests=23)
+    streams = build_streams(SUMMARY, plan)
+    assert len(streams) == 4
+    assert sum(len(s) for s in streams) == 23
+    # Earlier clients absorb the remainder.
+    assert [len(s) for s in streams] == [6, 6, 6, 5]
+
+
+def test_client_streams_independent_of_client_count():
+    """Client 0's stream depends only on its own seed, not on siblings."""
+    solo = build_streams(SUMMARY, LoadPlan(seed=7, clients=1, requests=10))
+    many = build_streams(SUMMARY, LoadPlan(seed=7, clients=5, requests=50))
+    assert many[0][: len(solo[0])] == solo[0]
+
+
+def test_streams_hit_every_endpoint():
+    streams = build_streams(SUMMARY, LoadPlan(seed=7, clients=2, requests=300))
+    seen = {_endpoint_of(path) for stream in streams for path in stream}
+    assert seen == {"entity", "site", "coverage", "demand", "setcover"}
+
+
+def test_stream_paths_stay_in_summary_vocabulary():
+    streams = build_streams(SUMMARY, LoadPlan(seed=3, clients=2, requests=200))
+    hosts = {h for pair in SUMMARY["pairs"] for h in pair["top_hosts"]}
+    for path in (p for stream in streams for p in stream):
+        if path.startswith("/v1/site/"):
+            assert path.split("/")[3] in hosts
+        elif path.startswith("/v1/demand/"):
+            assert path.split("/")[3].split("?")[0] in SUMMARY["traffic_sites"]
+
+
+def test_zipf_skews_toward_head_entities():
+    streams = build_streams(
+        SUMMARY, LoadPlan(seed=7, clients=1, requests=2000, zipf_exponent=1.3)
+    )
+    entity_ranks = [
+        int(path.split("/")[4])
+        for path in streams[0]
+        if path.startswith("/v1/entity/")
+    ]
+    head = sum(1 for rank in entity_ranks if rank < 10)
+    assert head > len(entity_ranks) * 0.4  # top ~8% of ranks dominate
+
+
+def test_percentile_nearest_rank():
+    samples = [float(i) for i in range(1, 101)]
+    assert _percentile(samples, 0.50) == 50.0
+    assert _percentile(samples, 0.95) == 95.0
+    assert _percentile(samples, 0.99) == 99.0
+    assert _percentile([], 0.5) == 0.0
+
+
+def test_write_bench_report_shape(tmp_path):
+    plan = LoadPlan(seed=7, clients=2, requests=4)
+    result = LoadResult(
+        wall_seconds=2.0,
+        stream_sha256="abc123",
+        latencies={"entity": [0.001, 0.002], "setcover": [0.1, 0.2]},
+        statuses={"200": 3, str(CLIENT_ERROR_STATUS): 1},
+        transport_errors=1,
+    )
+    path = tmp_path / "BENCH_PR4.json"
+    payload = write_bench_report(path, plan, result, target="unit-test")
+    on_disk = json.loads(path.read_text())
+    assert on_disk == payload
+    assert payload["request_stream_sha256"] == "abc123"
+    assert payload["throughput_rps"] == 2.0
+    assert set(payload["latency_ms"]) == {
+        "p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms"
+    }
+    assert payload["per_endpoint"]["setcover"]["count"] == 2
+    assert payload["statuses"]["200"] == 3
+    assert payload["transport_errors"] == 1
+    assert "server_metrics" not in payload
+    with_metrics = write_bench_report(
+        path, plan, result, server_metrics={"requests_total": 4}
+    )
+    assert with_metrics["server_metrics"] == {"requests_total": 4}
+
+
+def test_empty_pairs_rejected():
+    with pytest.raises(ValueError, match="no .domain, attribute. pairs"):
+        build_streams({"pairs": [], "traffic_sites": []}, LoadPlan())

@@ -1,0 +1,139 @@
+"""repro.serve.indices: CSR parity, coverage tables, manifest round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import k_coverage_curves
+from repro.core.graph import EntitySiteGraph
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.runall import MANIFEST_NAME, write_manifest
+from repro.serve.indices import Manifest, build_index, load_manifest
+
+CONFIG = ExperimentConfig(scale="tiny", seed=0).scaled_down(400)
+
+MANIFEST = Manifest(
+    config=CONFIG,
+    spread_pairs=(("restaurants", "phone"), ("books", "isbn")),
+    traffic_sites=("imdb",),
+    artifacts=("table1.txt",),
+)
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_index(MANIFEST)
+
+
+def test_index_shape(index):
+    assert set(index.pairs) == {("restaurants", "phone"), ("books", "isbn")}
+    assert index.default_attribute == {"restaurants": "phone", "books": "isbn"}
+    assert set(index.demand) == {"imdb"}
+    assert index.build_seconds > 0
+
+
+def test_transpose_matches_graph_neighbors(index):
+    """entity→sites CSR must agree with EntitySiteGraph adjacency.
+
+    Graph node ids put site ``s`` at ``n_entities + s``, so the graph's
+    neighbour list for an entity is exactly the transpose row shifted.
+    """
+    for pair in index.pairs.values():
+        graph = EntitySiteGraph(pair.incidence)
+        for entity in range(pair.n_entities):
+            sites = pair.sites_of_entity(entity)
+            assert np.array_equal(
+                sites + pair.n_entities, graph.neighbors(entity)
+            )
+            # Ascending site order is part of the response contract.
+            assert np.all(np.diff(sites) >= 0)
+
+
+def test_entity_site_round_trip(index):
+    pair = index.pairs[("restaurants", "phone")]
+    for entity in range(0, pair.n_entities, max(1, pair.n_entities // 17)):
+        for site in pair.sites_of_entity(entity):
+            assert entity in pair.entities_on_site(int(site))
+
+
+def test_coverage_table_matches_direct_curves(index):
+    pair = index.pairs[("restaurants", "phone")]
+    checkpoints = np.asarray([1, pair.n_sites // 2, pair.n_sites])
+    direct = k_coverage_curves(pair.incidence, ks=CONFIG.ks, checkpoints=checkpoints)
+    for row, k in enumerate(CONFIG.ks):
+        for col, t in enumerate(checkpoints):
+            assert pair.coverage_at(k, int(t)) == pytest.approx(
+                float(direct.coverage[row, col])
+            )
+
+
+def test_coverage_param_validation(index):
+    pair = index.pairs[("books", "isbn")]
+    with pytest.raises(KeyError):
+        pair.coverage_at(max(CONFIG.ks) + 1, 1)
+    with pytest.raises(ValueError):
+        pair.coverage_at(1, 0)
+    with pytest.raises(ValueError):
+        pair.coverage_at(1, pair.n_sites + 1)
+
+
+def test_resolve_entity_accepts_ids_and_indices(index):
+    pair = index.pairs[("restaurants", "phone")]
+    label = pair.entity_label(3)
+    assert pair.resolve_entity(label) == 3
+    assert pair.resolve_entity("3") == 3
+    assert pair.resolve_entity("no-such-entity") is None
+    assert pair.resolve_entity(str(pair.n_entities)) is None
+
+
+def test_set_cover_gains_monotone(index):
+    pair = index.pairs[("restaurants", "phone")]
+    result = pair.set_cover(5)
+    assert len(result["selected"]) <= 5
+    gains = result["gains"]
+    assert all(a >= b for a, b in zip(gains, gains[1:]))
+    assert 0 < result["coverage"] <= 1
+
+
+def test_demand_lookup_shape(index):
+    table = index.demand["imdb"]
+    for source in ("search", "browse"):
+        found = table.lookup(source, 4)
+        assert set(found) == {"bin_center", "mean_normalized_demand"}
+    with pytest.raises(KeyError):
+        table.lookup("carrier-pigeon", 4)
+    with pytest.raises(ValueError):
+        table.lookup("search", -1)
+
+
+def test_manifest_round_trip(tmp_path):
+    path = write_manifest(tmp_path, CONFIG, ["b.txt", "a.txt"])
+    assert path.name == MANIFEST_NAME
+    loaded = load_manifest(tmp_path)  # directory form
+    assert loaded.config == CONFIG
+    assert loaded.artifacts == ("a.txt", "b.txt")  # sorted on write
+    assert ("restaurants", "phone") in loaded.spread_pairs
+    assert loaded.traffic_sites == ("imdb", "amazon", "yelp")
+    assert load_manifest(path).config == CONFIG  # file form
+
+
+def test_manifest_rejects_wrong_format(tmp_path):
+    bogus = tmp_path / MANIFEST_NAME
+    bogus.write_text(json.dumps({"format": "not-a-manifest"}))
+    with pytest.raises(ValueError, match="expected format"):
+        load_manifest(tmp_path)
+    with pytest.raises(FileNotFoundError):
+        load_manifest(tmp_path / "missing-dir")
+
+
+def test_build_index_deterministic_identity(index):
+    again = build_index(MANIFEST)
+    assert again.identity == index.identity
+    pair, again_pair = (
+        i.pairs[("books", "isbn")] for i in (index, again)
+    )
+    assert np.array_equal(pair.entity_sites, again_pair.entity_sites)
+    assert np.array_equal(pair.coverage, again_pair.coverage)
