@@ -370,7 +370,15 @@ def _serve_settings(args: argparse.Namespace, port: int):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import ServeApp, make_server
+    import time
+
+    from repro.serve import (
+        ManifestWatcher,
+        ServeApp,
+        ShardPlan,
+        ShardedServer,
+        make_server,
+    )
 
     status = _install_fault_plan(args.inject_faults)
     if status:
@@ -380,7 +388,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except FileNotFoundError as exc:
         print(f"no manifest: {exc}", file=sys.stderr)
         return 2
+
+    if args.workers > 1:
+        sharded = ShardedServer(
+            index=index,
+            manifest_path=args.artifacts,
+            settings=_serve_settings(args, args.port),
+            plan=ShardPlan(
+                workers=args.workers,
+                strategy=args.strategy,
+                reload_poll_seconds=args.reload_poll,
+            ),
+        )
+        host, port = sharded.start()
+        print(
+            f"serving on http://{host}:{port} with {args.workers} workers "
+            f"({sharded.strategy}) (Ctrl-C to stop)"
+        )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            sharded.stop()
+        return 0
+
     app = ServeApp(index, _serve_settings(args, args.port))
+    watcher = (
+        ManifestWatcher(args.artifacts, app, args.reload_poll).start()
+        if args.reload_poll > 0
+        else None
+    )
     server = make_server(app)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
@@ -389,73 +428,221 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if watcher is not None:
+            watcher.stop()
         server.shutdown()
         server.server_close()
         app.close()
     return 0
 
 
+def _parse_sweep(text: str | None) -> list[float] | None:
+    """Parse a ``--sweep`` rate ladder ('a,b,c' of positive req/s)."""
+    if text is None:
+        return None
+    try:
+        rates = [float(piece) for piece in text.split(",") if piece.strip()]
+    except ValueError:
+        raise ValueError(f"unparseable sweep rates: {text!r}") from None
+    if not rates or any(rate <= 0 for rate in rates):
+        raise ValueError(f"sweep rates must be positive: {text!r}")
+    return rates
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
     import threading
 
     from repro.serve import (
         LoadPlan,
+        OpenLoadPlan,
         ServeApp,
+        ShardPlan,
+        ShardedServer,
+        build_open_schedule,
         build_streams,
+        find_knee,
         make_server,
         run_load,
+        run_open_load,
         stream_digest,
         write_bench_report,
+        write_open_bench_report,
     )
 
     status = _install_fault_plan(args.inject_faults)
     if status:
         return status
     try:
+        sweep_rates = _parse_sweep(args.sweep)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
         index = _build_serve_index(args)
     except FileNotFoundError as exc:
         print(f"no manifest: {exc}", file=sys.stderr)
         return 2
-    plan = LoadPlan(
-        seed=args.seed,
-        clients=args.clients,
-        requests=args.requests,
-        zipf_exponent=args.zipf_exponent,
-    )
-    streams = build_streams(index.summary(), plan)
+
+    open_mode = args.mode == "open"
+    if open_mode:
+        open_plan = OpenLoadPlan(
+            seed=args.seed,
+            rate=args.rate,
+            duration_seconds=args.duration,
+            connections=args.connections,
+            zipf_exponent=args.zipf_exponent,
+        )
+        plan = open_plan.closed_plan()
+    else:
+        plan = LoadPlan(
+            seed=args.seed,
+            clients=args.clients,
+            requests=args.requests,
+            zipf_exponent=args.zipf_exponent,
+        )
+    summary = index.summary()
+    streams = build_streams(summary, plan)
     print(f"request stream sha256: {stream_digest(streams)}")
     if args.dry_run:
         return 0
 
     # Self-hosted target: ephemeral port, torn down after the run.
-    app = ServeApp(index, _serve_settings(args, 0))
-    server = make_server(app)
-    host, port = server.server_address[:2]
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    try:
-        result = run_load(host, port, streams)
-    finally:
-        server.shutdown()
-        server.server_close()
-        thread.join()
-    import json
+    # Open mode needs the pipelining keep-alive shell, so anything but
+    # the plain closed-loop single process goes through the sharded
+    # supervisor (which runs FastHTTPServer workers even at workers=1).
+    app = None
+    sharded = None
+    settings = _serve_settings(args, 0)
+    if open_mode or args.workers > 1:
+        sharded = ShardedServer(
+            index=index,
+            settings=settings,
+            plan=ShardPlan(workers=args.workers, strategy=args.strategy),
+        )
+        host, port = sharded.start()
+    else:
+        app = ServeApp(index, settings)
+        server = make_server(app)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
 
-    __, metrics_body = app.handle("/metrics")
-    metrics = json.loads(metrics_body)
-    app.close()
-    payload = write_bench_report(
-        args.report,
-        plan,
-        result,
-        server_metrics=metrics,
-        target=f"self-hosted {host}:{port}",
+    sweep = None
+    warmup = None
+    try:
+        if open_mode:
+            if args.warmup == "on":
+                # Replay the largest rung once, unmeasured, so the sweep
+                # reports warm steady-state latency.  Connections are
+                # established sequentially, so worker i is warmed with
+                # the same stream it will serve in the measured runs.
+                warm_rate = max(sweep_rates or [], default=open_plan.rate)
+                warm_plan = open_plan.at_rate(max(warm_rate, open_plan.rate))
+                warm_streams = build_streams(summary, warm_plan.closed_plan())
+                print(
+                    f"warmup: replaying {warm_plan.requests} requests at "
+                    f"{warm_plan.rate:g} req/s (unmeasured)"
+                )
+                warm_result = run_open_load(
+                    host,
+                    port,
+                    warm_streams,
+                    build_open_schedule(warm_plan),
+                    warm_plan.rate,
+                )
+                warmup = {
+                    "rate_rps": warm_plan.rate,
+                    "requests": warm_plan.requests,
+                    "transport_errors": warm_result.transport_errors,
+                }
+            knee_result = None
+            if sweep_rates is not None:
+                sweep, knee_result = find_knee(
+                    host,
+                    port,
+                    summary,
+                    open_plan,
+                    sweep_rates,
+                    p99_budget_ms=args.p99_budget_ms,
+                )
+                for row in sweep["rates"]:
+                    print(
+                        f"  rate {row['offered_rate_rps']:>10} req/s -> "
+                        f"{row['throughput_rps']:>10} achieved, "
+                        f"p99 {row['p99_ms']}ms "
+                        f"{'ok' if row['ok'] else 'OVER BUDGET'}"
+                    )
+                if knee_result is not None:
+                    open_plan = open_plan.at_rate(sweep["knee_rate_rps"])
+            if knee_result is not None:
+                # Report the very run that established the knee instead
+                # of re-measuring it (a second run has its own noise).
+                result = knee_result
+            else:
+                result = run_open_load(
+                    host,
+                    port,
+                    streams,
+                    build_open_schedule(open_plan),
+                    open_plan.rate,
+                )
+        else:
+            result = run_load(host, port, streams, keep_alive=args.keep_alive == "on")
+    finally:
+        if sharded is not None:
+            sharded.stop()
+        else:
+            server.shutdown()
+            server.server_close()
+            thread.join()
+
+    metrics = None
+    if app is not None:
+        __, metrics_body = app.handle("/metrics")
+        metrics = json.loads(metrics_body)
+        app.close()
+    target = (
+        f"self-hosted {host}:{port} "
+        f"({args.workers} worker(s), {args.mode} loop)"
     )
+    if open_mode:
+        payload = write_open_bench_report(
+            args.report,
+            open_plan,
+            result,
+            sweep=sweep,
+            server_metrics=metrics,
+            target=target,
+            warmup=warmup,
+        )
+        print(
+            f"offered {payload['offered_rate_rps']} req/s for "
+            f"{open_plan.duration_seconds}s over "
+            f"{open_plan.connections} connection(s): "
+            f"{result.total_requests} completed "
+            f"({payload['throughput_rps']} req/s achieved)"
+        )
+        if sweep is not None:
+            print(
+                f"knee: {sweep['knee_rate_rps']} req/s offered with p99 "
+                f"under {sweep['p99_budget_ms']}ms"
+            )
+        if payload["per_worker"]:
+            print(f"per-worker requests: {payload['per_worker']}")
+    else:
+        payload = write_bench_report(
+            args.report,
+            plan,
+            result,
+            server_metrics=metrics,
+            target=target,
+        )
+        print(
+            f"{result.total_requests} requests in {result.wall_seconds:.2f}s "
+            f"({payload['throughput_rps']} req/s) with {plan.clients} client(s)"
+        )
     latency = payload["latency_ms"]
-    print(
-        f"{result.total_requests} requests in {result.wall_seconds:.2f}s "
-        f"({payload['throughput_rps']} req/s) with {plan.clients} client(s)"
-    )
     print(
         f"latency p50={latency['p50_ms']}ms p95={latency['p95_ms']}ms "
         f"p99={latency['p99_ms']}ms"
@@ -778,26 +965,110 @@ def build_parser() -> argparse.ArgumentParser:
             "'op=hang,task=serve:setcover,seconds=30'",
         )
 
+    def add_shard_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes sharing the port (default: 1)",
+        )
+        sub.add_argument(
+            "--strategy",
+            choices=("auto", "reuseport", "router"),
+            default="auto",
+            help="sharding strategy: SO_REUSEPORT kernel balancing or the "
+            "deterministic round-robin fd router (default: auto)",
+        )
+
     serve = commands.add_parser(
         "serve", help="HTTP query service over a finished run's artifacts"
     )
     serve.add_argument(
         "--port", type=int, default=8123, help="bind port (0 = ephemeral)"
     )
+    add_shard_flags(serve)
+    serve.add_argument(
+        "--reload-poll",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="poll the manifest and hot-swap the index on change "
+        "(default: 0 = off)",
+    )
     add_serve_common(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     serve_bench = commands.add_parser(
         "serve-bench",
-        help="seeded closed-loop load generator against a self-hosted server",
+        help="seeded load generator (closed or open loop) against a "
+        "self-hosted server",
     )
     serve_bench.add_argument("--seed", type=int, default=7, help="stream seed")
+    serve_bench.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: clients wait for responses (PR4-compatible); "
+        "open: seeded Poisson arrivals at --rate (default: closed)",
+    )
     serve_bench.add_argument(
         "--clients", type=int, default=4, help="concurrent closed-loop clients"
     )
     serve_bench.add_argument(
         "--requests", type=int, default=200, help="total requests across clients"
     )
+    serve_bench.add_argument(
+        "--keep-alive",
+        choices=("on", "off"),
+        default="on",
+        help="closed loop: reuse one connection per client, or open a "
+        "fresh connection per request (default: on)",
+    )
+    serve_bench.add_argument(
+        "--rate",
+        type=float,
+        default=2000.0,
+        metavar="RPS",
+        help="open loop: offered request rate (default: 2000)",
+    )
+    serve_bench.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="open loop: run length per measurement (default: 2.0)",
+    )
+    serve_bench.add_argument(
+        "--connections",
+        type=int,
+        default=2,
+        metavar="N",
+        help="open loop: pipelined keep-alive connections (default: 2)",
+    )
+    serve_bench.add_argument(
+        "--sweep",
+        default=None,
+        metavar="R1,R2,...",
+        help="open loop: sweep these offered rates ascending and report "
+        "the knee (highest rate with p99 under --p99-budget-ms)",
+    )
+    serve_bench.add_argument(
+        "--p99-budget-ms",
+        type=float,
+        default=50.0,
+        metavar="MS",
+        help="open loop: p99 latency budget the knee must meet "
+        "(default: 50)",
+    )
+    serve_bench.add_argument(
+        "--warmup",
+        choices=("on", "off"),
+        default="off",
+        help="open loop: replay the largest rung once before measuring "
+        "so rates report warm steady state (default: off)",
+    )
+    add_shard_flags(serve_bench)
     serve_bench.add_argument(
         "--zipf-exponent",
         type=float,
@@ -807,9 +1078,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--report",
         type=Path,
-        default=Path("BENCH_PR4.json"),
+        default=Path("BENCH_PR7.json"),
         metavar="FILE",
-        help="latency/throughput report path (default: BENCH_PR4.json)",
+        help="latency/throughput report path (default: BENCH_PR7.json)",
     )
     serve_bench.add_argument(
         "--dry-run",

@@ -43,6 +43,15 @@ def _headline(payload: dict) -> str:
         identical = payload.get("byte_identical_across_modes")
         suffix = ", byte-identical" if identical else ""
         return f"best {speedups[best]}x ({best}){suffix}"
+    sweep = payload.get("sweep")
+    if isinstance(sweep, dict) and sweep.get("knee"):
+        knee = sweep["knee"]
+        return (
+            f"open-loop knee {knee.get('offered_rate_rps', '?')} req/s "
+            f"offered ({knee.get('throughput_rps', '?')} achieved), "
+            f"p99 {knee.get('p99_ms', '?')}ms "
+            f"(budget {sweep.get('p99_budget_ms', '?')}ms)"
+        )
     latency = payload.get("latency_ms")
     if isinstance(latency, dict) and "throughput_rps" in payload:
         return (

@@ -1,71 +1,118 @@
-"""Online serving: a read-optimized entity-query service (``repro serve``).
+"""Online serving: a sharded, read-optimized query service (``repro serve``).
 
 The batch pipeline (``repro all``) computes the paper's artifacts once;
 this subsystem turns them into the indices a production system would
-*serve* — the Google-Dataset-Search shape of the workload.  Five
+*serve* — the Google-Dataset-Search shape of the workload.  The
 cooperating pieces:
 
 - :mod:`repro.serve.indices` — immutable in-memory indices built from a
   run's :data:`~repro.pipeline.runall.MANIFEST_NAME` manifest: CSR
   entity↔site adjacency per (domain, attribute), per-site k-coverage
   tables, demand-vs-reviews lookup tables, and catalog id maps.
-- :mod:`repro.serve.server` — a stdlib ``ThreadingHTTPServer`` JSON API
-  over those indices (``/v1/entity``, ``/v1/site``, ``/v1/coverage``,
+- :mod:`repro.serve.server` — the JSON request core (``/v1/entity``,
+  ``/v1/site`` with pagination cursors, ``/v1/coverage``,
   ``/v1/demand``, ``/v1/setcover``, ``/healthz``, ``/metrics``) with
-  per-request deadlines from :class:`repro.resilience.RetryPolicy` and
-  fault-injectable handlers (``--inject-faults``).
+  per-request deadlines from :class:`repro.resilience.RetryPolicy`,
+  fault-injectable handlers (``--inject-faults``), and epoch-swappable
+  indices (hot reload), plus the portable ``ThreadingHTTPServer``
+  shell.
+- :mod:`repro.serve.fasthttp` — the pipelining keep-alive HTTP/1.1
+  shell sharded workers run (batched writes, buffer-scan parsing).
+- :mod:`repro.serve.sharding` — the multi-process supervisor: N forked
+  workers behind one port via ``SO_REUSEPORT`` (fallback: an
+  fd-passing round-robin router), each inheriting the index built once
+  in the parent.
+- :mod:`repro.serve.reload` — manifest watching and atomic hot index
+  swaps (mtime gate, config-fingerprint gate, epoch replacement).
 - :mod:`repro.serve.rcache` — an LRU response cache keyed on
   :func:`repro.perf.fingerprint` digests; responses are byte-identical
   with and without it.
 - :mod:`repro.serve.batcher` — a micro-batcher that coalesces
   concurrent identical queries (one greedy set-cover run serves every
   simultaneous requester).
-- :mod:`repro.serve.loadgen` — a seeded closed-loop load generator
-  (``repro serve-bench``) with Zipf-distributed entity popularity,
-  emitting p50/p95/p99 latency and throughput to ``BENCH_PR4.json``.
+- :mod:`repro.serve.loadgen` — seeded load generators
+  (``repro serve-bench``): the PR4-compatible closed loop and the
+  open-loop Poisson generator with rate sweeps, emitting latency /
+  throughput / knee reports to ``BENCH_PR7.json``.
 
 Layering: ``serve`` sits *above* ``pipeline`` in the DESIGN.md §3 DAG —
 the only subsystem allowed to, because it is an online consumer of the
 batch pipeline's artifact builders.  Nothing imports ``serve`` except
 the CLI.  Serving never mutates indices; every structure is built once
-and read concurrently without locks.
+per epoch and read concurrently without locks.
 """
 
 from repro.serve.batcher import MicroBatcher
+from repro.serve.fasthttp import FastHTTPServer
 from repro.serve.indices import (
     PairIndex,
     ServeIndex,
     build_index,
     load_manifest,
+    manifest_identity,
 )
 from repro.serve.loadgen import (
     LoadPlan,
     LoadResult,
+    OpenLoadPlan,
+    OpenLoadResult,
+    build_open_schedule,
     build_streams,
+    find_knee,
+    open_rate_summary,
     run_load,
+    run_open_load,
     stream_digest,
     write_bench_report,
+    write_open_bench_report,
 )
 from repro.serve.metrics import LatencyHistogram, ServeMetrics
 from repro.serve.rcache import ResponseCache
-from repro.serve.server import ServeApp, ServeSettings, make_server
+from repro.serve.reload import ManifestWatcher
+from repro.serve.server import (
+    WORKER_HEADER,
+    ServeApp,
+    ServeSettings,
+    make_server,
+)
+from repro.serve.sharding import (
+    ShardPlan,
+    ShardedServer,
+    resolve_strategy,
+    reuseport_available,
+)
 
 __all__ = [
+    "FastHTTPServer",
     "LatencyHistogram",
     "LoadPlan",
     "LoadResult",
+    "ManifestWatcher",
     "MicroBatcher",
+    "OpenLoadPlan",
+    "OpenLoadResult",
     "PairIndex",
     "ResponseCache",
     "ServeApp",
     "ServeIndex",
     "ServeMetrics",
     "ServeSettings",
+    "ShardPlan",
+    "ShardedServer",
+    "WORKER_HEADER",
     "build_index",
+    "build_open_schedule",
     "build_streams",
+    "find_knee",
     "load_manifest",
     "make_server",
+    "manifest_identity",
+    "open_rate_summary",
+    "resolve_strategy",
+    "reuseport_available",
     "run_load",
+    "run_open_load",
     "stream_digest",
     "write_bench_report",
+    "write_open_bench_report",
 ]

@@ -49,6 +49,7 @@ __all__ = [
     "ServeIndex",
     "build_index",
     "load_manifest",
+    "manifest_identity",
 ]
 
 # Hosts advertised to the load generator per pair (head of the
@@ -332,6 +333,22 @@ def _build_demand(site: str, config: ExperimentConfig) -> DemandTable:
     )
 
 
+def manifest_identity(manifest: Manifest) -> str:
+    """The index fingerprint a manifest would build to, without building.
+
+    This is exactly the ``identity`` :func:`build_index` assigns — a
+    pure function of the config and corpus inventory — so a hot-reload
+    watcher can decide whether a rewritten ``manifest.json`` actually
+    changes the serving index before paying for a rebuild.
+    """
+    return fingerprint(
+        "serve-index",
+        config=manifest.config,
+        pairs=[list(pair) for pair in manifest.spread_pairs],
+        traffic_sites=list(manifest.traffic_sites),
+    )
+
+
 def build_index(manifest: Manifest) -> ServeIndex:
     """Build the full in-memory serving index for a manifest's run.
 
@@ -350,12 +367,7 @@ def build_index(manifest: Manifest) -> ServeIndex:
         site: _build_demand(site, manifest.config)
         for site in manifest.traffic_sites
     }
-    identity = fingerprint(
-        "serve-index",
-        config=manifest.config,
-        pairs=[list(pair) for pair in manifest.spread_pairs],
-        traffic_sites=list(manifest.traffic_sites),
-    )
+    identity = manifest_identity(manifest)
     return ServeIndex(
         config=manifest.config,
         pairs=pairs,

@@ -111,11 +111,17 @@ class ServeMetrics:
         self._statuses: dict[str, dict[str, int]] = {}
         self._latency: dict[str, LatencyHistogram] = {}
         self._index_build_seconds = 0.0
+        self._index_swaps = 0
 
     def set_index_build_seconds(self, seconds: float) -> None:
         """Record how long the in-memory indices took to build."""
         with self._lock:
             self._index_build_seconds = float(seconds)
+
+    def count_index_swap(self) -> None:
+        """Record one hot index reload (manifest-change swap)."""
+        with self._lock:
+            self._index_swaps += 1
 
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
         """Record one completed request for ``endpoint``."""
@@ -143,5 +149,6 @@ class ServeMetrics:
             return {
                 "requests_total": sum(self._requests.values()),
                 "index_build_seconds": round(self._index_build_seconds, 4),
+                "index_swaps": self._index_swaps,
                 "endpoints": endpoints,
             }

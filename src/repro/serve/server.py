@@ -10,12 +10,23 @@ Two layers, split for testability:
   deadline miss returns 504 without wedging the accept loop.  Tests
   drive this object directly, no sockets needed.
 - :class:`_RequestHandler`/:func:`make_server` — the thin
-  ``ThreadingHTTPServer`` shell around it.
+  ``ThreadingHTTPServer`` shell around it.  The sharded multi-process
+  shell lives in :mod:`repro.serve.sharding` and drives the same app
+  through :mod:`repro.serve.fasthttp`.
 
 Determinism contract: handlers are pure functions of the immutable
 :class:`~repro.serve.indices.ServeIndex`, and bodies are rendered with
 sorted keys, so a response is byte-identical whether it came from the
 LRU cache, the micro-batcher's shared future, or a cold computation.
+
+Hot reload: everything derived from one index generation — the index
+itself, the response cache, the in-flight batcher, and the path-key
+memo — is bundled into an :class:`_Epoch`.  A request captures the
+epoch reference once and never touches ``self`` state that could swap
+under it, so :meth:`ServeApp.swap_index` is a single atomic reference
+assignment: in-flight requests finish against the epoch they started
+with, new requests see the new one, and a torn read (old pair data
+with new demand tables, say) is impossible by construction.
 
 Fault injection: each query endpoint calls
 ``active_plan().apply_task_faults("serve:<endpoint>", ...)`` inside the
@@ -27,6 +38,8 @@ batch pipeline.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -38,13 +51,17 @@ from urllib.parse import parse_qsl, urlsplit
 from repro.perf import fingerprint
 from repro.resilience import InjectedTaskError, RetryPolicy, active_plan
 from repro.serve.batcher import MicroBatcher
-from repro.serve.indices import ServeIndex
+from repro.serve.indices import PairIndex, ServeIndex
 from repro.serve.metrics import ServeMetrics
 from repro.serve.rcache import ResponseCache
 
-__all__ = ["ServeApp", "ServeSettings", "make_server"]
+__all__ = ["ServeApp", "ServeSettings", "WORKER_HEADER", "make_server"]
 
 _JSON = "application/json"
+
+#: Response header naming the worker process that answered a request —
+#: the load generator aggregates it into per-worker attribution.
+WORKER_HEADER = "X-Repro-Worker"
 
 #: Query endpoints eligible for response caching and batching.
 _CACHEABLE = frozenset({"entity", "site", "coverage", "demand", "setcover"})
@@ -63,7 +80,8 @@ class ServeSettings:
         response_cache_entries: LRU response-cache capacity; 0 disables
             the cache entirely (for byte-identity comparisons).
         max_setcover_budget: Upper bound on ``/v1/setcover?budget=``.
-        max_site_entities: Truncation limit for ``/v1/site`` listings.
+        max_site_entities: Truncation limit for unpaginated ``/v1/site``
+            listings, and the cap on ``?limit=`` page sizes.
     """
 
     host: str = "127.0.0.1"
@@ -100,30 +118,106 @@ def _render(payload: dict[str, object]) -> bytes:
     ).encode("utf-8")
 
 
+def _encode_cursor(domain: str, attribute: str, offset: int) -> str:
+    """Opaque pagination cursor over the stable CSR listing order."""
+    token = json.dumps(
+        {"a": attribute, "d": domain, "o": int(offset)},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return base64.urlsafe_b64encode(token).decode("ascii")
+
+
+def _decode_cursor(cursor: str) -> tuple[str, str, int]:
+    """Decode a cursor; raises :class:`_HTTPError` 400 when malformed."""
+    try:
+        payload = json.loads(base64.urlsafe_b64decode(cursor.encode("ascii")))
+        domain, attribute = str(payload["d"]), str(payload["a"])
+        offset = int(payload["o"])
+    except (KeyError, TypeError, ValueError, binascii.Error) as exc:
+        raise _HTTPError(400, f"malformed cursor: {type(exc).__name__}") from exc
+    if offset < 0:
+        raise _HTTPError(400, "malformed cursor: negative offset")
+    return domain, attribute, offset
+
+
+class _Epoch:
+    """One index generation and every cache derived from it.
+
+    Requests capture the epoch once; hot reload replaces the whole
+    bundle in one reference assignment.  The path-key memo maps raw
+    request targets to their (endpoint, fingerprint) so the hot path
+    skips URL parsing and sha256 hashing entirely on repeat targets —
+    it is bounded and simply cleared when full (memo entries are pure
+    derivations, so losing them only costs a recompute).
+    """
+
+    __slots__ = ("index", "rcache", "batcher", "path_keys", "path_keys_cap")
+
+    def __init__(self, index: ServeIndex, settings: ServeSettings) -> None:
+        """Build the caches one index generation owns."""
+        self.index = index
+        self.rcache: ResponseCache | None = (
+            ResponseCache(settings.response_cache_entries)
+            if settings.response_cache_entries
+            else None
+        )
+        self.batcher = MicroBatcher()
+        self.path_keys: dict[str, tuple[str, str]] = {}
+        self.path_keys_cap = max(4096, 4 * settings.response_cache_entries)
+
+
 class ServeApp:
     """Socket-free request handler over an immutable :class:`ServeIndex`."""
 
     def __init__(
-        self, index: ServeIndex, settings: ServeSettings | None = None
+        self,
+        index: ServeIndex,
+        settings: ServeSettings | None = None,
+        worker_id: int = 0,
     ) -> None:
         """Wire the index to a worker pool, caches, and metrics."""
-        self.index = index
         self.settings = settings or ServeSettings()
+        self.worker_id = int(worker_id)
         self.policy = RetryPolicy(
             max_attempts=1, timeout_seconds=self.settings.deadline_seconds
         )
         self.metrics = ServeMetrics()
         self.metrics.set_index_build_seconds(index.build_seconds)
-        self.batcher = MicroBatcher()
-        self.rcache: ResponseCache | None = (
-            ResponseCache(self.settings.response_cache_entries)
-            if self.settings.response_cache_entries
-            else None
-        )
+        self._epoch = _Epoch(index, self.settings)
         self._executor = ThreadPoolExecutor(
             max_workers=self.settings.query_threads,
             thread_name_prefix="serve-query",
         )
+
+    # Back-compat accessors: tests and callers address the *current*
+    # epoch's structures through the app.
+    @property
+    def index(self) -> ServeIndex:
+        """The current index generation."""
+        return self._epoch.index
+
+    @property
+    def rcache(self) -> ResponseCache | None:
+        """The current epoch's response cache (None when disabled)."""
+        return self._epoch.rcache
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The current epoch's micro-batcher."""
+        return self._epoch.batcher
+
+    def swap_index(self, index: ServeIndex) -> None:
+        """Atomically point new requests at ``index``.
+
+        In-flight requests keep the epoch they captured — no lock, no
+        drain, no torn reads.  The response cache and batcher are
+        rebuilt with the epoch because their keys embed the old index
+        identity and would never hit again anyway.
+        """
+        self.metrics.set_index_build_seconds(index.build_seconds)
+        self._epoch = _Epoch(index, self.settings)
+        self.metrics.count_index_swap()
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent)."""
@@ -134,12 +228,24 @@ class ServeApp:
     def handle(self, target: str) -> tuple[int, bytes]:
         """Serve one GET request path; never raises."""
         started = time.perf_counter()
+        epoch = self._epoch
+        # Hot path: a repeat target skips urlsplit + param normalization
+        # + fingerprint hashing and goes straight to the response cache.
+        memo = epoch.path_keys.get(target)
+        if memo is not None and epoch.rcache is not None:
+            endpoint, key = memo
+            cached = epoch.rcache.get(key)
+            if cached is not None:
+                self.metrics.observe(
+                    endpoint, cached[0], time.perf_counter() - started
+                )
+                return cached
         endpoint = "unknown"
         try:
             parts = urlsplit(target)
             segments = [s for s in parts.path.split("/") if s]
             params = dict(parse_qsl(parts.query, keep_blank_values=True))
-            endpoint, status, body = self._route(segments, params)
+            endpoint, status, body = self._route(segments, params, epoch, target)
         except _HTTPError as exc:
             status, body = exc.status, _render(
                 {"error": str(exc), "status": exc.status}
@@ -156,41 +262,52 @@ class ServeApp:
         return status, body
 
     def _route(
-        self, segments: list[str], params: dict[str, str]
+        self,
+        segments: list[str],
+        params: dict[str, str],
+        epoch: _Epoch,
+        target: str,
     ) -> tuple[str, int, bytes]:
         """Dispatch to an endpoint; returns (endpoint, status, body)."""
         if segments == ["healthz"]:
-            return "healthz", 200, _render(self.index.summary())
+            return "healthz", 200, _render(epoch.index.summary())
         if segments == ["metrics"]:
-            return "metrics", 200, _render(self._metrics_payload())
+            return "metrics", 200, _render(self._metrics_payload(epoch))
         if len(segments) >= 2 and segments[0] == "v1":
             kind = segments[1]
             if kind == "entity" and len(segments) == 5 and segments[4] == "sites":
                 return "entity", *self._query(
-                    "entity", {"domain": segments[2], "id": segments[3], **params}
+                    "entity",
+                    {"domain": segments[2], "id": segments[3], **params},
+                    epoch,
+                    target,
                 )
             if kind == "site" and len(segments) == 4 and segments[3] == "entities":
                 return "site", *self._query(
-                    "site", {"host": segments[2], **params}
+                    "site", {"host": segments[2], **params}, epoch, target
                 )
             if kind == "coverage" and len(segments) == 3:
                 return "coverage", *self._query(
-                    "coverage", {"domain": segments[2], **params}
+                    "coverage", {"domain": segments[2], **params}, epoch, target
                 )
             if kind == "demand" and len(segments) == 3:
                 return "demand", *self._query(
-                    "demand", {"site": segments[2], **params}
+                    "demand", {"site": segments[2], **params}, epoch, target
                 )
             if kind == "setcover" and len(segments) == 3:
                 return "setcover", *self._query(
-                    "setcover", {"domain": segments[2], **params}
+                    "setcover", {"domain": segments[2], **params}, epoch, target
                 )
         raise _HTTPError(404, f"no route for /{'/'.join(segments)}")
 
     # -- query execution ------------------------------------------------------
 
     def _query(
-        self, endpoint: str, params: dict[str, str]
+        self,
+        endpoint: str,
+        params: dict[str, str],
+        epoch: _Epoch,
+        target: str,
     ) -> tuple[int, bytes]:
         """Run one cacheable query: LRU -> micro-batcher -> worker pool.
 
@@ -205,14 +322,19 @@ class ServeApp:
             "serve-response",
             endpoint=endpoint,
             params=dict(sorted(params.items())),
-            index=self.index.identity,
+            index=epoch.index.identity,
         )
-        if self.rcache is not None:
-            cached = self.rcache.get(key)
+        if epoch.rcache is not None:
+            # Memoize target -> key so repeats take the fast path; the
+            # memo is epoch-scoped, so a swap invalidates it wholesale.
+            if len(epoch.path_keys) >= epoch.path_keys_cap:
+                epoch.path_keys.clear()
+            epoch.path_keys[target] = (endpoint, key)
+            cached = epoch.rcache.get(key)
             if cached is not None:
                 return cached
-        future: Future = self.batcher.submit(
-            key, self._executor, lambda: self._compute(endpoint, params)
+        future: Future = epoch.batcher.submit(
+            key, self._executor, lambda: self._compute(endpoint, params, epoch)
         )
         try:
             status, body = future.result(timeout=self.policy.timeout_seconds)
@@ -222,11 +344,13 @@ class ServeApp:
                 f"for {endpoint}"
             )
             return 504, _render({"error": message, "status": 504})
-        if self.rcache is not None and status == 200:
-            self.rcache.put(key, status, body)
+        if epoch.rcache is not None and status == 200:
+            epoch.rcache.put(key, status, body)
         return status, body
 
-    def _compute(self, endpoint: str, params: dict[str, str]) -> tuple[int, bytes]:
+    def _compute(
+        self, endpoint: str, params: dict[str, str], epoch: _Epoch
+    ) -> tuple[int, bytes]:
         """Query body, run on the worker pool (fault-injectable).
 
         Always returns a response tuple — errors become status codes
@@ -240,7 +364,7 @@ class ServeApp:
                 plan.apply_task_faults(
                     f"serve:{endpoint}", attempt=1, in_worker=False
                 )
-            payload = getattr(self, f"_handle_{endpoint}")(params)
+            payload = getattr(self, f"_handle_{endpoint}")(epoch.index, params)
         except _HTTPError as exc:
             return exc.status, _render({"error": str(exc), "status": exc.status})
         except (KeyError, ValueError) as exc:
@@ -253,10 +377,11 @@ class ServeApp:
             )
         return 200, _render(payload)
 
-    def _pair(self, params: dict[str, str]):
+    @staticmethod
+    def _pair(index: ServeIndex, params: dict[str, str]) -> PairIndex:
         """Resolve the (domain, attribute) pair named by request params."""
         domain = params["domain"]
-        pair = self.index.resolve_pair(domain, params.get("attribute"))
+        pair = index.resolve_pair(domain, params.get("attribute"))
         if pair is None:
             raise _HTTPError(
                 404,
@@ -278,9 +403,11 @@ class ServeApp:
         except ValueError:
             raise _HTTPError(400, f"parameter {name!r} must be an integer") from None
 
-    def _handle_entity(self, params: dict[str, str]) -> dict[str, object]:
+    def _handle_entity(
+        self, index: ServeIndex, params: dict[str, str]
+    ) -> dict[str, object]:
         """GET /v1/entity/{domain}/{id}/sites — where does an entity live?"""
-        pair = self._pair(params)
+        pair = self._pair(index, params)
         entity = pair.resolve_entity(params["id"])
         if entity is None:
             raise _HTTPError(
@@ -296,14 +423,15 @@ class ServeApp:
             "sites": [pair.incidence.site_hosts[int(s)] for s in sites],
         }
 
-    def _handle_site(self, params: dict[str, str]) -> dict[str, object]:
-        """GET /v1/site/{host}/entities — what does a site mention?"""
-        host = params["host"]
+    def _site_matches(
+        self, index: ServeIndex, host: str, params: dict[str, str]
+    ) -> list[tuple[PairIndex, int]]:
+        """(pair, site) matches for a host, in stable sorted-pair order."""
         domain = params.get("domain")
         attribute = params.get("attribute")
-        matches = []
-        for key in sorted(self.index.pairs):
-            pair = self.index.pairs[key]
+        matches: list[tuple[PairIndex, int]] = []
+        for key in sorted(index.pairs):
+            pair = index.pairs[key]
             if domain is not None and pair.domain != domain:
                 continue
             if attribute is not None and pair.attribute != attribute:
@@ -311,26 +439,107 @@ class ServeApp:
             site = pair.host_to_site.get(host)
             if site is None:
                 continue
-            entities = pair.entities_on_site(site)
+            matches.append((pair, site))
+        if not matches:
+            raise _HTTPError(404, f"unknown host {host!r}")
+        return matches
+
+    def _handle_site(
+        self, index: ServeIndex, params: dict[str, str]
+    ) -> dict[str, object]:
+        """GET /v1/site/{host}/entities — what does a site mention?
+
+        Without ``limit``/``cursor`` this is the PR 4 contract: every
+        match with its entity list truncated at ``max_site_entities``.
+        With them it pages over the same stable CSR order: each page
+        holds up to ``limit`` entities (across matches, in sorted-pair
+        order) plus an opaque ``next_cursor``; concatenating every
+        page's entities per match reproduces the full listing exactly.
+        """
+        host = params["host"]
+        matches = self._site_matches(index, host, params)
+        if "limit" not in params and "cursor" not in params:
             limit = self.settings.max_site_entities
-            matches.append(
+            return {
+                "host": host,
+                "matches": [
+                    {
+                        "domain": pair.domain,
+                        "attribute": pair.attribute,
+                        "n_entities": int(len(entities)),
+                        "truncated": bool(len(entities) > limit),
+                        "entities": [
+                            pair.entity_label(int(e)) for e in entities[:limit]
+                        ],
+                    }
+                    for pair, entities in (
+                        (pair, pair.entities_on_site(site))
+                        for pair, site in matches
+                    )
+                ],
+            }
+        limit = self._int_param(
+            params, "limit", default=self.settings.max_site_entities
+        )
+        if limit < 1:
+            raise _HTTPError(400, f"limit must be >= 1, got {limit}")
+        limit = min(limit, self.settings.max_site_entities)
+        start_at = 0
+        offset = 0
+        cursor = params.get("cursor")
+        if cursor is not None:
+            domain, attribute, offset = _decode_cursor(cursor)
+            keys = [(pair.domain, pair.attribute) for pair, __ in matches]
+            try:
+                start_at = keys.index((domain, attribute))
+            except ValueError:
+                raise _HTTPError(
+                    400, f"cursor names no current match: {domain}/{attribute}"
+                ) from None
+        pages: list[dict[str, object]] = []
+        remaining = limit
+        next_cursor: str | None = None
+        for position in range(start_at, len(matches)):
+            pair, site = matches[position]
+            entities = pair.entities_on_site(site)
+            begin = offset if position == start_at else 0
+            if begin > len(entities):
+                raise _HTTPError(400, "cursor offset beyond listing")
+            taken = entities[begin : begin + remaining]
+            pages.append(
                 {
                     "domain": pair.domain,
                     "attribute": pair.attribute,
                     "n_entities": int(len(entities)),
-                    "truncated": bool(len(entities) > limit),
-                    "entities": [
-                        pair.entity_label(int(e)) for e in entities[:limit]
-                    ],
+                    "offset": int(begin),
+                    "entities": [pair.entity_label(int(e)) for e in taken],
                 }
             )
-        if not matches:
-            raise _HTTPError(404, f"unknown host {host!r}")
-        return {"host": host, "matches": matches}
+            remaining -= len(taken)
+            if begin + len(taken) < len(entities):
+                next_cursor = _encode_cursor(
+                    pair.domain, pair.attribute, begin + len(taken)
+                )
+                break
+            if remaining == 0:
+                if position + 1 < len(matches):
+                    follower, __ = matches[position + 1]
+                    next_cursor = _encode_cursor(
+                        follower.domain, follower.attribute, 0
+                    )
+                break
+        return {
+            "host": host,
+            "limit": int(limit),
+            "matches": pages,
+            "next_cursor": next_cursor,
+        }
 
-    def _handle_coverage(self, params: dict[str, str]) -> dict[str, object]:
+    def _handle_coverage(
+        self, index: ServeIndex, params: dict[str, str]
+    ) -> dict[str, object]:
         """GET /v1/coverage/{domain}?k=&t= — dense-table k-coverage."""
-        pair = self._pair(params)
+        pair = self._pair(index, params)
         k = self._int_param(params, "k", default=1)
         top_t = self._int_param(params, "t", default=pair.n_sites)
         try:
@@ -345,15 +554,17 @@ class ServeApp:
             "coverage": round(value, 6),
         }
 
-    def _handle_demand(self, params: dict[str, str]) -> dict[str, object]:
+    def _handle_demand(
+        self, index: ServeIndex, params: dict[str, str]
+    ) -> dict[str, object]:
         """GET /v1/demand/{site}?n_reviews=&source= — Figure-7 lookup."""
         site = params["site"]
-        table = self.index.demand.get(site)
+        table = index.demand.get(site)
         if table is None:
             raise _HTTPError(
                 404,
                 f"unknown traffic site {site!r}; "
-                f"have {sorted(self.index.demand)}",
+                f"have {sorted(index.demand)}",
             )
         n_reviews = self._int_param(params, "n_reviews")
         if n_reviews < 0:
@@ -365,9 +576,11 @@ class ServeApp:
             raise _HTTPError(400, str(exc)) from exc
         return {"site": site, "source": source, "n_reviews": n_reviews, **result}
 
-    def _handle_setcover(self, params: dict[str, str]) -> dict[str, object]:
+    def _handle_setcover(
+        self, index: ServeIndex, params: dict[str, str]
+    ) -> dict[str, object]:
         """GET /v1/setcover/{domain}?budget= — bounded greedy cover."""
-        pair = self._pair(params)
+        pair = self._pair(index, params)
         budget = self._int_param(params, "budget", default=10)
         if not 1 <= budget <= self.settings.max_setcover_budget:
             raise _HTTPError(
@@ -381,14 +594,18 @@ class ServeApp:
             **pair.set_cover(budget),
         }
 
-    def _metrics_payload(self) -> dict[str, object]:
+    def _metrics_payload(self, epoch: _Epoch) -> dict[str, object]:
         """The `/metrics` document: counters, histograms, cache stats."""
         payload = self.metrics.snapshot()
+        payload["worker"] = self.worker_id
         payload["response_cache"] = (
-            self.rcache.stats() if self.rcache is not None else {"enabled": False}
+            epoch.rcache.stats()
+            if epoch.rcache is not None
+            else {"enabled": False}
         )
-        payload["batcher"] = self.batcher.stats()
+        payload["batcher"] = epoch.batcher.stats()
         payload["deadline_seconds"] = self.policy.timeout_seconds
+        payload["index_fingerprint"] = epoch.index.identity
         return payload
 
 
@@ -409,6 +626,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", _JSON)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header(WORKER_HEADER, str(self.app.worker_id))
         self.end_headers()
         self.wfile.write(body)
 

@@ -1,0 +1,345 @@
+"""Multi-process sharding for the serve tier (``repro serve --workers``).
+
+The paper's query workloads are read-only over immutable run artifacts
+— an embarrassingly shardable serving problem that a single GIL-bound
+process cannot scale.  :class:`ShardedServer` is the supervisor: it
+builds the index **once** in the parent, forks ``N`` worker processes
+that inherit it copy-on-write, and puts every worker behind one
+``host:port`` using whichever kernel facility is available:
+
+- **reuseport** (preferred): each worker binds the same port with
+  ``SO_REUSEPORT`` and accepts for itself; the kernel load-balances new
+  connections across the listening shards with no userspace hop.  The
+  parent holds a bound-but-not-listening ``SO_REUSEPORT`` socket purely
+  to reserve the port (it never receives connections — only listeners
+  do), which makes ephemeral ``--port 0`` work across processes.
+- **router** (fallback, and the deterministic mode): the parent owns
+  the only listening socket and passes each accepted connection's file
+  descriptor to a worker over a Unix socketpair (``SCM_RIGHTS`` via
+  :func:`socket.send_fds`), strictly round-robin in accept order.
+  Workers serve the connection through
+  :meth:`~repro.serve.fasthttp.FastHTTPServer.process_connection`.
+  Round-robin dispatch is what makes per-worker request attribution
+  reproducible — the shard-determinism tests run in this mode.
+
+Workers run the pipelined :class:`~repro.serve.fasthttp.FastHTTPServer`
+shell over a per-worker :class:`~repro.serve.server.ServeApp` (own
+caches, own metrics, shared immutable index pages) and optionally a
+:class:`~repro.serve.reload.ManifestWatcher` for hot index reload.
+
+Supervision is fork-based: worker entry points are bound methods, which
+only works because ``fork`` inherits state instead of pickling it.  On
+platforms without ``fork`` the constructor raises — the portable
+single-process shell (:func:`repro.serve.server.make_server`) still
+works everywhere.
+"""
+
+from __future__ import annotations
+
+import errno
+import gc
+import multiprocessing
+import socket
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.serve.fasthttp import FastHTTPServer
+from repro.serve.indices import ServeIndex, build_index, load_manifest
+from repro.serve.reload import ManifestWatcher
+from repro.serve.server import ServeApp, ServeSettings
+
+__all__ = [
+    "ShardPlan",
+    "ShardedServer",
+    "reuseport_available",
+    "resolve_strategy",
+]
+
+_STRATEGIES = ("auto", "reuseport", "router")
+_READY_TIMEOUT = 60.0
+
+
+def reuseport_available() -> bool:
+    """True when this platform can bind multiple listeners to one port."""
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    except OSError:
+        return False
+    finally:
+        probe.close()
+    return True
+
+
+def resolve_strategy(strategy: str) -> str:
+    """Map ``auto`` to the best available sharding strategy."""
+    if strategy not in _STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+        )
+    if strategy == "auto":
+        return "reuseport" if reuseport_available() else "router"
+    if strategy == "reuseport" and not reuseport_available():
+        raise ValueError("SO_REUSEPORT is not available on this platform")
+    return strategy
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Knobs of the sharded deployment.
+
+    Attributes:
+        workers: Worker processes to fork (>= 1).
+        strategy: ``auto`` (reuseport when the kernel has it, else
+            router), ``reuseport``, or ``router``.
+        reload_poll_seconds: Manifest poll interval for hot index
+            reload; 0 disables the watcher.
+        backlog: Listen backlog (per listener).
+    """
+
+    workers: int = 2
+    strategy: str = "auto"
+    reload_poll_seconds: float = 0.0
+    backlog: int = 512
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.reload_poll_seconds < 0:
+            raise ValueError("reload_poll_seconds must be >= 0")
+        if self.backlog < 1:
+            raise ValueError("backlog must be >= 1")
+
+
+class ShardedServer:
+    """Supervisor for ``N`` forked serve workers behind one port."""
+
+    def __init__(
+        self,
+        index: ServeIndex | None = None,
+        manifest_path: str | Path | None = None,
+        settings: ServeSettings | None = None,
+        plan: ShardPlan | None = None,
+    ) -> None:
+        """Prepare (but do not start) a sharded deployment.
+
+        Args:
+            index: Pre-built serving index; workers inherit it through
+                fork.  ``None`` builds it here from ``manifest_path``.
+            manifest_path: The run directory or ``manifest.json``;
+                required when ``index`` is None or hot reload is on.
+            settings: Per-worker :class:`ServeSettings` (host/port/...).
+            plan: Shard count, strategy, reload cadence.
+
+        Raises:
+            ValueError: Neither an index nor a manifest path was given,
+                or hot reload was requested without a manifest path.
+            RuntimeError: The platform has no ``fork`` start method.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "sharded serving requires the fork start method; use "
+                "repro.serve.make_server on this platform"
+            )
+        self.settings = settings or ServeSettings()
+        self.plan = plan or ShardPlan()
+        self.strategy = resolve_strategy(self.plan.strategy)
+        self.manifest_path = (
+            None if manifest_path is None else Path(manifest_path)
+        )
+        if index is None:
+            if self.manifest_path is None:
+                raise ValueError("need an index or a manifest_path")
+            index = build_index(load_manifest(self.manifest_path))
+        if self.plan.reload_poll_seconds > 0 and self.manifest_path is None:
+            raise ValueError("hot reload needs a manifest_path to watch")
+        self.index = index
+        self._ctx = multiprocessing.get_context("fork")
+        self._processes: list = []
+        self._channels: list[socket.socket] = []
+        self._reserve: socket.socket | None = None
+        self._listener: socket.socket | None = None
+        self._router_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self.server_address: tuple[str, int] | None = None
+
+    # -- parent side ----------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, fork the workers, wait until all accept; returns (host, port)."""
+        host, port = self.settings.host, self.settings.port
+        if self.strategy == "reuseport":
+            # Reserve the port without listening: bound non-listening
+            # sockets never receive connections, but they pin an
+            # ephemeral port so every worker can bind the same number.
+            self._reserve = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._reserve.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._reserve.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            self._reserve.bind((host, port))
+            host, port = self._reserve.getsockname()[:2]
+        else:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            self._listener.listen(self.plan.backlog)
+            host, port = self._listener.getsockname()[:2]
+        self.server_address = (host, port)
+
+        ready_events = []
+        for worker_id in range(self.plan.workers):
+            ready = self._ctx.Event()
+            ready_events.append(ready)
+            if self.strategy == "reuseport":
+                process = self._ctx.Process(
+                    target=self._worker_reuseport,
+                    args=(worker_id, host, port, ready),
+                    daemon=True,
+                    name=f"serve-shard-{worker_id}",
+                )
+            else:
+                parent_end, child_end = socket.socketpair(
+                    socket.AF_UNIX, socket.SOCK_STREAM
+                )
+                self._channels.append(parent_end)
+                process = self._ctx.Process(
+                    target=self._worker_router,
+                    args=(worker_id, child_end, ready),
+                    daemon=True,
+                    name=f"serve-shard-{worker_id}",
+                )
+            process.start()
+            self._processes.append(process)
+            if self.strategy == "router":
+                child_end.close()  # the worker owns its end now
+
+        for worker_id, ready in enumerate(ready_events):
+            if not ready.wait(timeout=_READY_TIMEOUT):
+                exitcode = self._processes[worker_id].exitcode
+                self.stop()
+                raise RuntimeError(
+                    f"worker {worker_id} never became ready "
+                    f"(exitcode {exitcode})"
+                )
+        if self.strategy == "router":
+            self._router_thread = threading.Thread(
+                target=self._route_accepts, daemon=True, name="serve-router"
+            )
+            self._router_thread.start()
+        return (host, port)
+
+    def _route_accepts(self) -> None:
+        """Accept loop: hand each connection fd to workers round-robin."""
+        assert self._listener is not None
+        turn = 0
+        while not self._stopping.is_set():
+            try:
+                conn, __ = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            channel = self._channels[turn % len(self._channels)]
+            turn += 1
+            try:
+                socket.send_fds(channel, [b"c"], [conn.fileno()])
+            except OSError:
+                pass  # worker died; supervisor keeps routing to the rest
+            conn.close()  # the worker holds its own duplicate now
+
+    def stop(self) -> None:
+        """Tear the deployment down (idempotent)."""
+        self._stopping.set()
+        if self._listener is not None and self.server_address is not None:
+            # Wake the router's accept() so it observes the stop flag;
+            # close() alone does not interrupt a parked accept.
+            try:
+                with socket.create_connection(self.server_address, timeout=1.0):
+                    pass
+            except OSError:
+                pass
+        for sock in (self._listener, self._reserve):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._listener = None
+        self._reserve = None
+        if self._router_thread is not None:
+            self._router_thread.join(timeout=5.0)
+            self._router_thread = None
+        for channel in self._channels:
+            try:
+                channel.close()  # EOF tells the worker loop to exit
+            except OSError:
+                pass
+        self._channels = []
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=10.0)
+        self._processes = []
+
+    # -- worker side (runs after fork) ----------------------------------------
+
+    def _worker_app(self, worker_id: int) -> tuple[ServeApp, ManifestWatcher | None]:
+        """Build the per-worker app over the fork-inherited index."""
+        app = ServeApp(self.index, self.settings, worker_id=worker_id)
+        watcher = None
+        if self.plan.reload_poll_seconds > 0 and self.manifest_path is not None:
+            watcher = ManifestWatcher(
+                self.manifest_path, app, self.plan.reload_poll_seconds
+            ).start()
+        # The worker's heap is an immutable index plus str->bytes LRU
+        # caches: reference counting reclaims everything, and cyclic
+        # collections over the (large, long-lived) cache dicts cost
+        # tens of milliseconds each — a visible p99 stall.  Freeze the
+        # inherited heap out of the collector and turn the cycle
+        # collector off, as read-mostly servers conventionally do.
+        gc.freeze()
+        gc.disable()
+        return app, watcher
+
+    def _worker_reuseport(
+        self, worker_id: int, host: str, port: int, ready
+    ) -> None:
+        """Worker body: own SO_REUSEPORT listener, own accept loop."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(self.plan.backlog)
+        app, __ = self._worker_app(worker_id)
+        server = FastHTTPServer(app, sock)
+        ready.set()
+        server.serve_forever()
+
+    def _worker_router(self, worker_id: int, channel: socket.socket, ready) -> None:
+        """Worker body: serve connections whose fds arrive over ``channel``."""
+        for parent_end in self._channels:
+            # Fork copied every earlier worker's parent-side channel
+            # into this child; close them so EOF propagates correctly.
+            try:
+                parent_end.close()
+            except OSError:
+                pass
+        app, __ = self._worker_app(worker_id)
+        server = FastHTTPServer(app, bind=False)
+        ready.set()
+        while True:
+            try:
+                msg, fds, __, __addr = socket.recv_fds(channel, 16, 4)
+            except OSError as exc:
+                if exc.errno == errno.EINTR:
+                    continue
+                break
+            if not msg and not fds:
+                break  # supervisor closed the channel: shut down
+            for fd in fds:
+                server.process_connection(socket.socket(fileno=fd))

@@ -209,3 +209,114 @@ def test_serve_bench_missing_manifest(tmp_path, capsys):
         ["serve-bench", str(tmp_path / "nope"), "--dry-run", "--no-cache"]
     ) == 2
     assert "no manifest" in capsys.readouterr().err
+
+
+def test_serve_bench_keep_alive_off_same_stream_sha(serve_artifacts, capsys):
+    """--keep-alive off changes transport only, never the stream."""
+    base = [
+        "serve-bench", str(serve_artifacts),
+        "--seed", "7", "--clients", "2", "--requests", "30",
+        "--dry-run", "--no-cache",
+    ]
+    assert main(base) == 0
+    pooled = capsys.readouterr().out
+    assert main([*base, "--keep-alive", "off"]) == 0
+    fresh = capsys.readouterr().out
+    sha = [line for line in pooled.splitlines() if "sha256" in line]
+    assert sha == [line for line in fresh.splitlines() if "sha256" in line]
+
+
+def test_serve_bench_closed_loop_without_keep_alive(serve_artifacts, tmp_path, capsys):
+    report = tmp_path / "BENCH_KA_OFF.json"
+    assert main(
+        [
+            "serve-bench", str(serve_artifacts),
+            "--seed", "7", "--clients", "2", "--requests", "20",
+            "--keep-alive", "off", "--report", str(report), "--no-cache",
+        ]
+    ) == 0
+    payload = json.loads(report.read_text())
+    assert payload["statuses"] == {"200": 20}
+
+
+def test_serve_bench_open_loop_sharded_run(serve_artifacts, tmp_path, capsys):
+    report = tmp_path / "BENCH_OPEN.json"
+    assert main(
+        [
+            "serve-bench", str(serve_artifacts),
+            "--mode", "open", "--rate", "500", "--duration", "0.5",
+            "--connections", "2", "--workers", "2", "--strategy", "router",
+            "--report", str(report), "--no-cache",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "offered 500.0 req/s" in out
+    payload = json.loads(report.read_text())
+    assert payload["mode"] == "open"
+    assert payload["statuses"] == {"200": 250}
+    assert sorted(payload["per_worker"]) == ["0", "1"]
+    assert sum(payload["per_worker"].values()) == 250
+    assert payload["transport_errors"] == 0
+
+
+def test_serve_bench_open_loop_sweep_reports_knee(serve_artifacts, tmp_path, capsys):
+    report = tmp_path / "BENCH_SWEEP.json"
+    assert main(
+        [
+            "serve-bench", str(serve_artifacts),
+            "--mode", "open", "--duration", "0.4", "--connections", "2",
+            "--workers", "2", "--strategy", "router",
+            "--sweep", "200,400", "--p99-budget-ms", "5000",
+            "--report", str(report), "--no-cache",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "knee: 400.0 req/s" in out
+    payload = json.loads(report.read_text())
+    assert payload["sweep"]["knee_rate_rps"] == 400.0
+    assert [row["ok"] for row in payload["sweep"]["rates"]] == [True, True]
+    # The headline numbers ARE the knee rung's samples (no re-run).
+    assert payload["offered_rate_rps"] == 400.0
+    assert payload["throughput_rps"] == (
+        payload["sweep"]["knee"]["throughput_rps"]
+    )
+    assert payload["latency_ms"]["p99_ms"] == (
+        payload["sweep"]["knee"]["p99_ms"]
+    )
+
+
+def test_serve_bench_open_loop_warmup_is_recorded(
+    serve_artifacts, tmp_path, capsys
+):
+    """--warmup on replays the largest rung unmeasured, then measures."""
+    report = tmp_path / "BENCH_WARM.json"
+    assert main(
+        [
+            "serve-bench", str(serve_artifacts),
+            "--mode", "open", "--rate", "400", "--duration", "0.5",
+            "--connections", "2", "--workers", "2", "--strategy", "router",
+            "--warmup", "on",
+            "--report", str(report), "--no-cache",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "warmup: replaying 200 requests at 400 req/s" in out
+    payload = json.loads(report.read_text())
+    assert payload["warmup"] == {
+        "rate_rps": 400.0,
+        "requests": 200,
+        "transport_errors": 0,
+    }
+    # The measured run is unchanged by the warmup pass.
+    assert payload["statuses"] == {"200": 200}
+    assert sum(payload["per_worker"].values()) == 200
+
+
+def test_serve_bench_rejects_bad_sweep(serve_artifacts, capsys):
+    assert main(
+        [
+            "serve-bench", str(serve_artifacts),
+            "--mode", "open", "--sweep", "fast,faster", "--no-cache",
+        ]
+    ) == 2
+    assert "sweep" in capsys.readouterr().err

@@ -24,6 +24,24 @@ PR4_SHAPE = {
     "latency_ms": {"p50_ms": 1.4, "p95_ms": 3.2, "p99_ms": 5.9},
 }
 
+PR7_SHAPE = {
+    "benchmark": "repro serve open-loop load generator",
+    "mode": "open",
+    "throughput_rps": 60123.0,
+    "latency_ms": {"p50_ms": 0.2, "p95_ms": 0.9, "p99_ms": 2.1},
+    "sweep": {
+        "p99_budget_ms": 50.0,
+        "knee_rate_rps": 60000.0,
+        "knee": {
+            "offered_rate_rps": 60000.0,
+            "throughput_rps": 60123.0,
+            "p99_ms": 2.1,
+            "ok": True,
+        },
+        "rates": [],
+    },
+}
+
 
 def _write_reports(root) -> None:
     (root / "BENCH_PR2.json").write_text(json.dumps(PR2_SHAPE))
@@ -37,6 +55,27 @@ def test_collect_orders_by_pr_and_extracts_headlines(tmp_path):
     assert rows[0]["headline"] == "best 3.4x (parallel+cache), byte-identical"
     assert rows[1]["headline"] == (
         "2347.1 req/s, p50 1.4ms / p95 3.2ms / p99 5.9ms"
+    )
+
+
+def test_collect_extracts_open_loop_knee_headline(tmp_path):
+    (tmp_path / "BENCH_PR7.json").write_text(json.dumps(PR7_SHAPE))
+    (row,) = collect_bench_rows(tmp_path)
+    assert row["pr"] == 7
+    assert row["headline"] == (
+        "open-loop knee 60000.0 req/s offered (60123.0 achieved), "
+        "p99 2.1ms (budget 50.0ms)"
+    )
+
+
+def test_open_loop_report_without_knee_falls_back_to_latency(tmp_path):
+    sweepless = {
+        key: value for key, value in PR7_SHAPE.items() if key != "sweep"
+    }
+    (tmp_path / "BENCH_PR7.json").write_text(json.dumps(sweepless))
+    (row,) = collect_bench_rows(tmp_path)
+    assert row["headline"] == (
+        "60123.0 req/s, p50 0.2ms / p95 0.9ms / p99 2.1ms"
     )
 
 

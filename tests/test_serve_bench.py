@@ -4,17 +4,25 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.serve.loadgen import (
     CLIENT_ERROR_STATUS,
     LoadPlan,
     LoadResult,
+    OpenLoadPlan,
+    OpenLoadResult,
     _endpoint_of,
     _percentile,
+    build_open_schedule,
     build_streams,
+    find_knee,
+    open_rate_summary,
+    run_open_load,
     stream_digest,
     write_bench_report,
+    write_open_bench_report,
 )
 
 SUMMARY = {
@@ -148,3 +156,119 @@ def test_write_bench_report_shape(tmp_path):
 def test_empty_pairs_rejected():
     with pytest.raises(ValueError, match="no .domain, attribute. pairs"):
         build_streams({"pairs": [], "traffic_sites": []}, LoadPlan())
+
+
+# -- open-loop generation -----------------------------------------------------
+
+
+def test_open_plan_validation():
+    with pytest.raises(ValueError):
+        OpenLoadPlan(rate=0.0)
+    with pytest.raises(ValueError):
+        OpenLoadPlan(duration_seconds=0.0)
+    with pytest.raises(ValueError):
+        OpenLoadPlan(connections=0)
+    with pytest.raises(ValueError):
+        OpenLoadPlan(zipf_exponent=0.0)
+
+
+def test_open_plan_derives_requests_and_closed_twin():
+    plan = OpenLoadPlan(seed=3, rate=500.0, duration_seconds=2.0, connections=3)
+    assert plan.requests == 1000
+    closed = plan.closed_plan()
+    assert closed == LoadPlan(seed=3, clients=3, requests=1000)
+    faster = plan.at_rate(1000.0)
+    assert faster.requests == 2000
+    assert faster.seed == plan.seed
+
+
+def test_open_schedule_is_deterministic_and_aligned():
+    plan = OpenLoadPlan(seed=7, rate=300.0, duration_seconds=1.0, connections=3)
+    first = build_open_schedule(plan)
+    second = build_open_schedule(plan)
+    assert len(first) == 3
+    streams = build_streams(SUMMARY, plan.closed_plan())
+    for times, again, paths in zip(first, second, streams):
+        assert list(times) == list(again)
+        assert len(times) == len(paths)
+        # Arrival times are strictly increasing from a Poisson process.
+        assert all(b > a for a, b in zip(times, times[1:]))
+    # A different seed moves every arrival.
+    other = build_open_schedule(
+        OpenLoadPlan(seed=8, rate=300.0, duration_seconds=1.0, connections=3)
+    )
+    assert list(other[0]) != list(first[0])
+
+
+def test_open_schedule_mean_rate_matches_offer():
+    plan = OpenLoadPlan(seed=7, rate=2000.0, duration_seconds=4.0, connections=2)
+    schedules = build_open_schedule(plan)
+    total = sum(len(times) for times in schedules)
+    horizon = max(times[-1] for times in schedules)
+    assert total == plan.requests
+    # Poisson superposition: the realized span is close to the plan.
+    assert horizon == pytest.approx(plan.duration_seconds, rel=0.2)
+
+
+def test_write_open_bench_report_shape(tmp_path):
+    plan = OpenLoadPlan(seed=7, rate=100.0, duration_seconds=1.0, connections=2)
+    result = OpenLoadResult(
+        offered_rate=100.0,
+        wall_seconds=1.0,
+        stream_sha256="deadbeef",
+        latencies={"entity": [0.001, 0.002]},
+        statuses={"200": 2},
+        worker_requests={"0": 1, "1": 1},
+        transport_errors=0,
+    )
+    sweep = {
+        "p99_budget_ms": 50.0,
+        "rates": [{"offered_rate_rps": 100.0, "p99_ms": 2.0, "ok": True}],
+        "knee_rate_rps": 100.0,
+        "knee": {"offered_rate_rps": 100.0, "p99_ms": 2.0, "ok": True},
+    }
+    path = tmp_path / "BENCH_PR7.json"
+    payload = write_open_bench_report(path, plan, result, sweep=sweep)
+    on_disk = json.loads(path.read_text())
+    assert on_disk == payload
+    assert payload["mode"] == "open"
+    assert payload["offered_rate_rps"] == 100.0
+    assert payload["throughput_rps"] == 2.0
+    assert payload["per_worker"] == {"0": 1, "1": 1}
+    assert payload["sweep"]["knee_rate_rps"] == 100.0
+    assert payload["request_stream_sha256"] == "deadbeef"
+
+
+def test_open_rate_summary_counts_errors():
+    result = OpenLoadResult(
+        offered_rate=10.0,
+        wall_seconds=2.0,
+        stream_sha256="x",
+        latencies={"entity": [0.004, 0.002]},
+        statuses={"200": 2, str(CLIENT_ERROR_STATUS): 3},
+        transport_errors=3,
+    )
+    row = open_rate_summary(result)
+    assert row["offered_rate_rps"] == 10.0
+    assert row["completed"] == 2
+    assert row["transport_errors"] == 3
+    assert row["p99_ms"] == 4.0
+
+
+def test_run_open_load_rejects_misaligned_schedules():
+    with pytest.raises(ValueError, match="align"):
+        run_open_load("127.0.0.1", 1, [["/healthz"]], [], offered_rate=1.0)
+    with pytest.raises(ValueError, match="length mismatch"):
+        run_open_load(
+            "127.0.0.1",
+            1,
+            [["/healthz"]],
+            [np.asarray([0.1, 0.2])],
+            offered_rate=1.0,
+        )
+
+
+def test_find_knee_requires_rates():
+    plan = OpenLoadPlan()
+    with pytest.raises(ValueError, match="at least one rate"):
+        find_knee("127.0.0.1", 1, SUMMARY, plan, [], p99_budget_ms=1.0)

@@ -1,0 +1,307 @@
+"""repro.serve.sharding + fasthttp: byte identity, determinism, protocol."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.pipeline.config import ExperimentConfig
+from repro.serve import ServeApp, ServeSettings, WORKER_HEADER
+from repro.serve.fasthttp import FastHTTPServer
+from repro.serve.indices import Manifest, build_index
+from repro.serve.loadgen import (
+    OpenLoadPlan,
+    build_open_schedule,
+    build_streams,
+    run_open_load,
+)
+from repro.serve.sharding import (
+    ShardPlan,
+    ShardedServer,
+    resolve_strategy,
+    reuseport_available,
+)
+
+CONFIG = ExperimentConfig(scale="tiny", seed=0).scaled_down(400)
+
+MANIFEST = Manifest(
+    config=CONFIG,
+    spread_pairs=(("restaurants", "phone"),),
+    traffic_sites=("imdb",),
+    artifacts=(),
+)
+
+PROBE_PATHS = (
+    "/healthz",
+    "/v1/entity/restaurants/5/sites",
+    "/v1/site/site-000000.restaurants-phone.example.com/entities",
+    "/v1/coverage/restaurants?k=1&t=10",
+    "/v1/demand/imdb?n_reviews=4&source=search",
+    "/v1/setcover/restaurants?budget=5",
+)
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_index(MANIFEST)
+
+
+@pytest.fixture(scope="module")
+def expected_bodies(index):
+    """Golden bytes straight from an in-process app (no HTTP shell)."""
+    app = ServeApp(index, ServeSettings(response_cache_entries=0))
+    bodies = {}
+    for path in PROBE_PATHS:
+        status, body = app.handle(path)
+        assert status == 200
+        bodies[path] = body
+    app.close()
+    return bodies
+
+
+def _get_bodies(host, port, paths, keep_alive=True):
+    """Fetch paths over HTTP; returns (bodies, worker_ids)."""
+    bodies, workers = [], []
+    headers = {} if keep_alive else {"Connection": "close"}
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        for path in paths:
+            connection.request("GET", path, headers=headers)
+            response = connection.getresponse()
+            bodies.append(response.read())
+            workers.append(response.getheader(WORKER_HEADER))
+            assert response.status == 200, path
+            if not keep_alive:
+                connection.close()
+                connection = http.client.HTTPConnection(host, port, timeout=30)
+    finally:
+        connection.close()
+    return bodies, workers
+
+
+# -- plan / strategy units ----------------------------------------------------
+
+
+def test_shard_plan_validation():
+    with pytest.raises(ValueError):
+        ShardPlan(workers=0)
+    with pytest.raises(ValueError):
+        ShardPlan(strategy="carrier-pigeon")
+    with pytest.raises(ValueError):
+        ShardPlan(reload_poll_seconds=-1.0)
+    with pytest.raises(ValueError):
+        ShardPlan(backlog=0)
+
+
+def test_resolve_strategy():
+    with pytest.raises(ValueError):
+        resolve_strategy("bogus")
+    assert resolve_strategy("router") == "router"
+    assert resolve_strategy("auto") in ("reuseport", "router")
+    if reuseport_available():
+        assert resolve_strategy("reuseport") == "reuseport"
+        assert resolve_strategy("auto") == "reuseport"
+
+
+def test_sharded_server_needs_index_or_manifest():
+    with pytest.raises(ValueError, match="index or a manifest_path"):
+        ShardedServer()
+
+
+def test_hot_reload_needs_manifest(index):
+    with pytest.raises(ValueError, match="manifest_path to watch"):
+        ShardedServer(index=index, plan=ShardPlan(reload_poll_seconds=1.0))
+
+
+# -- the fast HTTP shell (single process, no fork) ----------------------------
+
+
+@pytest.fixture()
+def fast_server(index):
+    app = ServeApp(
+        index, ServeSettings(host="127.0.0.1", port=0), worker_id=3
+    )
+    server = FastHTTPServer(app)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, app
+    server.shutdown()
+    thread.join(timeout=5)
+    app.close()
+
+
+def test_fasthttp_pipelined_requests_one_write(fast_server, expected_bodies):
+    server, __ = fast_server
+    host, port = server.server_address[:2]
+    paths = ["/healthz", "/v1/coverage/restaurants?k=1&t=10", "/healthz"]
+    batch = b"".join(
+        f"GET {p} HTTP/1.1\r\nHost: t\r\n\r\n".encode() for p in paths
+    )
+    with socket.create_connection((host, port), timeout=10) as conn:
+        conn.sendall(batch)
+        received = bytearray()
+        while received.count(b"HTTP/1.1 200") < 3:
+            chunk = conn.recv(65536)
+            assert chunk, "server closed mid-pipeline"
+            received += chunk
+    text = bytes(received)
+    assert text.count(f"{WORKER_HEADER}: 3".encode()) == 3
+    for path in set(paths):
+        assert expected_bodies[path] in text
+
+
+def test_fasthttp_responses_match_app_bytes(fast_server, expected_bodies):
+    server, __ = fast_server
+    host, port = server.server_address[:2]
+    bodies, workers = _get_bodies(host, port, PROBE_PATHS)
+    assert bodies == [expected_bodies[p] for p in PROBE_PATHS]
+    assert set(workers) == {"3"}
+
+
+def test_fasthttp_http10_closes_by_default(fast_server):
+    server, __ = fast_server
+    host, port = server.server_address[:2]
+    with socket.create_connection((host, port), timeout=10) as conn:
+        conn.sendall(b"GET /healthz HTTP/1.0\r\n\r\n")
+        received = bytearray()
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break  # closed after the response, as HTTP/1.0 demands
+            received += chunk
+    assert received.startswith(b"HTTP/1.1 200")
+
+
+def test_fasthttp_rejects_non_get_and_closes(fast_server):
+    server, __ = fast_server
+    host, port = server.server_address[:2]
+    with socket.create_connection((host, port), timeout=10) as conn:
+        conn.sendall(b"POST /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        received = bytearray()
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            received += chunk
+    assert received.startswith(b"HTTP/1.1 501")
+
+
+def test_fasthttp_rejects_malformed_request_line(fast_server):
+    server, __ = fast_server
+    host, port = server.server_address[:2]
+    with socket.create_connection((host, port), timeout=10) as conn:
+        conn.sendall(b"NONSENSE\r\n\r\n")
+        received = bytearray()
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            received += chunk
+    assert received.startswith(b"HTTP/1.1 400")
+
+
+def test_fasthttp_socketless_refuses_serve_forever(index):
+    app = ServeApp(index, ServeSettings())
+    server = FastHTTPServer(app, bind=False)
+    with pytest.raises(RuntimeError, match="process_connection"):
+        server.serve_forever()
+    server.shutdown()
+    app.close()
+
+
+# -- sharded deployments (forked workers) -------------------------------------
+
+
+def _start(index, workers, strategy):
+    server = ShardedServer(
+        index=index,
+        settings=ServeSettings(host="127.0.0.1", port=0),
+        plan=ShardPlan(workers=workers, strategy=strategy),
+    )
+    host, port = server.start()
+    return server, host, port
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_responses_byte_identical_across_worker_counts(
+    index, expected_bodies, workers
+):
+    server, host, port = _start(index, workers, "auto")
+    try:
+        bodies, __ = _get_bodies(host, port, PROBE_PATHS)
+    finally:
+        server.stop()
+    assert bodies == [expected_bodies[p] for p in PROBE_PATHS]
+
+
+def test_responses_byte_identical_with_and_without_keep_alive(
+    index, expected_bodies
+):
+    server, host, port = _start(index, 2, "auto")
+    try:
+        pooled, __ = _get_bodies(host, port, PROBE_PATHS, keep_alive=True)
+        fresh, __ = _get_bodies(host, port, PROBE_PATHS, keep_alive=False)
+    finally:
+        server.stop()
+    expected = [expected_bodies[p] for p in PROBE_PATHS]
+    assert pooled == expected
+    assert fresh == expected
+
+
+def test_router_round_robin_attribution_is_deterministic(index):
+    server, host, port = _start(index, 3, "router")
+    try:
+        seen = []
+        for __ in range(7):
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            response.read()
+            seen.append(response.getheader(WORKER_HEADER))
+            connection.close()
+    finally:
+        server.stop()
+    # Sequential connections land on workers strictly round-robin.
+    assert seen == ["0", "1", "2", "0", "1", "2", "0"]
+
+
+def test_open_loop_attribution_reproducible_across_runs(index):
+    """Same seed, same worker count -> identical per-worker counts."""
+    app = ServeApp(index, ServeSettings(response_cache_entries=0))
+    summary = json.loads(app.handle("/healthz")[1])
+    app.close()
+    plan = OpenLoadPlan(seed=7, rate=400.0, duration_seconds=0.5, connections=2)
+    streams = build_streams(summary, plan.closed_plan())
+    schedules = build_open_schedule(plan)
+
+    server, host, port = _start(index, 2, "router")
+    try:
+        first = run_open_load(host, port, streams, schedules, plan.rate)
+        second = run_open_load(host, port, streams, schedules, plan.rate)
+    finally:
+        server.stop()
+    assert first.transport_errors == 0 and second.transport_errors == 0
+    assert first.stream_sha256 == second.stream_sha256
+    assert first.worker_requests == second.worker_requests
+    # Round-robin over two connections splits the stream exactly.
+    assert sorted(first.worker_requests) == ["0", "1"]
+    assert sum(first.worker_requests.values()) == plan.requests
+
+
+def test_worker_metrics_report_worker_id(index):
+    server, host, port = _start(index, 2, "router")
+    try:
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+        header = response.getheader(WORKER_HEADER)
+        connection.close()
+    finally:
+        server.stop()
+    assert str(payload["worker"]) == header
+    assert payload["index_fingerprint"] == index.identity
