@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint lint-changed bench bench-json bench-serve artifacts examples clean
+.PHONY: install test lint lint-changed bench bench-json bench-serve bench-store artifacts examples clean
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
@@ -34,6 +34,12 @@ bench-serve:
 	PYTHONPATH=src $(PYTHON) -m repro serve-bench artifacts/ \
 		--seed 7 --clients 4 --requests 200 --report BENCH_PR4.json
 	PYTHONPATH=src $(PYTHON) -m repro bench --history
+
+# Storage-tier ladder: serve the same 100k-entity corpus from each
+# backend (ram / mmap / sqlite) in a fresh process, compare RSS
+# high-water marks and latency; writes BENCH_PR9.json at the repo root.
+bench-store:
+	PYTHONPATH=src $(PYTHON) benchmarks/store_ladder.py --out BENCH_PR9.json
 
 artifacts:
 	$(PYTHON) -m repro all artifacts/

@@ -44,7 +44,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
         default="small",
-        choices=("tiny", "small", "medium", "paper"),
+        choices=("tiny", "small", "medium", "paper", "ladder"),
         help="corpus scale preset (default: small)",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
@@ -254,6 +254,13 @@ def _cmd_all(args: argparse.Namespace) -> int:
     status = _install_fault_plan(args.inject_faults)
     if status:
         return status
+    if args.compile_store and args.no_cache:
+        print(
+            "--compile-store emits cache-addressed store blobs and needs "
+            "the artifact cache; drop --no-cache",
+            file=sys.stderr,
+        )
+        return 2
 
     resume = args.resume is not None
     run_id = args.run_id
@@ -305,6 +312,26 @@ def _cmd_all(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
+    if args.compile_store:
+        from repro.perf import ArtifactCache, configure_cache
+        from repro.store import build_store, load_manifest
+
+        configure_cache(
+            ArtifactCache(
+                directory=args.cache_dir,
+                max_bytes=(
+                    None
+                    if args.cache_budget_mb is None
+                    else args.cache_budget_mb * 1024 * 1024
+                ),
+            )
+        )
+        store = build_store(load_manifest(args.output))
+        print(
+            f"store compiled [{store.identity[:12]}]: "
+            f"{len(store.pair_blobs)} pair blob sets, "
+            f"sqlite at {store.sqlite_path}"
+        )
     return 0
 
 
@@ -327,11 +354,30 @@ def _install_fault_plan(plan_text: str | None) -> int:
     return 0
 
 
-def _build_serve_index(args: argparse.Namespace):
+def _resolve_backend(args: argparse.Namespace) -> str:
+    """Validate the ``--backend`` / ``--no-cache`` combination.
+
+    The out-of-core tiers compile cache-addressed store blobs, so they
+    need the artifact cache; ``auto`` quietly degrades to ``ram`` when
+    the cache is off, while an explicit out-of-core choice is an error.
+    """
+    backend = getattr(args, "backend", "auto")
+    if args.no_cache and backend in ("mmap", "sqlite"):
+        raise ValueError(
+            f"--backend {backend} compiles cache-addressed store blobs "
+            "and needs the artifact cache; drop --no-cache"
+        )
+    if args.no_cache and backend == "auto":
+        return "ram"
+    return backend
+
+
+def _build_serve_index(args: argparse.Namespace, manifest_path=None):
     """Load a run manifest and build the serving index (cache-aware)."""
     from repro.perf import ArtifactCache, configure_cache
     from repro.serve import build_index, load_manifest
 
+    backend = _resolve_backend(args)
     if not args.no_cache:
         configure_cache(
             ArtifactCache(
@@ -343,13 +389,15 @@ def _build_serve_index(args: argparse.Namespace):
                 ),
             )
         )
-    manifest = load_manifest(args.artifacts)
-    index = build_index(manifest)
+    if manifest_path is None:
+        manifest_path = args.artifacts
+    manifest = load_manifest(manifest_path)
+    index = build_index(manifest, backend=backend)
     print(
         f"index built in {index.build_seconds:.2f}s: "
         f"{len(index.pairs)} (domain, attribute) pairs, "
         f"{len(index.demand)} traffic sites "
-        f"[fingerprint {index.identity[:12]}]"
+        f"[{index.backend} backend, fingerprint {index.identity[:12]}]"
     )
     return index
 
@@ -369,36 +417,92 @@ def _serve_settings(args: argparse.Namespace, port: int):
     )
 
 
+def _expand_run_paths(paths: list[Path]) -> list[Path]:
+    """Expand a single registry directory into its run directories.
+
+    A lone path that is a directory *without* its own ``manifest.json``
+    but whose children have one is a registry: every child run is
+    served.  Anything else passes through unchanged.
+    """
+    from repro.pipeline.runall import MANIFEST_NAME
+
+    if len(paths) == 1:
+        root = paths[0]
+        if root.is_dir() and not (root / MANIFEST_NAME).exists():
+            children = sorted(
+                child
+                for child in root.iterdir()
+                if child.is_dir() and (child / MANIFEST_NAME).exists()
+            )
+            if children:
+                return children
+    return paths
+
+
+def _run_id_of(path: Path) -> str:
+    """Registry name of a run: its directory name."""
+    from repro.pipeline.runall import MANIFEST_NAME
+
+    resolved = Path(path)
+    if resolved.name == MANIFEST_NAME:
+        resolved = resolved.parent
+    return resolved.name
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
     from repro.serve import (
         ManifestWatcher,
+        RunRouter,
         ServeApp,
         ShardPlan,
         ShardedServer,
+        build_index,
+        load_manifest,
         make_server,
     )
 
     status = _install_fault_plan(args.inject_faults)
     if status:
         return status
+    run_paths = _expand_run_paths([Path(p) for p in args.artifacts])
+    run_ids = [_run_id_of(path) for path in run_paths]
+    duplicates = sorted({rid for rid in run_ids if run_ids.count(rid) > 1})
+    if duplicates:
+        print(
+            f"duplicate run id(s) {duplicates}: run directories must "
+            "have distinct names",
+            file=sys.stderr,
+        )
+        return 2
+    primary_path, extra_paths = run_paths[0], run_paths[1:]
+    extra_runs = dict(zip(run_ids[1:], extra_paths))
     try:
-        index = _build_serve_index(args)
+        backend = _resolve_backend(args)
+        index = _build_serve_index(args, manifest_path=primary_path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     except FileNotFoundError as exc:
         print(f"no manifest: {exc}", file=sys.stderr)
         return 2
+    # Reloads (and extra-run builds) rebuild into the same tier.
+    builder = lambda manifest: build_index(manifest, backend=backend)  # noqa: E731
 
     if args.workers > 1:
         sharded = ShardedServer(
             index=index,
-            manifest_path=args.artifacts,
+            manifest_path=primary_path,
             settings=_serve_settings(args, args.port),
             plan=ShardPlan(
                 workers=args.workers,
                 strategy=args.strategy,
                 reload_poll_seconds=args.reload_poll,
             ),
+            builder=builder,
+            extra_runs=extra_runs,
+            default_run=run_ids[0],
         )
         host, port = sharded.start()
         print(
@@ -415,12 +519,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     app = ServeApp(index, _serve_settings(args, args.port))
-    watcher = (
-        ManifestWatcher(args.artifacts, app, args.reload_poll).start()
-        if args.reload_poll > 0
-        else None
-    )
-    server = make_server(app)
+    watchers = []
+    if args.reload_poll > 0:
+        watchers.append(
+            ManifestWatcher(
+                primary_path, app, args.reload_poll, builder=builder
+            ).start()
+        )
+    handler = app
+    if extra_runs:
+        apps = {run_ids[0]: app}
+        for run_id, path in extra_runs.items():
+            run_app = ServeApp(
+                builder(load_manifest(path)), _serve_settings(args, args.port)
+            )
+            apps[run_id] = run_app
+            if args.reload_poll > 0:
+                watchers.append(
+                    ManifestWatcher(
+                        path, run_app, args.reload_poll, builder=builder
+                    ).start()
+                )
+        handler = RunRouter(apps, run_ids[0])
+        print(f"multi-run registry: {sorted(apps)} (default: {run_ids[0]})")
+    server = make_server(handler)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
     try:
@@ -428,11 +550,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        if watcher is not None:
+        for watcher in watchers:
             watcher.stop()
         server.shutdown()
         server.server_close()
-        app.close()
+        handler.close()
     return 0
 
 
@@ -453,6 +575,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import json
     import threading
 
+    from repro.perf import peak_rss_mb, rss_high_water_mb
     from repro.serve import (
         LoadPlan,
         OpenLoadPlan,
@@ -480,6 +603,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return 2
     try:
         index = _build_serve_index(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     except FileNotFoundError as exc:
         print(f"no manifest: {exc}", file=sys.stderr)
         return 2
@@ -590,9 +716,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         else:
             result = run_load(host, port, streams, keep_alive=args.keep_alive == "on")
     finally:
+        # Peak RSS must be read while the serving processes are alive:
+        # /proc/<pid>/status vanishes with the worker.
         if sharded is not None:
+            rss_mb = peak_rss_mb(sharded.worker_pids())
             sharded.stop()
         else:
+            rss_mb = rss_high_water_mb()
             server.shutdown()
             server.server_close()
             thread.join()
@@ -615,6 +745,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             server_metrics=metrics,
             target=target,
             warmup=warmup,
+            rss_mb=rss_mb,
         )
         print(
             f"offered {payload['offered_rate_rps']} req/s for "
@@ -637,6 +768,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             result,
             server_metrics=metrics,
             target=target,
+            rss_mb=rss_mb,
         )
         print(
             f"{result.total_requests} requests in {result.wall_seconds:.2f}s "
@@ -648,6 +780,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"p99={latency['p99_ms']}ms"
     )
     print(f"statuses: {payload['statuses']}")
+    if rss_mb is not None:
+        print(f"server peak rss: {rss_mb} MB")
     print(f"report written to {args.report}")
     return 1 if result.transport_errors else 0
 
@@ -901,15 +1035,43 @@ def build_parser() -> argparse.ArgumentParser:
         "e.g. 'op=error,task=figure3,times=1; op=corrupt,key=*' "
         "(see docs/robustness.md)",
     )
+    run_all.add_argument(
+        "--compile-store",
+        action="store_true",
+        help="after the run, compile the out-of-core store (mmap CSR "
+        "blobs + SQLite) so `repro serve --backend mmap|sqlite` starts "
+        "against warm artifacts (needs the cache)",
+    )
     run_all.set_defaults(handler=_cmd_all)
     _add_common(run_all)
 
-    def add_serve_common(sub: argparse.ArgumentParser) -> None:
+    def add_serve_common(
+        sub: argparse.ArgumentParser, multi: bool = False
+    ) -> None:
+        if multi:
+            sub.add_argument(
+                "artifacts",
+                type=Path,
+                nargs="+",
+                help="output directories of finished `repro all` runs "
+                "(or their manifest.json files); several runs (or one "
+                "registry directory of runs) serve behind "
+                "/v1/run/{run_id}/ prefixes, first run is the default",
+            )
+        else:
+            sub.add_argument(
+                "artifacts",
+                type=Path,
+                help="output directory of a finished `repro all` run "
+                "(or its manifest.json)",
+            )
         sub.add_argument(
-            "artifacts",
-            type=Path,
-            help="output directory of a finished `repro all` run "
-            "(or its manifest.json)",
+            "--backend",
+            choices=("auto", "ram", "mmap", "sqlite"),
+            default="auto",
+            help="storage tier for the serving index: in-RAM CSR, "
+            "memory-mapped CSR blobs, or compiled SQLite; auto picks "
+            "by manifest size (see docs/storage.md)",
         )
         sub.add_argument("--host", default="127.0.0.1", help="bind address")
         sub.add_argument(
@@ -996,7 +1158,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll the manifest and hot-swap the index on change "
         "(default: 0 = off)",
     )
-    add_serve_common(serve)
+    add_serve_common(serve, multi=True)
     serve.set_defaults(handler=_cmd_serve)
 
     serve_bench = commands.add_parser(

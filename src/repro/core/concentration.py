@@ -18,8 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.optimize import minimize_scalar
-from scipy.special import zeta
 
 __all__ = [
     "PowerLawFit",
@@ -118,6 +116,12 @@ def fit_power_law(
         The fit.  Raises when fewer than 10 tail observations remain
         (the MLE is meaningless on less).
     """
+    # scipy.optimize transitively loads scipy.sparse/linalg — tens of
+    # MB of RSS.  Import at call time so processes that never *fit*
+    # (the out-of-core serve tiers) don't pay for it at startup.
+    from scipy.optimize import minimize_scalar
+    from scipy.special import zeta
+
     arr = np.asarray(values)
     if x_min < 1:
         raise ValueError("x_min must be >= 1")

@@ -25,7 +25,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["BipartiteIncidence"]
+__all__ = ["BipartiteIncidence", "transpose_csr"]
 
 
 @dataclass
@@ -257,3 +257,26 @@ class BipartiteIncidence:
             f"BipartiteIncidence(entities={self.n_entities}, "
             f"sites={self.n_sites}, edges={self.n_edges})"
         )
+
+
+def transpose_csr(incidence: BipartiteIncidence) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-by-entity transpose of a CSR-by-site incidence.
+
+    Returns ``(entity_ptr, entity_sites)`` such that
+    ``entity_sites[entity_ptr[e]:entity_ptr[e + 1]]`` are the site
+    indices mentioning entity ``e``.  A stable argsort over the edge
+    entity indices groups edges by entity while preserving edge order —
+    and edges are stored site-ascending, so each entity's site list
+    comes out ascending.  Shared by the in-RAM serving index and the
+    ``repro.store`` compiler so every backend ranks sites identically.
+    """
+    n_sites = len(incidence.site_hosts)
+    site_per_edge = np.repeat(
+        np.arange(n_sites, dtype=np.int64), np.diff(incidence.site_ptr)
+    )
+    order = np.argsort(incidence.entity_idx, kind="stable")
+    entity_sites = site_per_edge[order]
+    counts = np.bincount(incidence.entity_idx, minlength=incidence.n_entities)
+    entity_ptr = np.zeros(incidence.n_entities + 1, dtype=np.int64)
+    np.cumsum(counts, out=entity_ptr[1:])
+    return entity_ptr, entity_sites

@@ -8,8 +8,17 @@ Rule families:
 - :mod:`repro.devtools.rules.api` — API hygiene (``API001``–``API003``)
 - :mod:`repro.devtools.rules.perf` — hot-path idioms (``PERF001``–``PERF003``)
 - :mod:`repro.devtools.rules.robustness` — error discipline (``ROB001``–``ROB002``)
+- :mod:`repro.devtools.rules.store` — SQL hygiene (``STORE001``)
 """
 
-from repro.devtools.rules import api, layering, perf, rng, robustness, seeding
+from repro.devtools.rules import (
+    api,
+    layering,
+    perf,
+    rng,
+    robustness,
+    seeding,
+    store,
+)
 
-__all__ = ["api", "layering", "perf", "rng", "robustness", "seeding"]
+__all__ = ["api", "layering", "perf", "rng", "robustness", "seeding", "store"]

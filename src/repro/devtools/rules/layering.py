@@ -66,11 +66,17 @@ LAYERS: dict[str, frozenset[str]] = {
             "resilience",
         }
     ),
+    # Tiered query storage: compiles the pipeline's cache-aware
+    # artifacts into out-of-core backends (mmap CSR blobs, SQLite).
+    # Sits above `pipeline` (it replays the same builders) but below
+    # `serve` — the storage tiers must never know about HTTP.
+    "store": frozenset({"core", "perf", "pipeline", "resilience"}),
     # Online serving: read-optimized indices over the batch pipeline's
-    # artifacts.  The one subsystem allowed above `pipeline` — it is an
-    # online *consumer* of the pipeline's cache-aware builders — and a
-    # sink: nothing below (only the root CLI) may import it.
-    "serve": frozenset({"core", "perf", "pipeline", "resilience"}),
+    # artifacts.  Allowed above `pipeline` and `store` — it is an
+    # online *consumer* of the pipeline's cache-aware builders and the
+    # storage tiers — and a sink: nothing below (only the root CLI)
+    # may import it.
+    "serve": frozenset({"core", "perf", "pipeline", "resilience", "store"}),
 }
 
 

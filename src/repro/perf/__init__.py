@@ -11,7 +11,9 @@ Three cooperating pieces (see ``docs/performance.md``):
 - :mod:`repro.perf.report` — the structured perf report the staged
   runs emit;
 - :mod:`repro.perf.history` — the cross-PR benchmark trajectory table
-  (``repro bench --history``) aggregated from ``BENCH_PR*.json``.
+  (``repro bench --history``) aggregated from ``BENCH_PR*.json``;
+- :mod:`repro.perf.rss` — peak resident-set accounting (``VmHWM``) for
+  the serve/storage benchmark reports.
 
 The layer is strictly optional: with no cache installed and one worker,
 the pipeline behaves exactly as before, and outputs are byte-identical
@@ -41,6 +43,7 @@ from repro.perf.history import (
     update_performance_doc,
 )
 from repro.perf.report import PerfReport, TaskTiming
+from repro.perf.rss import peak_rss_mb, rss_high_water_mb
 
 __all__ = [
     "ArtifactCache",
@@ -59,7 +62,9 @@ __all__ = [
     "execute_tasks",
     "fingerprint",
     "format_history",
+    "peak_rss_mb",
     "resolve_cache_dir",
+    "rss_high_water_mb",
     "stage_tasks",
     "update_performance_doc",
 ]

@@ -115,8 +115,17 @@ def resolve_cache_dir(explicit: str | Path | None = None) -> Path:
 
 
 def _sha256_file(path: Path) -> str:
-    """Hex sha256 of a file's bytes (blobs are small; one read is fine)."""
-    return hashlib.sha256(path.read_bytes()).hexdigest()
+    """Hex sha256 of a file's bytes, streamed in 1 MiB chunks.
+
+    Store blobs (CSR arrays, the SQLite image) run to hundreds of MB;
+    a whole-file ``read_bytes()`` here would spike every opener's RSS
+    by the largest blob's size and defeat the out-of-core tiers.
+    """
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 class ArtifactCache:
@@ -301,6 +310,32 @@ class ArtifactCache:
         path = self._path(key, ".jsonl")
         text = "".join(json.dumps(row, sort_keys=True) + "\n" for row in records)
         self._publish(path, lambda tmp: tmp.write_text(text, encoding="utf-8"))
+
+    # -- raw file blobs -----------------------------------------------------
+    #
+    # Opaque single-file artifacts the caller opens *in place* (a
+    # compiled SQLite store, an individual ``.npy`` destined for
+    # ``mmap_mode="r"``).  Unlike the decoding kinds above, a hit hands
+    # back the verified blob *path*: out-of-core backends must read the
+    # published file itself, not a deserialized copy.
+
+    def get_file(self, key: str, suffix: str) -> Path | None:
+        """Verified path of a cached raw blob, or None on miss."""
+        path = self._path(key, suffix)
+        if not self._read_hit(path):
+            return None
+        return path
+
+    def put_file(self, key: str, suffix: str, write) -> Path:
+        """Publish a raw blob via a ``write(tmp_path)`` callback.
+
+        The callback must create ``tmp_path`` (same directory and
+        suffix as the final blob, so suffix-sensitive writers like
+        ``np.save`` behave).  Returns the published path.
+        """
+        path = self._path(key, suffix)
+        self._publish(path, write)
+        return path
 
     # -- maintenance --------------------------------------------------------
 

@@ -37,6 +37,20 @@ _NAME_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
 
 def _headline(payload: dict) -> str:
     """Best-effort one-phrase summary of one bench report."""
+    rungs = payload.get("rungs")
+    if isinstance(rungs, list) and rungs and all(
+        isinstance(rung, dict) and "backend" in rung for rung in rungs
+    ):
+        # The PR9 storage-tier ladder: one rung per backend.
+        phrases = []
+        for rung in rungs:
+            latency = rung.get("latency_ms") or {}
+            phrases.append(
+                f"{rung['backend']} p99 {latency.get('p99_ms', '?')}ms"
+            )
+        verdict = payload.get("criteria", {}).get("pass")
+        suffix = "" if verdict is None else (" PASS" if verdict else " FAIL")
+        return ", ".join(phrases) + suffix
     speedups = payload.get("speedup_vs_serial_nocache")
     if isinstance(speedups, dict) and speedups:
         best = max(speedups, key=lambda name: speedups[name])
@@ -63,6 +77,38 @@ def _headline(payload: dict) -> str:
     return str(payload.get("benchmark", "unrecognized report"))
 
 
+def _extract_rss(payload: dict) -> object | None:
+    """Server peak RSS from a report: a number, or per-backend dict.
+
+    Flat serve-bench reports carry a single ``rss_mb``; the storage
+    ladder carries one per rung, returned as ``{backend: rss_mb}``.
+    """
+    flat = payload.get("rss_mb")
+    if isinstance(flat, (int, float)):
+        return flat
+    rungs = payload.get("rungs")
+    if isinstance(rungs, list):
+        per_backend = {
+            rung["backend"]: rung["rss_mb"]
+            for rung in rungs
+            if isinstance(rung, dict)
+            and "backend" in rung
+            and isinstance(rung.get("rss_mb"), (int, float))
+        }
+        if per_backend:
+            return per_backend
+    return None
+
+
+def _render_rss(value: object) -> str:
+    """One table cell for the ``rss_mb`` column."""
+    if value is None:
+        return "-"
+    if isinstance(value, dict):
+        return " ".join(f"{name}={rss}" for name, rss in value.items())
+    return str(value)
+
+
 def collect_bench_rows(root: str | Path) -> list[dict]:
     """Parse every ``BENCH_PR<n>.json`` under ``root``, ordered by PR.
 
@@ -83,6 +129,9 @@ def collect_bench_rows(root: str | Path) -> list[dict]:
         else:
             row["benchmark"] = str(payload.get("benchmark", "?"))
             row["headline"] = _headline(payload)
+            rss = _extract_rss(payload)
+            if rss is not None:
+                row["rss_mb"] = rss
         rows.append(row)
     rows.sort(key=lambda row: row["pr"])
     return rows
@@ -92,9 +141,15 @@ def format_history(rows: list[dict]) -> str:
     """Render the trajectory as a GitHub-flavoured markdown table."""
     if not rows:
         return "(no BENCH_PR*.json reports found)"
-    header = ["PR", "benchmark", "headline"]
+    header = ["PR", "benchmark", "rss_mb", "headline"]
     body = [
-        [str(row["pr"]), row["benchmark"], row["headline"]] for row in rows
+        [
+            str(row["pr"]),
+            row["benchmark"],
+            _render_rss(row.get("rss_mb")),
+            row["headline"],
+        ]
+        for row in rows
     ]
     widths = [
         max(len(header[col]), *(len(line[col]) for line in body))

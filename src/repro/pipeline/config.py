@@ -15,7 +15,8 @@ class ExperimentConfig:
 
     Attributes:
         scale: Corpus scale preset name (``tiny``/``small``/``medium``/
-            ``paper``) for the spread and connectivity experiments.
+            ``paper``/``ladder``) for the spread and connectivity
+            experiments.
         seed: Master seed; every runner derives per-experiment streams.
         ks: Redundancy levels for the k-coverage curves (paper: 1..10).
         max_bfs: BFS budget for exact-diameter computation.

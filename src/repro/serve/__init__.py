@@ -9,6 +9,9 @@ cooperating pieces:
   run's :data:`~repro.pipeline.runall.MANIFEST_NAME` manifest: CSR
   entity↔site adjacency per (domain, attribute), per-site k-coverage
   tables, demand-vs-reviews lookup tables, and catalog id maps.
+  ``build_index(..., backend=)`` also fronts the out-of-core tiers in
+  :mod:`repro.store` (``mmap`` CSR blobs, compiled SQLite) — byte-
+  identical responses, bounded residency (see ``docs/storage.md``).
 - :mod:`repro.serve.server` — the JSON request core (``/v1/entity``,
   ``/v1/site`` with pagination cursors, ``/v1/coverage``,
   ``/v1/demand``, ``/v1/setcover``, ``/healthz``, ``/metrics``) with
@@ -35,11 +38,12 @@ cooperating pieces:
   open-loop Poisson generator with rate sweeps, emitting latency /
   throughput / knee reports to ``BENCH_PR7.json``.
 
-Layering: ``serve`` sits *above* ``pipeline`` in the DESIGN.md §3 DAG —
-the only subsystem allowed to, because it is an online consumer of the
-batch pipeline's artifact builders.  Nothing imports ``serve`` except
-the CLI.  Serving never mutates indices; every structure is built once
-per epoch and read concurrently without locks.
+Layering: ``serve`` sits *above* ``pipeline`` and ``store`` in the
+DESIGN.md §3 DAG, because it is an online consumer of the batch
+pipeline's artifact builders and the compiled storage tiers.  Nothing
+imports ``serve`` except the CLI — it is the DAG's sink.  Serving never
+mutates indices; every structure is built once per epoch and read
+concurrently without locks.
 """
 
 from repro.serve.batcher import MicroBatcher
@@ -71,6 +75,7 @@ from repro.serve.rcache import ResponseCache
 from repro.serve.reload import ManifestWatcher
 from repro.serve.server import (
     WORKER_HEADER,
+    RunRouter,
     ServeApp,
     ServeSettings,
     make_server,
@@ -93,6 +98,7 @@ __all__ = [
     "OpenLoadResult",
     "PairIndex",
     "ResponseCache",
+    "RunRouter",
     "ServeApp",
     "ServeIndex",
     "ServeMetrics",

@@ -46,20 +46,28 @@ class MicroBatcher:
             if existing is not None:
                 self._coalesced += 1
                 return existing
-            future: Future = executor.submit(fn)
+
+            def single_flight() -> object:
+                # De-register *before* the future settles: waiters wake
+                # the instant the result lands, and a done-callback
+                # would race them — callers could observe a finished
+                # query still counted as in flight.  No successor entry
+                # can exist yet (submits reuse this one until it is
+                # removed here), so dropping by key is safe.
+                try:
+                    return fn()
+                finally:
+                    self._discard(key)
+
+            future: Future = executor.submit(single_flight)
             self._inflight[key] = future
             self._launched += 1
-        # Registered outside the lock: a done-callback on an
-        # already-finished future runs synchronously and would deadlock
-        # re-acquiring the non-reentrant lock.
-        future.add_done_callback(lambda done, key=key: self._discard(key, done))
         return future
 
-    def _discard(self, key: str, future: Future) -> None:
-        """Drop ``key`` from the in-flight table once its future settles."""
+    def _discard(self, key: str) -> None:
+        """Drop ``key`` from the in-flight table as its query finishes."""
         with self._lock:
-            if self._inflight.get(key) is future:
-                del self._inflight[key]
+            self._inflight.pop(key, None)
 
     def stats(self) -> dict[str, int]:
         """Return launch/coalesce counters and current in-flight size."""

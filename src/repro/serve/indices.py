@@ -19,28 +19,41 @@ Read-optimized layout per (domain, attribute) pair:
   answering ``/v1/coverage?k=&t=`` in O(1);
 - host→site and catalog-id→entity hash maps.
 
-Demand tables hold the Figure-7 binned demand-vs-reviews curves per
-traffic site for O(bins) lookup.  Everything is built once; queries
-never mutate, so the HTTP layer reads without locks.
+This module builds the **ram** tier.  :func:`build_index` also fronts
+the out-of-core tiers in :mod:`repro.store` (``backend="mmap"`` /
+``"sqlite"``; ``"auto"`` picks by manifest size), which answer the
+same queries from memory-mapped CSR blobs or a compiled SQLite file
+with byte-identical responses.  The manifest machinery and the shared
+:class:`DemandTable` live in ``repro.store`` (below this layer) and
+are re-exported here for compatibility.
+
+Everything is built once; queries never mutate, so the HTTP layer
+reads without locks.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass, field
-from pathlib import Path
 
 import numpy as np
 
 from repro.core.coverage import k_coverage_curves
-from repro.core.incidence import BipartiteIncidence
-from repro.core.setcover import greedy_set_cover
-from repro.core.valueadd import demand_vs_reviews, log2_review_bins
-from repro.perf import fingerprint
+from repro.core.incidence import BipartiteIncidence, transpose_csr
+from repro.core.valueadd import demand_vs_reviews
 from repro.pipeline.config import ExperimentConfig
 from repro.pipeline.experiments import build_traffic_dataset, spread_incidence
-from repro.pipeline.runall import MANIFEST_FORMAT, MANIFEST_NAME
+from repro.store.backend import (
+    QueryIndex,
+    check_top_t,
+    choose_backend,
+    coverage_row,
+    open_backend,
+    run_set_cover,
+)
+from repro.store.compile import DEMAND_SOURCES, TOP_HOSTS as _TOP_HOSTS
+from repro.store.demand import DemandTable
+from repro.store.manifest import Manifest, load_manifest, manifest_identity
 
 __all__ = [
     "DemandTable",
@@ -52,56 +65,9 @@ __all__ = [
     "manifest_identity",
 ]
 
-# Hosts advertised to the load generator per pair (head of the
-# size-ranked order); bounds the /healthz payload at paper scale.
-_TOP_HOSTS = 50
-
-
-@dataclass(frozen=True)
-class Manifest:
-    """Parsed ``manifest.json``: the config and shape of a finished run."""
-
-    config: ExperimentConfig
-    spread_pairs: tuple[tuple[str, str], ...]
-    traffic_sites: tuple[str, ...]
-    artifacts: tuple[str, ...]
-
-
-def load_manifest(path: str | Path) -> Manifest:
-    """Load a run manifest from a file or a run output directory.
-
-    Raises:
-        FileNotFoundError: No manifest exists (the run never completed).
-        ValueError: The file is not a ``repro-manifest-v1`` document.
-    """
-    location = Path(path)
-    if location.is_dir():
-        location = location / MANIFEST_NAME
-    payload = json.loads(location.read_text())
-    if payload.get("format") != MANIFEST_FORMAT:
-        raise ValueError(
-            f"{location}: expected format {MANIFEST_FORMAT!r}, "
-            f"got {payload.get('format')!r}"
-        )
-    raw = payload["config"]
-    config = ExperimentConfig(
-        scale=raw["scale"],
-        seed=raw["seed"],
-        ks=tuple(raw["ks"]),
-        max_bfs=raw["max_bfs"],
-        traffic_entities=raw["traffic_entities"],
-        traffic_events=raw["traffic_events"],
-        traffic_cookies=raw["traffic_cookies"],
-    )
-    return Manifest(
-        config=config,
-        spread_pairs=tuple(
-            (str(domain), str(attribute))
-            for domain, attribute in payload["spread_pairs"]
-        ),
-        traffic_sites=tuple(payload["traffic_sites"]),
-        artifacts=tuple(payload.get("artifacts", ())),
-    )
+#: All tiers expose the contract of :class:`repro.store.QueryIndex`;
+#: the historical name stays for the HTTP layer and its tests.
+ServeIndex = QueryIndex
 
 
 @dataclass(frozen=True)
@@ -145,6 +111,13 @@ class PairIndex:
         ids = self.incidence.entity_ids
         return ids[entity] if ids is not None else str(entity)
 
+    def entity_labels(self, entities) -> list[str]:
+        """Labels for an iterable of entity indices, in input order."""
+        ids = self.incidence.entity_ids
+        if ids is None:
+            return [str(int(e)) for e in entities]
+        return [ids[int(e)] for e in entities]
+
     def sites_of_entity(self, entity: int) -> np.ndarray:
         """Site indices mentioning ``entity`` (ascending)."""
         return self.entity_sites[self.entity_ptr[entity] : self.entity_ptr[entity + 1]]
@@ -153,6 +126,28 @@ class PairIndex:
         """Entity indices mentioned by site ``site``."""
         return self.incidence.site_entities(site)
 
+    def site_page(self, site: int, offset: int, count: int):
+        """``(total, page)`` slice of a site's listing (CSR row order)."""
+        entities = self.incidence.site_entities(site)
+        return len(entities), entities[offset : offset + count]
+
+    def entity_site_hosts(self, entity: int) -> list[str]:
+        """Hosts of an entity's sites, in ascending site order."""
+        return self.site_hosts(self.sites_of_entity(entity))
+
+    def site_host(self, site: int) -> str:
+        """Host name for a site index."""
+        return self.incidence.site_hosts[site]
+
+    def site_hosts(self, sites) -> list[str]:
+        """Hosts for an iterable of site indices, in input order."""
+        hosts = self.incidence.site_hosts
+        return [hosts[int(s)] for s in sites]
+
+    def site_of_host(self, host: str) -> int | None:
+        """Site index for a host name, or None when unknown."""
+        return self.host_to_site.get(host)
+
     def coverage_at(self, k: int, top_t: int) -> float:
         """k-coverage of the top-``top_t`` sites, from the dense table.
 
@@ -160,14 +155,8 @@ class PairIndex:
             KeyError: ``k`` was not precomputed (outside the config ks).
             ValueError: ``top_t`` outside ``[1, n_sites]``.
         """
-        try:
-            row = self.coverage_ks.index(int(k))
-        except ValueError:
-            raise KeyError(
-                f"k={k} not precomputed; available: {self.coverage_ks}"
-            ) from None
-        if not 1 <= top_t <= self.n_sites:
-            raise ValueError(f"t must be in [1, {self.n_sites}], got {top_t}")
+        row = coverage_row(self.coverage_ks, k)
+        check_top_t(top_t, self.n_sites)
         return float(self.coverage[row, top_t - 1])
 
     def set_cover(self, budget: int) -> dict[str, object]:
@@ -176,110 +165,7 @@ class PairIndex:
         Returns the selected hosts, their marginal gains, and the
         cumulative 1-coverage fraction after the budget is spent.
         """
-        if budget < 1:
-            raise ValueError(f"budget must be >= 1, got {budget}")
-        order, gains = greedy_set_cover(self.incidence, max_sites=budget)
-        denominator = max(self.n_entities, 1)
-        return {
-            "budget": int(budget),
-            "selected": [self.incidence.site_hosts[int(s)] for s in order],
-            "gains": [int(g) for g in gains],
-            "coverage": round(float(gains.sum()) / denominator, 6),
-        }
-
-
-@dataclass(frozen=True)
-class DemandTable:
-    """Figure-7 lookup: normalized demand per log2 review-count bin."""
-
-    site: str
-    sources: dict[str, tuple[np.ndarray, np.ndarray]] = field(repr=False)
-    max_reviews: int
-
-    def lookup(self, source: str, n_reviews: int) -> dict[str, float]:
-        """Demand estimate for an entity with ``n_reviews`` reviews.
-
-        Bins the query with the paper's log2 grouping and returns the
-        nearest *occupied* bin's mean demand (z-score normalized).
-
-        Raises:
-            KeyError: Unknown demand source.
-            ValueError: Negative review count.
-        """
-        if source not in self.sources:
-            raise KeyError(f"unknown source {source!r}; have {sorted(self.sources)}")
-        if n_reviews < 0:
-            raise ValueError("n_reviews must be non-negative")
-        counts, means = self.sources[source]
-        bins, centers = log2_review_bins(np.asarray([n_reviews]))
-        center = float(centers[bins[0]])
-        nearest = int(np.argmin(np.abs(counts - center)))
-        return {
-            "bin_center": float(counts[nearest]),
-            "mean_normalized_demand": round(float(means[nearest]), 6),
-        }
-
-
-@dataclass(frozen=True)
-class ServeIndex:
-    """Everything the server holds in memory: pairs, demand, identity."""
-
-    config: ExperimentConfig
-    pairs: dict[tuple[str, str], PairIndex] = field(repr=False)
-    default_attribute: dict[str, str]
-    demand: dict[str, DemandTable] = field(repr=False)
-    identity: str
-    build_seconds: float
-
-    def resolve_pair(self, domain: str, attribute: str | None) -> PairIndex | None:
-        """Find the index for a domain, defaulting to its first attribute."""
-        if attribute is None:
-            attribute = self.default_attribute.get(domain)
-            if attribute is None:
-                return None
-        return self.pairs.get((domain, attribute))
-
-    def summary(self) -> dict[str, object]:
-        """The `/healthz` payload: enough shape for a load generator."""
-        return {
-            "status": "ok",
-            "scale": self.config.scale,
-            "seed": self.config.seed,
-            "index_fingerprint": self.identity,
-            "pairs": [
-                {
-                    "domain": pair.domain,
-                    "attribute": pair.attribute,
-                    "n_entities": pair.n_entities,
-                    "n_sites": pair.n_sites,
-                    "ks": list(pair.coverage_ks),
-                    "top_hosts": list(pair.top_hosts),
-                }
-                for pair in (
-                    self.pairs[key] for key in sorted(self.pairs)
-                )
-            ],
-            "traffic_sites": sorted(self.demand),
-        }
-
-
-def _transpose_csr(incidence: BipartiteIncidence) -> tuple[np.ndarray, np.ndarray]:
-    """CSR-by-entity transpose of a CSR-by-site incidence.
-
-    Stable argsort over the edge entity indices groups edges by entity
-    while preserving edge order — and edges are stored site-ascending,
-    so each entity's site list comes out ascending.
-    """
-    n_sites = len(incidence.site_hosts)
-    site_per_edge = np.repeat(
-        np.arange(n_sites, dtype=np.int64), np.diff(incidence.site_ptr)
-    )
-    order = np.argsort(incidence.entity_idx, kind="stable")
-    entity_sites = site_per_edge[order]
-    counts = np.bincount(incidence.entity_idx, minlength=incidence.n_entities)
-    entity_ptr = np.zeros(incidence.n_entities + 1, dtype=np.int64)
-    np.cumsum(counts, out=entity_ptr[1:])
-    return entity_ptr, entity_sites
+        return run_set_cover(self.incidence, self.site_host, budget)
 
 
 def _build_pair(
@@ -287,7 +173,7 @@ def _build_pair(
 ) -> PairIndex:
     """Build one pair's read-optimized structures."""
     incidence = spread_incidence(domain, attribute, config)
-    entity_ptr, entity_sites = _transpose_csr(incidence)
+    entity_ptr, entity_sites = transpose_csr(incidence)
     curves = k_coverage_curves(
         incidence,
         ks=config.ks,
@@ -324,7 +210,7 @@ def _build_demand(site: str, config: ExperimentConfig) -> DemandTable:
     dataset = build_traffic_dataset(site, config)
     sources = {
         source: demand_vs_reviews(dataset.demand(source), dataset.reviews)
-        for source in ("search", "browse")
+        for source in DEMAND_SOURCES
     }
     return DemandTable(
         site=site,
@@ -333,30 +219,21 @@ def _build_demand(site: str, config: ExperimentConfig) -> DemandTable:
     )
 
 
-def manifest_identity(manifest: Manifest) -> str:
-    """The index fingerprint a manifest would build to, without building.
+def build_index(manifest: Manifest, backend: str = "auto") -> ServeIndex:
+    """Build the serving index for a manifest's run.
 
-    This is exactly the ``identity`` :func:`build_index` assigns — a
-    pure function of the config and corpus inventory — so a hot-reload
-    watcher can decide whether a rewritten ``manifest.json`` actually
-    changes the serving index before paying for a rebuild.
+    ``backend`` selects the storage tier: ``"ram"`` (the classic
+    in-memory CSR), ``"mmap"`` or ``"sqlite"`` (out-of-core, via
+    :mod:`repro.store`), or ``"auto"`` to pick by manifest size.  All
+    tiers route every corpus through the cache-aware pipeline builders
+    and return byte-identical query responses; only residency and
+    latency differ.  The returned index is immutable and safe for
+    lock-free concurrent reads.
     """
-    return fingerprint(
-        "serve-index",
-        config=manifest.config,
-        pairs=[list(pair) for pair in manifest.spread_pairs],
-        traffic_sites=list(manifest.traffic_sites),
-    )
-
-
-def build_index(manifest: Manifest) -> ServeIndex:
-    """Build the full in-memory serving index for a manifest's run.
-
-    Routes every corpus through the cache-aware pipeline builders, so a
-    warm artifact cache (the run's own) makes this fast while a cold one
-    regenerates identical bytes.  The returned index is immutable and
-    safe for lock-free concurrent reads.
-    """
+    if backend == "auto":
+        backend = choose_backend(manifest)
+    if backend != "ram":
+        return open_backend(manifest, backend)
     started = time.perf_counter()
     pairs: dict[tuple[str, str], PairIndex] = {}
     default_attribute: dict[str, str] = {}
@@ -375,4 +252,5 @@ def build_index(manifest: Manifest) -> ServeIndex:
         demand=demand,
         identity=identity,
         build_seconds=time.perf_counter() - started,
+        backend="ram",
     )

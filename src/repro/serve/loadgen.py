@@ -337,8 +337,14 @@ def write_bench_report(
     result: LoadResult,
     server_metrics: dict | None = None,
     target: str = "",
+    rss_mb: float | None = None,
 ) -> dict:
-    """Write the BENCH_PR4-style JSON report; returns the payload."""
+    """Write the BENCH_PR4-style JSON report; returns the payload.
+
+    ``rss_mb`` is the server-side peak resident set (max over workers,
+    from :func:`repro.perf.peak_rss_mb`) — the storage-tier benchmarks
+    compare backends on it.
+    """
     payload = {
         "benchmark": "repro serve closed-loop load generator",
         "target": target,
@@ -364,6 +370,8 @@ def write_bench_report(
     }
     if server_metrics is not None:
         payload["server_metrics"] = server_metrics
+    if rss_mb is not None:
+        payload["rss_mb"] = rss_mb
     atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
 
@@ -742,8 +750,12 @@ def write_open_bench_report(
     server_metrics: dict | None = None,
     target: str = "",
     warmup: dict | None = None,
+    rss_mb: float | None = None,
 ) -> dict:
-    """Write the BENCH_PR7-style open-loop JSON report; returns it."""
+    """Write the BENCH_PR7-style open-loop JSON report; returns it.
+
+    ``rss_mb``: server-side peak resident set in MB (max over workers).
+    """
     payload = {
         "benchmark": "repro serve open-loop load generator",
         "mode": "open",
@@ -777,5 +789,7 @@ def write_open_bench_report(
         payload["server_metrics"] = server_metrics
     if warmup is not None:
         payload["warmup"] = warmup
+    if rss_mb is not None:
+        payload["rss_mb"] = rss_mb
     atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload

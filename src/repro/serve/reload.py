@@ -46,6 +46,7 @@ class ManifestWatcher:
         manifest_path: str | Path,
         app: ServeApp,
         poll_seconds: float = 2.0,
+        builder=None,
     ) -> None:
         """Watch ``manifest_path`` (file or run directory) for ``app``.
 
@@ -53,6 +54,10 @@ class ManifestWatcher:
             manifest_path: ``manifest.json`` or the directory holding it.
             app: The app whose index generations this watcher manages.
             poll_seconds: Sleep between mtime checks.
+            builder: ``manifest -> index`` callable; defaults to
+                :func:`~repro.serve.indices.build_index`.  The CLI binds
+                the selected ``--backend`` here so a reload rebuilds
+                into the same storage tier it serves from.
 
         Raises:
             ValueError: Non-positive poll interval.
@@ -64,6 +69,7 @@ class ManifestWatcher:
             location = location / MANIFEST_NAME
         self.path = location
         self.app = app
+        self.builder = builder if builder is not None else build_index
         self.poll_seconds = float(poll_seconds)
         self.last_error: str | None = None
         self.reloads = 0
@@ -99,10 +105,13 @@ class ManifestWatcher:
                 self._known_mtime = mtime
                 self.last_error = None
                 return False
-            index = build_index(manifest)
+            index = self.builder(manifest)
         except Exception as exc:
             # Keep serving the old epoch; a torn read of a mid-publish
-            # manifest or a failed rebuild retries on the next poll.
+            # manifest or a failed rebuild (including an out-of-core
+            # store compile whose blobs failed digest verification —
+            # e.g. an injected ``op=corrupt`` fault) retries on the
+            # next poll.
             self.last_error = f"{type(exc).__name__}: {exc}"
             return False
         self.app.swap_index(index)

@@ -55,7 +55,13 @@ from repro.serve.indices import PairIndex, ServeIndex
 from repro.serve.metrics import ServeMetrics
 from repro.serve.rcache import ResponseCache
 
-__all__ = ["ServeApp", "ServeSettings", "WORKER_HEADER", "make_server"]
+__all__ = [
+    "RunRouter",
+    "ServeApp",
+    "ServeSettings",
+    "WORKER_HEADER",
+    "make_server",
+]
 
 _JSON = "application/json"
 
@@ -413,14 +419,14 @@ class ServeApp:
             raise _HTTPError(
                 404, f"unknown entity {params['id']!r} in {pair.domain}"
             )
-        sites = pair.sites_of_entity(entity)
+        hosts = pair.entity_site_hosts(entity)
         return {
             "domain": pair.domain,
             "attribute": pair.attribute,
             "entity": pair.entity_label(entity),
             "entity_index": int(entity),
-            "n_sites": int(len(sites)),
-            "sites": [pair.incidence.site_hosts[int(s)] for s in sites],
+            "n_sites": int(len(hosts)),
+            "sites": hosts,
         }
 
     def _site_matches(
@@ -436,7 +442,7 @@ class ServeApp:
                 continue
             if attribute is not None and pair.attribute != attribute:
                 continue
-            site = pair.host_to_site.get(host)
+            site = pair.site_of_host(host)
             if site is None:
                 continue
             matches.append((pair, site))
@@ -466,14 +472,12 @@ class ServeApp:
                     {
                         "domain": pair.domain,
                         "attribute": pair.attribute,
-                        "n_entities": int(len(entities)),
-                        "truncated": bool(len(entities) > limit),
-                        "entities": [
-                            pair.entity_label(int(e)) for e in entities[:limit]
-                        ],
+                        "n_entities": int(total),
+                        "truncated": bool(total > limit),
+                        "entities": pair.entity_labels(page),
                     }
-                    for pair, entities in (
-                        (pair, pair.entities_on_site(site))
+                    for pair, total, page in (
+                        (pair, *pair.site_page(site, 0, limit))
                         for pair, site in matches
                     )
                 ],
@@ -501,22 +505,21 @@ class ServeApp:
         next_cursor: str | None = None
         for position in range(start_at, len(matches)):
             pair, site = matches[position]
-            entities = pair.entities_on_site(site)
             begin = offset if position == start_at else 0
-            if begin > len(entities):
+            total, taken = pair.site_page(site, begin, remaining)
+            if begin > total:
                 raise _HTTPError(400, "cursor offset beyond listing")
-            taken = entities[begin : begin + remaining]
             pages.append(
                 {
                     "domain": pair.domain,
                     "attribute": pair.attribute,
-                    "n_entities": int(len(entities)),
+                    "n_entities": int(total),
                     "offset": int(begin),
-                    "entities": [pair.entity_label(int(e)) for e in taken],
+                    "entities": pair.entity_labels(taken),
                 }
             )
             remaining -= len(taken)
-            if begin + len(taken) < len(entities):
+            if begin + len(taken) < total:
                 next_cursor = _encode_cursor(
                     pair.domain, pair.attribute, begin + len(taken)
                 )
@@ -606,7 +609,88 @@ class ServeApp:
         payload["batcher"] = epoch.batcher.stats()
         payload["deadline_seconds"] = self.policy.timeout_seconds
         payload["index_fingerprint"] = epoch.index.identity
+        payload["backend"] = getattr(epoch.index, "backend", "ram")
         return payload
+
+
+class RunRouter:
+    """Route ``/v1/run/{run_id}/...`` prefixes to per-run apps.
+
+    The multi-run registry: each run keeps its own :class:`ServeApp`
+    (index epoch, response cache, batcher, metrics), so runs reload and
+    account independently.  Legacy unprefixed routes go to the default
+    run unchanged — single-run clients never notice the router — and
+    ``/v1/runs`` lists the registry.  The router quacks like a
+    :class:`ServeApp` where the HTTP shells care (``handle`` /
+    ``settings`` / ``worker_id``), so :func:`make_server` and the
+    sharded workers drive it unmodified.
+    """
+
+    def __init__(self, apps: dict[str, ServeApp], default_run: str) -> None:
+        if default_run not in apps:
+            raise ValueError(f"default run {default_run!r} not in registry")
+        self.apps = dict(apps)
+        self.default_run = default_run
+
+    @property
+    def settings(self) -> ServeSettings:
+        """The default run's settings (shells bind with these)."""
+        return self.apps[self.default_run].settings
+
+    @property
+    def worker_id(self) -> int:
+        """The default run's worker id (shells stamp it on responses)."""
+        return self.apps[self.default_run].worker_id
+
+    def handle(self, target: str) -> tuple[int, bytes]:
+        """Serve one GET request path, routing by run prefix."""
+        parts = urlsplit(target)
+        segments = [s for s in parts.path.split("/") if s]
+        if segments == ["v1", "runs"]:
+            return 200, _render(self._runs_payload())
+        if len(segments) >= 3 and segments[0] == "v1" and segments[1] == "run":
+            run_id = segments[2]
+            app = self.apps.get(run_id)
+            if app is None:
+                return 404, _render(
+                    {
+                        "error": f"unknown run {run_id!r}; "
+                        f"have {sorted(self.apps)}",
+                        "status": 404,
+                    }
+                )
+            rest = segments[3:]
+            # /v1/run/{id}/healthz and /metrics unwrap to the run's own
+            # service endpoints; everything else re-roots under /v1/.
+            if rest in (["healthz"], ["metrics"]):
+                path = f"/{rest[0]}"
+            else:
+                path = "/v1/" + "/".join(rest)
+            query = f"?{parts.query}" if parts.query else ""
+            return app.handle(path + query)
+        return self.apps[self.default_run].handle(target)
+
+    def _runs_payload(self) -> dict[str, object]:
+        """The ``/v1/runs`` registry listing."""
+        return {
+            "default_run": self.default_run,
+            "runs": [
+                {
+                    "run_id": run_id,
+                    "backend": getattr(app.index, "backend", "ram"),
+                    "index_fingerprint": app.index.identity,
+                    "scale": app.index.config.scale,
+                    "seed": app.index.config.seed,
+                    "pairs": len(app.index.pairs),
+                }
+                for run_id, app in sorted(self.apps.items())
+            ],
+        }
+
+    def close(self) -> None:
+        """Shut down every run's worker pool (idempotent)."""
+        for app in self.apps.values():
+            app.close()
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -618,7 +702,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # response at ~40ms and the latency benchmark measures the kernel,
     # not the server.
     disable_nagle_algorithm = True
-    app: ServeApp  # attached by make_server
+    app: "ServeApp | RunRouter"  # attached by make_server
 
     def do_GET(self) -> None:
         """Serve one request through :meth:`ServeApp.handle`."""
@@ -634,7 +718,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         """Suppress stderr access logs (metrics cover observability)."""
 
 
-def make_server(app: ServeApp) -> ThreadingHTTPServer:
+def make_server(app: "ServeApp | RunRouter") -> ThreadingHTTPServer:
     """Bind a :class:`ThreadingHTTPServer` serving ``app``.
 
     The handler class is specialized per call so multiple servers (and

@@ -47,7 +47,7 @@ from pathlib import Path
 from repro.serve.fasthttp import FastHTTPServer
 from repro.serve.indices import ServeIndex, build_index, load_manifest
 from repro.serve.reload import ManifestWatcher
-from repro.serve.server import ServeApp, ServeSettings
+from repro.serve.server import RunRouter, ServeApp, ServeSettings
 
 __all__ = [
     "ShardPlan",
@@ -127,6 +127,9 @@ class ShardedServer:
         manifest_path: str | Path | None = None,
         settings: ServeSettings | None = None,
         plan: ShardPlan | None = None,
+        builder=None,
+        extra_runs: dict[str, str | Path] | None = None,
+        default_run: str = "default",
     ) -> None:
         """Prepare (but do not start) a sharded deployment.
 
@@ -137,10 +140,23 @@ class ShardedServer:
                 required when ``index`` is None or hot reload is on.
             settings: Per-worker :class:`ServeSettings` (host/port/...).
             plan: Shard count, strategy, reload cadence.
+            builder: ``manifest -> index`` callable for building and
+                hot-reloading indices; defaults to
+                :func:`~repro.serve.indices.build_index`.  The CLI
+                binds the selected ``--backend`` here.
+            extra_runs: Additional runs to serve behind a
+                :class:`~repro.serve.server.RunRouter` — a
+                ``run_id -> manifest path`` map.  Their indices are
+                built once here (via ``builder``) and inherited by
+                every worker through fork.
+            default_run: Registry name of the primary run (the one
+                legacy unprefixed routes hit) when ``extra_runs`` is
+                non-empty.
 
         Raises:
             ValueError: Neither an index nor a manifest path was given,
-                or hot reload was requested without a manifest path.
+                hot reload was requested without a manifest path, or an
+                extra run reuses ``default_run``'s name.
             RuntimeError: The platform has no ``fork`` start method.
         """
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -154,12 +170,27 @@ class ShardedServer:
         self.manifest_path = (
             None if manifest_path is None else Path(manifest_path)
         )
+        self.builder = builder if builder is not None else build_index
         if index is None:
             if self.manifest_path is None:
                 raise ValueError("need an index or a manifest_path")
-            index = build_index(load_manifest(self.manifest_path))
+            index = self.builder(load_manifest(self.manifest_path))
         if self.plan.reload_poll_seconds > 0 and self.manifest_path is None:
             raise ValueError("hot reload needs a manifest_path to watch")
+        self.default_run = default_run
+        self.extra_runs = {
+            run_id: Path(path) for run_id, path in (extra_runs or {}).items()
+        }
+        if default_run in self.extra_runs:
+            raise ValueError(
+                f"extra run {default_run!r} collides with the default run"
+            )
+        # Extra-run indices are built once, pre-fork, for the same
+        # copy-on-write sharing the primary index gets.
+        self.extra_indices: dict[str, ServeIndex] = {
+            run_id: self.builder(load_manifest(path))
+            for run_id, path in sorted(self.extra_runs.items())
+        }
         self.index = index
         self._ctx = multiprocessing.get_context("fork")
         self._processes: list = []
@@ -171,6 +202,14 @@ class ShardedServer:
         self.server_address: tuple[str, int] | None = None
 
     # -- parent side ----------------------------------------------------------
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (for RSS attribution)."""
+        return [
+            process.pid
+            for process in self._processes
+            if process.pid is not None and process.is_alive()
+        ]
 
     def start(self) -> tuple[str, int]:
         """Bind, fork the workers, wait until all accept; returns (host, port)."""
@@ -288,14 +327,43 @@ class ShardedServer:
 
     # -- worker side (runs after fork) ----------------------------------------
 
-    def _worker_app(self, worker_id: int) -> tuple[ServeApp, ManifestWatcher | None]:
-        """Build the per-worker app over the fork-inherited index."""
+    def _worker_app(
+        self, worker_id: int
+    ) -> tuple["ServeApp | RunRouter", list[ManifestWatcher]]:
+        """Build the per-worker app(s) over the fork-inherited indices.
+
+        One :class:`ServeApp` per registered run (own caches and
+        metrics over the shared immutable index pages); a
+        :class:`RunRouter` fronts them when extra runs are registered.
+        Each run gets its own watcher so runs hot-reload independently.
+        """
         app = ServeApp(self.index, self.settings, worker_id=worker_id)
-        watcher = None
+        watchers: list[ManifestWatcher] = []
         if self.plan.reload_poll_seconds > 0 and self.manifest_path is not None:
-            watcher = ManifestWatcher(
-                self.manifest_path, app, self.plan.reload_poll_seconds
-            ).start()
+            watchers.append(
+                ManifestWatcher(
+                    self.manifest_path,
+                    app,
+                    self.plan.reload_poll_seconds,
+                    builder=self.builder,
+                ).start()
+            )
+        handler: ServeApp | RunRouter = app
+        if self.extra_runs:
+            apps = {self.default_run: app}
+            for run_id, run_index in sorted(self.extra_indices.items()):
+                run_app = ServeApp(run_index, self.settings, worker_id=worker_id)
+                apps[run_id] = run_app
+                if self.plan.reload_poll_seconds > 0:
+                    watchers.append(
+                        ManifestWatcher(
+                            self.extra_runs[run_id],
+                            run_app,
+                            self.plan.reload_poll_seconds,
+                            builder=self.builder,
+                        ).start()
+                    )
+            handler = RunRouter(apps, self.default_run)
         # The worker's heap is an immutable index plus str->bytes LRU
         # caches: reference counting reclaims everything, and cyclic
         # collections over the (large, long-lived) cache dicts cost
@@ -304,7 +372,7 @@ class ShardedServer:
         # collector off, as read-mostly servers conventionally do.
         gc.freeze()
         gc.disable()
-        return app, watcher
+        return handler, watchers
 
     def _worker_reuseport(
         self, worker_id: int, host: str, port: int, ready

@@ -1,0 +1,56 @@
+"""Tiered out-of-core query storage behind the serving contract.
+
+The paper's corpus is web-scale; an in-RAM CSR index caps catalog size
+at memory.  ``repro.store`` provides three interchangeable tiers —
+``ram`` (built by :mod:`repro.serve.indices`), ``mmap`` (CSR blobs
+opened with ``mmap_mode="r"``), and ``sqlite`` (adjacency, k-coverage
+ranks, and demand bins queried in SQL) — all compiled from a run
+manifest by :func:`build_store` into cache-addressed artifacts and all
+rendering byte-identical ``/v1/*`` responses.
+
+Layering: ``store`` sits *below* ``serve`` (it may import ``core``,
+``perf``, ``pipeline``, ``resilience``; never the HTTP tier) so the
+compiler can run inside ``repro all`` without dragging in a server.
+"""
+
+from repro.store.backend import (
+    BACKENDS,
+    CsrView,
+    PairBackend,
+    QueryIndex,
+    StorageBackend,
+    choose_backend,
+    open_backend,
+)
+from repro.store.compile import (
+    STORE_FORMAT,
+    StoreArtifacts,
+    build_store,
+    store_blob_key,
+)
+from repro.store.demand import DemandTable
+from repro.store.manifest import Manifest, load_manifest, manifest_identity
+from repro.store.mmapcsr import MmapPair
+from repro.store.sql import SqliteDemandTable, SqlitePair, SqliteStore
+
+__all__ = [
+    "BACKENDS",
+    "CsrView",
+    "DemandTable",
+    "Manifest",
+    "MmapPair",
+    "PairBackend",
+    "QueryIndex",
+    "STORE_FORMAT",
+    "SqliteDemandTable",
+    "SqlitePair",
+    "SqliteStore",
+    "StorageBackend",
+    "StoreArtifacts",
+    "build_store",
+    "choose_backend",
+    "load_manifest",
+    "manifest_identity",
+    "open_backend",
+    "store_blob_key",
+]

@@ -1,0 +1,534 @@
+"""`build_store`: compile a manifest's corpora into out-of-core blobs.
+
+The compiler routes every corpus through the *cache-aware* pipeline
+builders (:func:`~repro.pipeline.experiments.spread_incidence` /
+:func:`~repro.pipeline.experiments.build_traffic_dataset`) — exactly
+like the in-RAM index builder — then lowers the read-optimized layout
+into cache-addressed artifacts keyed on the manifest identity:
+
+- per pair, individual ``.npy`` blobs (CSR both ways, the dense
+  coverage table, host/id string arrays plus their sort orders) that
+  the mmap tier opens with ``mmap_mode="r"``.  Individual files, not
+  an ``.npz``: ``np.load`` silently ignores ``mmap_mode`` for zip
+  members, which would quietly re-inflate the index into RAM;
+- per traffic site, one small ``.npz`` bundle of demand-bin arrays;
+- one ``.sqlite`` file holding integer-encoded adjacency, size-rank
+  encodings, window-function-derived k-coverage ranks, and demand
+  bins for the SQL tier;
+- one ``meta`` record blob, published **last** so its presence implies
+  every other blob was published.
+
+Compilation is idempotent and crash/chaos-safe: each blob is published
+atomically with a sha256 sidecar, and the final read-back re-verifies
+every digest.  An injected ``op=corrupt`` fault (or real bit rot)
+therefore fails the compile loudly — the hot-reload watcher keeps the
+previous epoch instead of serving a torn store.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.coverage import k_coverage_curves
+from repro.core.incidence import transpose_csr
+from repro.core.valueadd import demand_vs_reviews
+from repro.perf import fingerprint
+from repro.perf.cache import ArtifactCache, active_cache
+from repro.pipeline.experiments import build_traffic_dataset, spread_incidence
+from repro.store.demand import DemandTable
+from repro.store.manifest import Manifest, manifest_identity
+
+__all__ = [
+    "STORE_FORMAT",
+    "TOP_HOSTS",
+    "StoreArtifacts",
+    "build_store",
+    "store_blob_key",
+]
+
+STORE_FORMAT = "repro-store-v2"
+
+#: Hosts advertised per pair (head of the size-ranked order); bounds
+#: the /healthz payload at paper scale.  Shared with the RAM tier.
+TOP_HOSTS = 50
+
+#: Demand sources every traffic dataset exposes, in table order.
+DEMAND_SOURCES = ("search", "browse")
+
+#: ``.npy`` members emitted per pair (plus id members when ids exist).
+PAIR_MEMBERS = (
+    "site_ptr",
+    "entity_idx",
+    "entity_ptr",
+    "entity_sites",
+    "coverage",
+    "hosts",
+    "hosts_sorted",
+    "host_order",
+)
+
+PAIR_ID_MEMBERS = ("entity_ids", "ids_sorted", "id_order")
+
+_SCHEMA = """
+CREATE TABLE meta(key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE pairs(
+    pair_id INTEGER PRIMARY KEY,
+    domain TEXT NOT NULL,
+    attribute TEXT NOT NULL,
+    n_entities INTEGER NOT NULL,
+    n_sites INTEGER NOT NULL,
+    ks TEXT NOT NULL,
+    top_hosts TEXT NOT NULL,
+    has_ids INTEGER NOT NULL
+);
+CREATE TABLE sites(
+    pair_id INTEGER NOT NULL,
+    site INTEGER NOT NULL,
+    host TEXT NOT NULL,
+    size INTEGER NOT NULL,
+    site_rank INTEGER NOT NULL,
+    PRIMARY KEY (pair_id, site)
+) WITHOUT ROWID;
+CREATE INDEX sites_by_host ON sites(pair_id, host, site);
+CREATE TABLE entities(
+    pair_id INTEGER NOT NULL,
+    entity INTEGER NOT NULL,
+    label TEXT NOT NULL,
+    PRIMARY KEY (pair_id, entity)
+) WITHOUT ROWID;
+CREATE INDEX entities_by_label ON entities(pair_id, label, entity);
+CREATE TABLE edges(
+    pair_id INTEGER NOT NULL,
+    site INTEGER NOT NULL,
+    pos INTEGER NOT NULL,
+    entity INTEGER NOT NULL,
+    PRIMARY KEY (pair_id, site, pos)
+) WITHOUT ROWID;
+CREATE INDEX edges_by_entity ON edges(pair_id, entity, site);
+CREATE TABLE kcov(
+    pair_id INTEGER NOT NULL,
+    k INTEGER NOT NULL,
+    first_rank INTEGER NOT NULL
+);
+CREATE INDEX kcov_by_rank ON kcov(pair_id, k, first_rank);
+CREATE TABLE demand_bins(
+    site TEXT NOT NULL,
+    source TEXT NOT NULL,
+    idx INTEGER NOT NULL,
+    center REAL NOT NULL,
+    mean REAL NOT NULL,
+    PRIMARY KEY (site, source, idx)
+) WITHOUT ROWID;
+CREATE TABLE demand_meta(
+    site TEXT PRIMARY KEY,
+    sources TEXT NOT NULL,
+    max_reviews INTEGER NOT NULL
+);
+CREATE TABLE ks_seq(k INTEGER PRIMARY KEY);
+"""
+
+# The k-th smallest size-rank among each entity's sites: entity e
+# counts toward coverage(k, t) iff its k-th mention (in the paper's
+# size-ranked site order) sits at rank <= t.  ROW_NUMBER is
+# deterministic here because site_rank is a strict permutation.
+_KCOV_FILL = """
+INSERT INTO kcov(pair_id, k, first_rank)
+SELECT pair_id, occ, site_rank FROM (
+    SELECT e.pair_id AS pair_id,
+           ROW_NUMBER() OVER (
+               PARTITION BY e.pair_id, e.entity ORDER BY s.site_rank
+           ) AS occ,
+           s.site_rank AS site_rank
+    FROM edges AS e
+    JOIN sites AS s ON s.pair_id = e.pair_id AND s.site = e.site
+)
+WHERE occ IN (SELECT k FROM ks_seq)
+"""
+
+
+def store_blob_key(identity: str, member: str) -> str:
+    """Cache key of one compiled-store blob for an index identity.
+
+    The store format version is part of the key: bumping it orphans
+    every old-format blob (they age out of the cache) instead of
+    handing a new reader bytes it would misdecode.
+    """
+    return fingerprint(
+        "store-blob", identity=identity, member=member, format=STORE_FORMAT
+    )
+
+
+@dataclass(frozen=True)
+class _PairData:
+    """Materialized per-pair arrays, staged for publication."""
+
+    domain: str
+    attribute: str
+    n_entities: int
+    n_sites: int
+    ks: tuple[int, ...]
+    top_hosts: tuple[str, ...]
+    arrays: dict[str, np.ndarray] = field(repr=False)
+    rank_of: np.ndarray = field(repr=False)
+    labels: list[str] | None = field(repr=False)
+
+
+@dataclass(frozen=True)
+class StoreArtifacts:
+    """Verified handles to a compiled store's blobs.
+
+    ``demand`` is materialized eagerly (the bundles are a few dozen
+    floats); pair blobs stay as paths so the mmap tier can map them
+    without reading.
+    """
+
+    manifest: Manifest
+    identity: str
+    meta: dict
+    pair_blobs: dict[tuple[str, str], dict[str, Path]]
+    demand: dict[str, DemandTable] = field(repr=False)
+    sqlite_path: Path
+
+
+def _save_npy(tmp: Path, array: np.ndarray) -> None:
+    # Through a handle: np.save(path) appends ".npy" to suffix-less
+    # temp names, which would dodge the atomic rename.
+    with open(tmp, "wb") as handle:
+        np.save(handle, array)
+
+
+def _pack_blob(array: np.ndarray) -> np.ndarray:
+    """Page-frugal on-disk encoding for a pair blob.
+
+    The mmap tier's resident size is the pages its queries touch, so
+    narrower elements are a direct RSS win:
+
+    - unicode arrays (hosts, catalog ids) become fixed-width UTF-8
+      bytes — 4x narrower than numpy's UCS-4, and safe for the sorted
+      blobs because UTF-8 byte order equals code-point order, so
+      ``searchsorted`` against an encoded needle agrees with the
+      unicode sort;
+    - int64 index/pointer arrays halve to int32 when every value fits
+      (they are non-negative entity/site indices and edge offsets).
+
+    ``coverage`` stays float64: narrowing it would change the floats
+    the HTTP layer renders and break tier byte-identity.
+    """
+    if array.dtype.kind == "U":
+        return np.char.encode(array, "utf-8")
+    if array.dtype.kind == "i" and array.dtype.itemsize > 4:
+        if array.size == 0 or int(array.max()) <= np.iinfo(np.int32).max:
+            return array.astype(np.int32)
+    return array
+
+
+def _materialize_pair(domain: str, attribute: str, config) -> _PairData:
+    """Build one pair's read-optimized arrays (same math as the RAM tier)."""
+    incidence = spread_incidence(domain, attribute, config)
+    entity_ptr, entity_sites = transpose_csr(incidence)
+    n_sites = incidence.n_sites
+    curves = k_coverage_curves(
+        incidence,
+        ks=config.ks,
+        checkpoints=np.arange(1, n_sites + 1, dtype=np.int64),
+    )
+    ranked = incidence.sites_by_size()
+    rank_of = np.empty(n_sites, dtype=np.int64)
+    rank_of[ranked] = np.arange(1, n_sites + 1, dtype=np.int64)
+    top_hosts = tuple(incidence.site_hosts[int(s)] for s in ranked[:TOP_HOSTS])
+    hosts = np.asarray(incidence.site_hosts)
+    # Sort by host with ascending index as tie-break, then resolve
+    # duplicates with the *last* (largest) index via searchsorted
+    # side="right" - 1 — matching the RAM tier's dict-last-wins.
+    host_order = np.lexsort((np.arange(n_sites), hosts))
+    arrays: dict[str, np.ndarray] = {
+        "site_ptr": incidence.site_ptr,
+        "entity_idx": incidence.entity_idx,
+        "entity_ptr": entity_ptr,
+        "entity_sites": entity_sites,
+        "coverage": curves.coverage,
+        "hosts": hosts,
+        "hosts_sorted": hosts[host_order],
+        "host_order": host_order.astype(np.int64),
+    }
+    labels = incidence.entity_ids
+    if labels is not None:
+        ids = np.asarray(labels)
+        id_order = np.lexsort((np.arange(incidence.n_entities), ids))
+        arrays["entity_ids"] = ids
+        arrays["ids_sorted"] = ids[id_order]
+        arrays["id_order"] = id_order.astype(np.int64)
+    return _PairData(
+        domain=domain,
+        attribute=attribute,
+        n_entities=incidence.n_entities,
+        n_sites=n_sites,
+        ks=tuple(int(k) for k in curves.ks),
+        top_hosts=top_hosts,
+        arrays=arrays,
+        rank_of=rank_of,
+        labels=list(labels) if labels is not None else None,
+    )
+
+
+def _materialize_demand(site: str, config) -> tuple[dict[str, np.ndarray], int]:
+    """Build one traffic site's demand-bin arrays."""
+    dataset = build_traffic_dataset(site, config)
+    arrays: dict[str, np.ndarray] = {}
+    for source in DEMAND_SOURCES:
+        counts, means = demand_vs_reviews(dataset.demand(source), dataset.reviews)
+        arrays[f"{source}_counts"] = counts
+        arrays[f"{source}_means"] = means
+    max_reviews = int(dataset.reviews.max()) if len(dataset.reviews) else 0
+    return arrays, max_reviews
+
+
+def _write_sqlite(
+    tmp: Path, pairs: list[_PairData], demand_meta: dict, demand_arrays: dict
+) -> None:
+    """Write the full SQL tier into ``tmp`` (published atomically after)."""
+    conn = sqlite3.connect(tmp)
+    try:
+        conn.execute("PRAGMA journal_mode=OFF")
+        conn.execute("PRAGMA synchronous=OFF")
+        conn.executescript(_SCHEMA)
+        conn.executemany(
+            "INSERT INTO meta(key, value) VALUES (?, ?)",
+            [("format", STORE_FORMAT)],
+        )
+        ks: tuple[int, ...] = ()
+        for pair_id, data in enumerate(pairs):
+            ks = data.ks  # one config => identical ks across pairs
+            conn.execute(
+                "INSERT INTO pairs(pair_id, domain, attribute, n_entities,"
+                " n_sites, ks, top_hosts, has_ids)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    pair_id,
+                    data.domain,
+                    data.attribute,
+                    data.n_entities,
+                    data.n_sites,
+                    json.dumps(list(data.ks)),
+                    json.dumps(list(data.top_hosts)),
+                    int(data.labels is not None),
+                ),
+            )
+            site_ptr = data.arrays["site_ptr"]
+            sizes = np.diff(site_ptr)
+            hosts = data.arrays["hosts"]
+            conn.executemany(
+                "INSERT INTO sites(pair_id, site, host, size, site_rank)"
+                " VALUES (?, ?, ?, ?, ?)",
+                zip(
+                    (pair_id,) * data.n_sites,
+                    range(data.n_sites),
+                    (str(h) for h in hosts),
+                    sizes.tolist(),
+                    data.rank_of.tolist(),
+                ),
+            )
+            if data.labels is not None:
+                conn.executemany(
+                    "INSERT INTO entities(pair_id, entity, label)"
+                    " VALUES (?, ?, ?)",
+                    zip(
+                        (pair_id,) * data.n_entities,
+                        range(data.n_entities),
+                        data.labels,
+                    ),
+                )
+            entity_idx = data.arrays["entity_idx"]
+            n_edges = len(entity_idx)
+            site_per_edge = np.repeat(
+                np.arange(data.n_sites, dtype=np.int64), sizes
+            )
+            pos_per_edge = np.arange(n_edges, dtype=np.int64) - np.repeat(
+                site_ptr[:-1], sizes
+            )
+            conn.executemany(
+                "INSERT INTO edges(pair_id, site, pos, entity)"
+                " VALUES (?, ?, ?, ?)",
+                zip(
+                    (pair_id,) * n_edges,
+                    site_per_edge.tolist(),
+                    pos_per_edge.tolist(),
+                    entity_idx.tolist(),
+                ),
+            )
+        conn.executemany(
+            "INSERT INTO ks_seq(k) VALUES (?)", [(int(k),) for k in ks]
+        )
+        conn.execute(_KCOV_FILL)
+        for site, payload in demand_meta.items():
+            conn.execute(
+                "INSERT INTO demand_meta(site, sources, max_reviews)"
+                " VALUES (?, ?, ?)",
+                (site, json.dumps(payload["sources"]), payload["max_reviews"]),
+            )
+            arrays = demand_arrays[site]
+            for source in payload["sources"]:
+                counts = arrays[f"{source}_counts"]
+                means = arrays[f"{source}_means"]
+                conn.executemany(
+                    "INSERT INTO demand_bins(site, source, idx, center, mean)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    zip(
+                        (site,) * len(counts),
+                        (source,) * len(counts),
+                        range(len(counts)),
+                        counts.tolist(),
+                        means.tolist(),
+                    ),
+                )
+        conn.commit()
+    finally:
+        conn.close()
+
+
+def _pair_member_names(has_ids: bool) -> tuple[str, ...]:
+    return PAIR_MEMBERS + (PAIR_ID_MEMBERS if has_ids else ())
+
+
+def _open_existing(
+    manifest: Manifest, cache: ArtifactCache, identity: str, meta: dict
+) -> StoreArtifacts | None:
+    """Resolve (and digest-verify) every blob; None if any is missing."""
+    pair_blobs: dict[tuple[str, str], dict[str, Path]] = {}
+    for row in meta["pairs"]:
+        domain, attribute = row["domain"], row["attribute"]
+        blobs: dict[str, Path] = {}
+        for name in _pair_member_names(bool(row["has_ids"])):
+            key = store_blob_key(identity, f"pair/{domain}/{attribute}/{name}")
+            path = cache.get_file(key, ".npy")
+            if path is None:
+                return None
+            blobs[name] = path
+        pair_blobs[(domain, attribute)] = blobs
+    demand: dict[str, DemandTable] = {}
+    for row in meta["demand"]:
+        site = row["site"]
+        arrays = cache.get_arrays(store_blob_key(identity, f"demand/{site}"))
+        if arrays is None:
+            return None
+        demand[site] = DemandTable(
+            site=site,
+            sources={
+                source: (arrays[f"{source}_counts"], arrays[f"{source}_means"])
+                for source in row["sources"]
+            },
+            max_reviews=int(row["max_reviews"]),
+        )
+    sqlite_path = cache.get_file(store_blob_key(identity, "sqlite"), ".sqlite")
+    if sqlite_path is None:
+        return None
+    return StoreArtifacts(
+        manifest=manifest,
+        identity=identity,
+        meta=meta,
+        pair_blobs=pair_blobs,
+        demand=demand,
+        sqlite_path=sqlite_path,
+    )
+
+
+def build_store(
+    manifest: Manifest, cache: ArtifactCache | None = None
+) -> StoreArtifacts:
+    """Compile (or reopen) the out-of-core store for a manifest.
+
+    Idempotent per blob: against a warm cache this verifies digests and
+    returns paths; against a cold (or partially quarantined) cache it
+    regenerates exactly the missing blobs from the pipeline builders.
+
+    Raises:
+        RuntimeError: No artifact cache is configured, or freshly
+            published blobs failed digest verification (e.g. an
+            injected corruption fault) — never returns a torn store.
+    """
+    cache = cache if cache is not None else active_cache()
+    if cache is None:
+        raise RuntimeError(
+            "out-of-core store backends need an artifact cache; "
+            "configure one (drop --no-cache) or pass cache= explicitly"
+        )
+    identity = manifest_identity(manifest)
+    meta_key = store_blob_key(identity, "meta")
+    rows = cache.get_records(meta_key)
+    if rows:
+        existing = _open_existing(manifest, cache, identity, rows[0])
+        if existing is not None:
+            return existing
+
+    config = manifest.config
+    pairs = [
+        _materialize_pair(domain, attribute, config)
+        for domain, attribute in manifest.spread_pairs
+    ]
+    demand_arrays: dict[str, dict[str, np.ndarray]] = {}
+    demand_meta: dict[str, dict] = {}
+    for site in manifest.traffic_sites:
+        arrays, max_reviews = _materialize_demand(site, config)
+        demand_arrays[site] = arrays
+        demand_meta[site] = {
+            "site": site,
+            "sources": list(DEMAND_SOURCES),
+            "max_reviews": max_reviews,
+        }
+
+    for data in pairs:
+        for name, array in data.arrays.items():
+            key = store_blob_key(
+                identity, f"pair/{data.domain}/{data.attribute}/{name}"
+            )
+            if cache.get_file(key, ".npy") is None:
+                cache.put_file(
+                    key,
+                    ".npy",
+                    lambda tmp, arr=_pack_blob(array): _save_npy(tmp, arr),
+                )
+    for site, arrays in demand_arrays.items():
+        key = store_blob_key(identity, f"demand/{site}")
+        if cache.get_arrays(key) is None:
+            cache.put_arrays(key, arrays)
+    sqlite_key = store_blob_key(identity, "sqlite")
+    if cache.get_file(sqlite_key, ".sqlite") is None:
+        cache.put_file(
+            sqlite_key,
+            ".sqlite",
+            lambda tmp: _write_sqlite(tmp, pairs, demand_meta, demand_arrays),
+        )
+
+    meta = {
+        "format": STORE_FORMAT,
+        "identity": identity,
+        "pairs": [
+            {
+                "domain": data.domain,
+                "attribute": data.attribute,
+                "n_entities": data.n_entities,
+                "n_sites": data.n_sites,
+                "ks": list(data.ks),
+                "top_hosts": list(data.top_hosts),
+                "has_ids": data.labels is not None,
+            }
+            for data in pairs
+        ],
+        "demand": list(demand_meta.values()),
+    }
+    # Meta goes last: its presence implies every blob above was
+    # published.  The read-back below re-verifies every digest so a
+    # corrupted publish fails the compile instead of serving torn data.
+    cache.put_records(meta_key, [meta])
+    compiled = _open_existing(manifest, cache, identity, meta)
+    if compiled is None:
+        raise RuntimeError(
+            f"store compile for identity {identity} failed read-back "
+            "verification (blobs quarantined); refusing to serve a torn store"
+        )
+    return compiled

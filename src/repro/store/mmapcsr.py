@@ -1,0 +1,241 @@
+"""Memory-mapped CSR pair backend.
+
+Opens the compiler's per-pair ``.npy`` blobs with
+``np.load(..., mmap_mode="r")``: the process maps the files and the OS
+pages adjacency rows in on demand, so resident size tracks the working
+set instead of the corpus.  String resolution (host → site, catalog id
+→ entity) binary-searches pre-sorted string blobs via
+``np.searchsorted`` — O(log n) page touches instead of a resident hash
+map — with ``side="right" - 1`` picking the largest index among
+duplicates, exactly matching the RAM tier's dict-last-wins semantics.
+
+Every numeric path reuses the same shared code as the RAM tier
+(:func:`~repro.core.setcover.greedy_set_cover` through
+:class:`~repro.store.backend.CsrView`, the dense coverage table, the
+:class:`~repro.store.demand.DemandTable` lookup), so responses are
+byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.store.backend import CsrView, check_top_t, coverage_row, run_set_cover
+from repro.store.compile import StoreArtifacts
+
+__all__ = ["MmapPair", "open_mmap_pairs"]
+
+
+def _advise_random(array: np.ndarray) -> np.ndarray:
+    """Hint ``MADV_RANDOM`` on a memory-mapped array's pages.
+
+    Point lookups fault single pages, but the kernel's default
+    readahead pulls a ~128 KB window per fault — which quietly pages
+    most of a blob in under a random-access load and defeats the
+    tier's RSS story.  ``MADV_RANDOM`` turns that off.  No-op on
+    platforms without ``madvise`` (or non-mmap arrays).
+    """
+    mapping = getattr(array, "_mmap", None)
+    advise = getattr(mapping, "madvise", None)
+    if advise is not None and hasattr(mmap, "MADV_RANDOM"):
+        advise(mmap.MADV_RANDOM)
+    return array
+
+
+def _drop_page_cache(path: str | os.PathLike) -> None:
+    """Evict a freshly mapped blob's page cache (``POSIX_FADV_DONTNEED``).
+
+    Opening a store verifies every blob digest with a streaming read,
+    which leaves the whole file in the page cache; each later mmap
+    fault then maps a window of neighbouring *already-cached* pages
+    ("fault-around"), quietly making entire blobs resident.
+    ``MADV_RANDOM`` can't prevent that — it disables readahead IO, not
+    the mapping of cached pages — so evict the cache once at open time
+    and let the query load fault in only the pages it touches.  No-op
+    where ``posix_fadvise`` is unavailable.
+    """
+    if not hasattr(os, "posix_fadvise"):
+        return
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.posix_fadvise(fd, 0, 0, os.POSIX_FADV_DONTNEED)
+    finally:
+        os.close(fd)
+
+
+def _text(value: Any) -> str:
+    """Render a blob element as text (UTF-8 bytes or unicode)."""
+    if isinstance(value, bytes):
+        return value.decode("utf-8")
+    return str(value)
+
+
+def _searchsorted_last(sorted_values: np.ndarray, needle: str) -> int:
+    """Index of the last occurrence of ``needle``, or -1 when absent.
+
+    String blobs are stored as fixed-width UTF-8 bytes (see
+    ``compile._pack_blob``); UTF-8 byte order equals code-point order,
+    so searching with the encoded needle agrees with the unicode sort
+    that produced the blob.
+    """
+    key: str | bytes = needle
+    if sorted_values.dtype.kind == "S":
+        key = needle.encode("utf-8")
+    pos = int(np.searchsorted(sorted_values, key, side="right")) - 1
+    if pos >= 0 and sorted_values[pos] == key:
+        return pos
+    return -1
+
+
+@dataclass(frozen=True)
+class MmapPair:
+    """One (domain, attribute) corpus served from memory-mapped blobs."""
+
+    domain: str
+    attribute: str
+    coverage_ks: tuple[int, ...]
+    top_hosts: tuple[str, ...]
+    site_ptr: np.ndarray = field(repr=False)
+    entity_idx: np.ndarray = field(repr=False)
+    entity_ptr: np.ndarray = field(repr=False)
+    entity_sites: np.ndarray = field(repr=False)
+    coverage: np.ndarray = field(repr=False)
+    hosts: np.ndarray = field(repr=False)
+    hosts_sorted: np.ndarray = field(repr=False)
+    host_order: np.ndarray = field(repr=False)
+    entity_ids: np.ndarray | None = field(repr=False)
+    ids_sorted: np.ndarray | None = field(repr=False)
+    id_order: np.ndarray | None = field(repr=False)
+
+    @property
+    def n_entities(self) -> int:
+        """Entity-database size (coverage denominator)."""
+        return len(self.entity_ptr) - 1
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites in this corpus."""
+        return len(self.site_ptr) - 1
+
+    def resolve_entity(self, entity_id: str) -> int | None:
+        """Map a catalog id (or bare index string) to an entity index."""
+        if self.ids_sorted is not None:
+            pos = _searchsorted_last(self.ids_sorted, entity_id)
+            if pos >= 0:
+                return int(self.id_order[pos])
+        if entity_id.isdigit():
+            index = int(entity_id)
+            if 0 <= index < self.n_entities:
+                return index
+        return None
+
+    def entity_label(self, entity: int) -> str:
+        """Catalog id for an entity index (falls back to the index)."""
+        if self.entity_ids is not None:
+            return _text(self.entity_ids[entity])
+        return str(entity)
+
+    def entity_labels(self, entities) -> list[str]:
+        """Labels for an iterable of entity indices, in input order."""
+        if self.entity_ids is not None:
+            return [_text(self.entity_ids[int(e)]) for e in entities]
+        return [str(int(e)) for e in entities]
+
+    def sites_of_entity(self, entity: int) -> np.ndarray:
+        """Site indices mentioning ``entity`` (ascending)."""
+        return self.entity_sites[
+            self.entity_ptr[entity] : self.entity_ptr[entity + 1]
+        ]
+
+    def entities_on_site(self, site: int) -> np.ndarray:
+        """Entity indices mentioned by site ``site``."""
+        return self.entity_idx[self.site_ptr[site] : self.site_ptr[site + 1]]
+
+    def site_page(self, site: int, offset: int, count: int):
+        """``(total, page)`` slice of a site's listing.
+
+        Slicing the memmap view is lazy, so only the page's rows are
+        actually faulted in — the whole point of this tier.
+        """
+        begin = int(self.site_ptr[site])
+        end = int(self.site_ptr[site + 1])
+        total = end - begin
+        page = self.entity_idx[begin + offset : min(begin + offset + count, end)]
+        return total, page
+
+    def entity_site_hosts(self, entity: int) -> list[str]:
+        """Hosts of an entity's sites, in ascending site order."""
+        return self.site_hosts(self.sites_of_entity(entity))
+
+    def site_host(self, site: int) -> str:
+        """Host name for a site index."""
+        return _text(self.hosts[site])
+
+    def site_hosts(self, sites) -> list[str]:
+        """Hosts for an iterable of site indices, in input order."""
+        return [_text(self.hosts[int(s)]) for s in sites]
+
+    def site_of_host(self, host: str) -> int | None:
+        """Site index for a host name, or None when unknown."""
+        pos = _searchsorted_last(self.hosts_sorted, host)
+        if pos < 0:
+            return None
+        return int(self.host_order[pos])
+
+    def coverage_at(self, k: int, top_t: int) -> float:
+        """k-coverage of the top-``top_t`` sites, from the mapped table.
+
+        Raises:
+            KeyError: ``k`` was not precomputed (outside the config ks).
+            ValueError: ``top_t`` outside ``[1, n_sites]``.
+        """
+        row = coverage_row(self.coverage_ks, k)
+        check_top_t(top_t, self.n_sites)
+        return float(self.coverage[row, top_t - 1])
+
+    def set_cover(self, budget: int) -> dict[str, object]:
+        """Bounded greedy set cover over the mapped CSR."""
+        view = CsrView(self.n_entities, self.site_ptr, self.entity_idx)
+        return run_set_cover(view, self.site_host, budget)
+
+
+def open_mmap_pairs(
+    artifacts: StoreArtifacts,
+) -> tuple[dict[tuple[str, str], MmapPair], dict[str, Any]]:
+    """Map every pair blob of a compiled store; demand rides along."""
+    pairs: dict[tuple[str, str], MmapPair] = {}
+    for row in artifacts.meta["pairs"]:
+        domain, attribute = row["domain"], row["attribute"]
+        blobs = artifacts.pair_blobs[(domain, attribute)]
+
+        def mapped(name: str, blobs=blobs) -> np.ndarray:
+            array = _advise_random(
+                np.load(blobs[name], mmap_mode="r", allow_pickle=False)
+            )
+            _drop_page_cache(blobs[name])
+            return array
+
+        has_ids = bool(row["has_ids"])
+        pairs[(domain, attribute)] = MmapPair(
+            domain=domain,
+            attribute=attribute,
+            coverage_ks=tuple(int(k) for k in row["ks"]),
+            top_hosts=tuple(row["top_hosts"]),
+            site_ptr=mapped("site_ptr"),
+            entity_idx=mapped("entity_idx"),
+            entity_ptr=mapped("entity_ptr"),
+            entity_sites=mapped("entity_sites"),
+            coverage=mapped("coverage"),
+            hosts=mapped("hosts"),
+            hosts_sorted=mapped("hosts_sorted"),
+            host_order=mapped("host_order"),
+            entity_ids=mapped("entity_ids") if has_ids else None,
+            ids_sorted=mapped("ids_sorted") if has_ids else None,
+            id_order=mapped("id_order") if has_ids else None,
+        )
+    return pairs, dict(artifacts.demand)

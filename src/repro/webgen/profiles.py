@@ -86,6 +86,9 @@ SCALES: dict[str, ScalePreset] = {
     "small": ScalePreset("small", n_entities=2000, site_factor=2.0),
     "medium": ScalePreset("medium", n_entities=8000, site_factor=2.0),
     "paper": ScalePreset("paper", n_entities=40000, site_factor=2.5),
+    # Storage-ladder rung: big enough that ``auto`` leaves RAM (100k
+    # entities > RAM_MAX_ENTITIES) at the paper's mention density.
+    "ladder": ScalePreset("ladder", n_entities=100_000, site_factor=1.0),
 }
 
 

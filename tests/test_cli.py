@@ -15,6 +15,21 @@ TINY = ["--scale", "tiny", "--traffic-entities", "2000",
         "--traffic-events", "20000", "--traffic-cookies", "4000"]
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    """Restore the global artifact cache around every CLI invocation.
+
+    ``main()`` configures the process-wide cache exactly like the real
+    CLI would — fine in a short-lived process, but an in-process test
+    must not leak its cache (or lack of one) into later test files.
+    """
+    from repro.perf import active_cache, configure_cache
+
+    previous = active_cache()
+    yield
+    configure_cache(previous)
+
+
 def test_table1(capsys):
     assert main(["table1"]) == 0
     out = capsys.readouterr().out
@@ -320,3 +335,72 @@ def test_serve_bench_rejects_bad_sweep(serve_artifacts, capsys):
         ]
     ) == 2
     assert "sweep" in capsys.readouterr().err
+
+
+def test_serve_bench_sqlite_backend_run(serve_artifacts, tmp_path, capsys):
+    report = tmp_path / "BENCH_SQLITE.json"
+    assert main(
+        [
+            "serve-bench", str(serve_artifacts),
+            "--seed", "7", "--clients", "2", "--requests", "20",
+            "--backend", "sqlite", "--cache-dir", str(tmp_path / "cache"),
+            "--report", str(report),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "sqlite backend" in out
+    assert "server peak rss" in out
+    payload = json.loads(report.read_text())
+    assert payload["statuses"] == {"200": 20}
+    assert payload["rss_mb"] > 0
+
+
+def test_serve_bench_backend_rejects_no_cache(serve_artifacts, capsys):
+    assert main(
+        [
+            "serve-bench", str(serve_artifacts),
+            "--backend", "mmap", "--no-cache", "--dry-run",
+        ]
+    ) == 2
+    assert "drop --no-cache" in capsys.readouterr().err
+
+
+def test_serve_registry_expansion_and_run_ids(tmp_path):
+    from pathlib import Path
+
+    from repro.cli import _expand_run_paths, _run_id_of
+    from repro.pipeline.config import ExperimentConfig
+    from repro.pipeline.runall import MANIFEST_NAME, write_manifest
+
+    registry = tmp_path / "registry"
+    for name in ("alpha", "beta"):
+        run = registry / name
+        run.mkdir(parents=True)
+        write_manifest(run, ExperimentConfig(scale="tiny", seed=0), [])
+    (registry / "not-a-run").mkdir()
+
+    expanded = _expand_run_paths([registry])
+    assert [path.name for path in expanded] == ["alpha", "beta"]
+    # A run directory with its own manifest passes through unchanged.
+    assert _expand_run_paths([registry / "alpha"]) == [registry / "alpha"]
+    assert _run_id_of(registry / "alpha") == "alpha"
+    assert _run_id_of(registry / "alpha" / MANIFEST_NAME) == "alpha"
+
+
+def test_serve_duplicate_run_ids_exit(tmp_path, capsys):
+    from repro.pipeline.config import ExperimentConfig
+    from repro.pipeline.runall import write_manifest
+
+    a, b = tmp_path / "x" / "run", tmp_path / "y" / "run"
+    for run in (a, b):
+        run.mkdir(parents=True)
+        write_manifest(run, ExperimentConfig(scale="tiny", seed=0), [])
+    assert main(["serve", str(a), str(b), "--no-cache"]) == 2
+    assert "duplicate run id" in capsys.readouterr().err
+
+
+def test_all_compile_store_rejects_no_cache(tmp_path, capsys):
+    assert main(
+        ["all", str(tmp_path / "out"), "--compile-store", "--no-cache", *TINY]
+    ) == 2
+    assert "drop --no-cache" in capsys.readouterr().err

@@ -505,15 +505,23 @@ def test_layering_dag_matches_design_section3():
     # report renders results; it must not reach back into pipeline.
     assert "pipeline" not in LAYERS["report"]
     # nothing may import pipeline except serve (the online consumer of
-    # the batch pipeline's builders) and root modules.
+    # the batch pipeline's builders), store (which compiles the
+    # pipeline's artifacts into out-of-core tiers), and root modules.
     assert all(
         "pipeline" not in allowed
         for pkg, allowed in LAYERS.items()
-        if pkg != "serve"
+        if pkg not in {"serve", "store"}
     )
     # serve is the top of the DAG: a sink no other subsystem imports.
     assert "pipeline" in LAYERS["serve"]
     assert all("serve" not in allowed for allowed in LAYERS.values())
+    # store sits below serve and never knows about HTTP.
+    assert "store" in LAYERS["serve"]
+    assert all(
+        "store" not in allowed
+        for pkg, allowed in LAYERS.items()
+        if pkg != "serve"
+    )
     # devtools is a leaf: lints the tree without participating in it.
     assert LAYERS["devtools"] == frozenset()
     # The whitelist itself is acyclic (defensive: config drift).
@@ -531,3 +539,55 @@ def test_layering_dag_matches_design_section3():
 
     for pkg in LAYERS:
         visit(pkg)
+
+
+# ---------------------------------------------------------------- STORE001
+
+
+def test_store001_flags_interpolated_sql():
+    findings = check_source(
+        '"""M."""\n\n\n'
+        "def bad(conn, table, k):\n"
+        '    """B."""\n'
+        '    conn.execute(f"SELECT * FROM {table}")\n'
+        '    conn.execute("SELECT * FROM t WHERE k = %s" % k)\n'
+        '    conn.execute("SELECT * FROM " + table)\n'
+        '    conn.executemany("INSERT INTO t VALUES ({})".format(k), [])\n'
+        '    conn.executescript(";".join(["a", "b"]))\n',
+        select=["STORE001"],
+    )
+    assert rules_of(findings) == ["STORE001"] * 5
+    assert [f.line for f in findings] == [6, 7, 8, 9, 10]
+
+
+def test_store001_clean_on_constant_statements():
+    findings = check_source(
+        '"""M."""\n\n\n'
+        "def good(conn, k):\n"
+        '    """G."""\n'
+        '    conn.execute("SELECT * FROM t WHERE k = ?", (k,))\n'
+        '    conn.execute("SELECT entity FROM edges "\n'
+        '                 "WHERE pair_id = ? AND site = ?", (1, 2))\n'
+        '    conn.execute("SELECT 1" + " FROM t")\n'
+        '    conn.executescript("CREATE TABLE a(x); CREATE TABLE b(y);")\n',
+        select=["STORE001"],
+    )
+    assert findings == []
+
+
+def test_store001_ignores_non_execute_calls():
+    findings = check_source(
+        '"""M."""\n\n\n'
+        "def other(runner, name):\n"
+        '    """O."""\n'
+        '    runner.launch(f"job-{name}")\n',
+        select=["STORE001"],
+    )
+    assert findings == []
+
+
+def test_store001_selected_for_the_store_tree():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    selectors = config.selectors_for("src/repro/store/sql.py")
+    assert "STORE" in selectors
+    assert "STORE001" in resolve_selectors(selectors)

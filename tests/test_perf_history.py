@@ -142,3 +142,56 @@ def test_update_doc_is_idempotent(tmp_path):
     first = doc.read_text()
     update_performance_doc(doc, rows)
     assert doc.read_text() == first
+
+
+PR9_SHAPE = {
+    "benchmark": "repro.store backend ladder",
+    "rungs": [
+        {
+            "backend": "ram",
+            "rss_mb": 812.4,
+            "latency_ms": {"p50_ms": 0.3, "p99_ms": 1.1},
+        },
+        {
+            "backend": "mmap",
+            "rss_mb": 301.2,
+            "latency_ms": {"p50_ms": 0.4, "p99_ms": 1.6},
+        },
+        {
+            "backend": "sqlite",
+            "rss_mb": 120.9,
+            "latency_ms": {"p50_ms": 0.8, "p99_ms": 3.4},
+        },
+    ],
+    "criteria": {"rss_ratio_max": 0.5, "p99_ratio_max": 5.0, "pass": True},
+}
+
+
+def test_collect_extracts_flat_rss(tmp_path):
+    payload = dict(PR4_SHAPE, rss_mb=512.5)
+    (tmp_path / "BENCH_PR4.json").write_text(json.dumps(payload))
+    rows = collect_bench_rows(tmp_path)
+    assert rows[0]["rss_mb"] == 512.5
+    table = format_history(rows)
+    assert "rss_mb" in table.splitlines()[0]
+    assert "512.5" in table
+
+
+def test_collect_extracts_backend_ladder_rss_and_headline(tmp_path):
+    (tmp_path / "BENCH_PR9.json").write_text(json.dumps(PR9_SHAPE))
+    rows = collect_bench_rows(tmp_path)
+    assert rows[0]["rss_mb"] == {"ram": 812.4, "mmap": 301.2, "sqlite": 120.9}
+    assert rows[0]["headline"] == (
+        "ram p99 1.1ms, mmap p99 1.6ms, sqlite p99 3.4ms PASS"
+    )
+    table = format_history(rows)
+    assert "ram=812.4 mmap=301.2 sqlite=120.9" in table
+
+
+def test_reports_without_rss_render_a_dash(tmp_path):
+    _write_reports(tmp_path)
+    rows = collect_bench_rows(tmp_path)
+    assert all("rss_mb" not in row for row in rows)
+    table = format_history(rows)
+    for line in table.splitlines()[2:]:
+        assert "| -" in line
