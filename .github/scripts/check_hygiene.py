@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Repo-hygiene check: no bytecode debris under ``src/``.
+
+An earlier PR left an orphaned ``__pycache__`` directory (bytecode for
+modules whose sources were never committed) under ``src/repro``, which
+then confused both ``git status`` and readers of the tree.  This check
+fails CI when that class of debris reappears:
+
+1. any ``__pycache__`` directory or ``*.pyc`` file tracked by git under
+   ``src/`` (tracked bytecode is always a mistake);
+2. any ``*.pyc`` whose matching ``*.py`` source does not exist (an
+   orphan: the bytecode outlived its module);
+3. any ``__pycache__`` directory whose parent contains no ``*.py``
+   files at all (a whole orphaned package cache).
+
+Untracked ``__pycache__`` next to real sources is deliberately allowed:
+every ``PYTHONPATH=src`` run creates it, and ``.gitignore`` already
+keeps it out of the index.
+
+Usage::
+
+    python .github/scripts/check_hygiene.py [root]
+
+Exits 0 when clean, 1 with one line per offence otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+_PYC_STEM = re.compile(r"^(?P<stem>.+?)(\.[\w-]+)?\.pyc$")
+
+
+def tracked_bytecode(root: Path) -> list[str]:
+    """Git-tracked __pycache__/ or .pyc paths under src/ (worst case)."""
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files", "--", "src"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return []  # not a git checkout (e.g. sdist): skip this probe
+    return [
+        line
+        for line in proc.stdout.splitlines()
+        if "__pycache__" in line.split("/") or line.endswith(".pyc")
+    ]
+
+
+def orphan_pyc(root: Path) -> list[str]:
+    """.pyc files under src/ whose source .py no longer exists."""
+    offences = []
+    for pyc in sorted((root / "src").rglob("*.pyc")):
+        match = _PYC_STEM.match(pyc.name)
+        stem = match.group("stem") if match else pyc.stem
+        source_dir = (
+            pyc.parent.parent if pyc.parent.name == "__pycache__" else pyc.parent
+        )
+        if not (source_dir / f"{stem}.py").exists():
+            offences.append(str(pyc.relative_to(root)))
+    return offences
+
+
+def orphan_pycache_dirs(root: Path) -> list[str]:
+    """__pycache__ dirs under src/ whose parent holds no .py sources."""
+    offences = []
+    for cache in sorted((root / "src").rglob("__pycache__")):
+        if cache.is_dir() and not any(cache.parent.glob("*.py")):
+            offences.append(str(cache.relative_to(root)))
+    return offences
+
+
+def main(argv: list[str]) -> int:
+    """Run all probes against ``argv[0]`` (default: cwd); report offences."""
+    root = Path(argv[0]) if argv else Path.cwd()
+    offences = [
+        f"tracked bytecode: {path}" for path in tracked_bytecode(root)
+    ]
+    offences += [f"orphan .pyc: {path}" for path in orphan_pyc(root)]
+    offences += [
+        f"orphan __pycache__: {path}" for path in orphan_pycache_dirs(root)
+    ]
+    for offence in offences:
+        print(f"hygiene: {offence}", file=sys.stderr)
+    if offences:
+        print(
+            f"hygiene: {len(offences)} offence(s); remove the bytecode "
+            "debris (see .github/scripts/check_hygiene.py)",
+            file=sys.stderr,
+        )
+        return 1
+    print("hygiene: clean (no bytecode debris under src/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint lint-changed bench bench-json bench-serve bench-store artifacts examples clean
+.PHONY: install test lint lint-changed lint-conc hygiene bench bench-json bench-serve bench-store artifacts examples clean
 
 install:
 	pip install -e . && pip install pytest pytest-benchmark hypothesis
@@ -15,9 +15,22 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src tests benchmarks
 
-# Pre-commit variant: lints only files staged in the git index.
+# Pre-commit variant: lints only files staged in the git index.  Heavy
+# whole-project analyses (CONC001/CONC003) are skipped for speed; the
+# full `lint` / `lint-conc` targets and CI still run them.
 lint-changed:
 	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint --changed-only
+
+# Concurrency & import-budget pass only: the whole-project analyses
+# over the serve-path tiers.  See docs/static_analysis.md.
+lint-conc:
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint \
+		src/repro/serve src/repro/perf src/repro/store \
+		--select CONC,IMP001
+
+# Repo hygiene: no tracked or orphaned bytecode under src/.
+hygiene:
+	$(PYTHON) .github/scripts/check_hygiene.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

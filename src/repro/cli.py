@@ -424,7 +424,7 @@ def _expand_run_paths(paths: list[Path]) -> list[Path]:
     but whose children have one is a registry: every child run is
     served.  Anything else passes through unchanged.
     """
-    from repro.pipeline.runall import MANIFEST_NAME
+    from repro.pipeline.config import MANIFEST_NAME
 
     if len(paths) == 1:
         root = paths[0]
@@ -441,7 +441,7 @@ def _expand_run_paths(paths: list[Path]) -> list[Path]:
 
 def _run_id_of(path: Path) -> str:
     """Registry name of a run: its directory name."""
-    from repro.pipeline.runall import MANIFEST_NAME
+    from repro.pipeline.config import MANIFEST_NAME
 
     resolved = Path(path)
     if resolved.name == MANIFEST_NAME:

@@ -12,6 +12,14 @@ machine-enforces the conventions of DESIGN.md §6:
   enforced on the import graph; cycles are errors.
 - **API hygiene** (``API0xx``) — docstrings on public items,
   ``__all__`` ↔ public-name consistency, no mutable default arguments.
+- **Concurrency & fork safety** (``CONC0xx``) — whole-project lock
+  model and call graph (:mod:`repro.devtools.conc`): guarded state is
+  written under its guard, ``acquire`` always pairs with a release,
+  pre-fork resources stay out of fork-worker code, and nothing blocks
+  while holding a lock.
+- **Import budgets** (``IMP001``) — serve-path packages must not pay
+  for the batch-pipeline stack at import time; costs and budgets are
+  committed in ``pyproject.toml``.
 
 Run it with ``python -m repro.devtools.lint src tests benchmarks`` (or
 ``make lint``).  Rules are configured per path prefix in the
@@ -25,6 +33,6 @@ without participating in it.
 """
 
 from repro.devtools.findings import Finding
-from repro.devtools.registry import Rule, all_rules, get_rule
+from repro.devtools.registry import AnalysisContext, Rule, all_rules, get_rule
 
-__all__ = ["Finding", "Rule", "all_rules", "get_rule"]
+__all__ = ["AnalysisContext", "Finding", "Rule", "all_rules", "get_rule"]

@@ -1,0 +1,42 @@
+"""Whole-project concurrency analysis backing the CONC rule family.
+
+The package layers three models over parsed modules:
+
+- :mod:`repro.devtools.conc.model` — symbol table: per-function
+  attribute sites, held-lock sets, call edges, spawn sites, fork-unsafe
+  resource creations;
+- :mod:`repro.devtools.conc.callgraph` — module-local reachability from
+  thread roots (``Thread(target=...)``, ``submit``, HTTP handlers) and
+  fork roots (``Process(target=...)``);
+- :mod:`repro.devtools.conc.lockmodel` / ``forkmodel`` — inferred guard
+  relationships and pre-fork resources touched in worker code.
+
+:func:`build_model` is the entry point rules use; it memoises one build
+per lint invocation in the shared :class:`~repro.devtools.registry.
+AnalysisContext` cache so the four CONC rules pay for one analysis.
+Like the rest of ``repro.devtools``, this package is stdlib-only and a
+leaf of the layering DAG: it analyses ``repro`` but imports none of it.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.conc.model import ModuleSummary, summarize_module
+from repro.devtools.registry import AnalysisContext, ModuleInfo
+
+__all__ = ["ModuleSummary", "build_model", "summarize_module"]
+
+_CACHE_KEY = "repro.devtools.conc:model"
+
+
+def build_model(
+    modules: list[ModuleInfo], context: AnalysisContext | None = None
+) -> dict[str, ModuleSummary]:
+    """Summaries for every module, keyed by relpath (memoised per run)."""
+    if context is not None:
+        cached = context.cache.get(_CACHE_KEY)
+        if cached is not None and cached[0] == len(modules):
+            return cached[1]
+    model = {module.relpath: summarize_module(module) for module in modules}
+    if context is not None:
+        context.cache[_CACHE_KEY] = (len(modules), model)
+    return model

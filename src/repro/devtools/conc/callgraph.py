@@ -1,0 +1,141 @@
+"""Call graph and reachability over one module's function summaries.
+
+Resolution is deliberately module-local and conservative:
+
+- ``self.m()`` resolves within the caller's own class;
+- bare ``f()`` resolves to a module-level function;
+- duck-typed ``obj.m()`` resolves to *every* method named ``m`` in the
+  module (over-approximation: reachability may include methods that a
+  precise points-to analysis would exclude, never the reverse);
+- nested functions and lambdas are reachable whenever their enclosing
+  function is — they close over its state and typically run later on a
+  thread or executor.
+
+Thread roots are the targets of ``threading.Thread(target=...)`` /
+``executor.submit(f)`` spawns plus the per-connection HTTP entry points
+(``handle``, ``do_GET``, ...).  Fork roots are ``Process(target=...)``
+spawn targets, grouped by the spawning class so the fork model stays
+class-local.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.conc.model import FunctionSummary, ModuleSummary
+
+__all__ = [
+    "HANDLER_ENTRY_POINTS",
+    "fork_roots_by_class",
+    "iter_functions",
+    "reachable_from",
+    "thread_reachable",
+]
+
+# Methods invoked per-request/per-connection by socketserver-style
+# frameworks: each call may run on its own thread.
+HANDLER_ENTRY_POINTS = frozenset(
+    {"handle", "do_GET", "do_HEAD", "do_POST", "process_connection"}
+)
+
+
+def iter_functions(summary: ModuleSummary):
+    """Every function summary in the module, nested ones included."""
+    pending: list[FunctionSummary] = list(summary.functions.values())
+    for cls in summary.classes.values():
+        pending.extend(cls.methods.values())
+    while pending:
+        fn = pending.pop()
+        yield fn
+        pending.extend(fn.nested)
+
+
+def thread_reachable(summary: ModuleSummary) -> set[str]:
+    """Qualnames of functions that may run on a non-main thread."""
+    roots: list[FunctionSummary] = []
+    for fn in iter_functions(summary):
+        for spawn in fn.spawns:
+            if spawn.kind not in ("thread", "submit"):
+                continue
+            roots.extend(_resolve_spec(summary, fn, spawn.target))
+    for cls in summary.classes.values():
+        for name, method in cls.methods.items():
+            if name in HANDLER_ENTRY_POINTS:
+                roots.append(method)
+    return _closure(summary, roots)
+
+
+def fork_roots_by_class(summary: ModuleSummary) -> dict[str, list[FunctionSummary]]:
+    """Fork-worker entry points, keyed by the class that forks."""
+    out: dict[str, list[FunctionSummary]] = {}
+    for fn in iter_functions(summary):
+        for spawn in fn.spawns:
+            if spawn.kind != "process":
+                continue
+            for target in _resolve_spec(summary, fn, spawn.target):
+                if target.class_name is not None:
+                    out.setdefault(target.class_name, []).append(target)
+    return out
+
+
+def reachable_from(summary: ModuleSummary, roots: list[FunctionSummary]) -> set[str]:
+    """Fork-worker closure: precise edges only, no duck typing.
+
+    Worker code touches ``self`` attributes of the forking class, so
+    self-calls, bare calls, nested functions and spawns cover it; the
+    duck-typed ``obj.m()`` edge would fold parent-only methods into the
+    worker set whenever a worker constructs some *other* object with a
+    same-named method (``watcher.start()`` vs the server's ``start``).
+    """
+    return _closure(summary, roots, duck=False)
+
+
+def _closure(
+    summary: ModuleSummary, roots: list[FunctionSummary], duck: bool = True
+) -> set[str]:
+    methods_by_name: dict[str, list[FunctionSummary]] = {}
+    for cls in summary.classes.values():
+        for name, method in cls.methods.items():
+            methods_by_name.setdefault(name, []).append(method)
+    seen: set[str] = set()
+    stack = list(roots)
+    while stack:
+        fn = stack.pop()
+        if fn.qualname in seen:
+            continue
+        seen.add(fn.qualname)
+        stack.extend(fn.nested)
+        for kind, name in fn.calls:
+            if kind == "self" and fn.class_name is not None:
+                cls = summary.classes.get(fn.class_name)
+                if cls is not None and name in cls.methods:
+                    stack.append(cls.methods[name])
+            elif kind == "bare":
+                if name in summary.functions:
+                    stack.append(summary.functions[name])
+            elif kind == "attr" and duck:
+                stack.extend(methods_by_name.get(name, ()))
+        for spawn in fn.spawns:
+            stack.extend(_resolve_spec(summary, fn, spawn.target))
+    return seen
+
+
+def _resolve_spec(
+    summary: ModuleSummary,
+    caller: FunctionSummary,
+    spec: tuple[str, str] | None,
+) -> list[FunctionSummary]:
+    """Resolve a spawn-target spec to function summaries."""
+    if spec is None:
+        return []
+    kind, name = spec
+    if kind == "self" and caller.class_name is not None:
+        cls = summary.classes.get(caller.class_name)
+        if cls is not None and name in cls.methods:
+            return [cls.methods[name]]
+        return []
+    if kind == "bare":
+        if name in summary.functions:
+            return [summary.functions[name]]
+        for nested in caller.nested:
+            if nested.name == name:
+                return [nested]
+    return []

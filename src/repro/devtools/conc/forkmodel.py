@@ -1,0 +1,80 @@
+"""Fork-safety model: resources that must not cross a fork boundary.
+
+A class that calls ``Process(target=self._worker)`` (the
+``ShardedServer`` pattern — ``multiprocessing.get_context("fork")``)
+splits its methods into *pre-fork* (parent-only) and *worker-reachable*
+(the fork targets plus everything they call).  Any instance attribute
+that received a fork-unsafe resource — a lock, socket, executor or mmap
+constructed pre-fork — and is then touched from worker-reachable code
+is reported: the child inherits the raw lock word / file descriptor /
+pool state without the threads that service it.
+
+Resources created *inside* worker-reachable code are fine: they are
+born after the fork.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.devtools.conc.callgraph import fork_roots_by_class, reachable_from
+from repro.devtools.conc.model import ModuleSummary
+
+__all__ = ["ForkViolation", "fork_violations"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ForkViolation:
+    """A pre-fork resource touched from fork-worker code."""
+
+    class_name: str
+    attr: str
+    kind: str
+    created_line: int
+    method: str
+    lineno: int
+    col: int
+
+
+def fork_violations(summary: ModuleSummary) -> list[ForkViolation]:
+    """All fork-safety violations in one module, ordered by line."""
+    out: list[ForkViolation] = []
+    roots = fork_roots_by_class(summary)
+    for class_name, targets in roots.items():
+        cls = summary.classes.get(class_name)
+        if cls is None:
+            continue
+        worker = reachable_from(summary, targets)
+        unsafe: dict[str, tuple[str, int]] = {}
+        for name, method in cls.methods.items():
+            if method.qualname in worker:
+                continue  # created post-fork: safe
+            for attr, (kind, lineno) in method.unsafe_creates.items():
+                unsafe.setdefault(attr, (kind, lineno))
+        if not unsafe:
+            continue
+        for name, method in cls.methods.items():
+            for fn in _with_nested(method):
+                if fn.qualname not in worker:
+                    continue
+                for site in fn.touches:
+                    if site.attr in unsafe:
+                        kind, created = unsafe[site.attr]
+                        out.append(
+                            ForkViolation(
+                                class_name,
+                                site.attr,
+                                kind,
+                                created,
+                                fn.qualname,
+                                site.lineno,
+                                site.col,
+                            )
+                        )
+    return sorted(out, key=lambda v: (v.lineno, v.col, v.attr))
+
+
+def _with_nested(fn):
+    yield fn
+    for nested in fn.nested:
+        yield from _with_nested(nested)

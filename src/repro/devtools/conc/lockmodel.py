@@ -1,0 +1,60 @@
+"""Guard inference: which lock protects which shared attribute.
+
+Two sources, annotation beating inference:
+
+1. ``# guarded-by: <lock>`` on an attribute's assignment line binds the
+   attribute to that lock explicitly (``<lock>`` may be spelled
+   ``_lock`` or ``self._lock``).
+2. Otherwise, if every locked access of ``self.<attr>`` outside
+   ``__init__`` happens under exactly one lock, that lock is inferred
+   as the guard.  Attributes only ever accessed lock-free get *no*
+   guard — single-writer designs (a daemon thread owning its counters,
+   an atomic epoch-reference swap) are legal, and CONC001 only fires on
+   *inconsistency*: a guard exists, and a write bypasses it.
+
+``__init__`` is excluded from both inference votes and violation sites:
+construction happens-before publication.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.conc.model import ClassSummary, ModuleSummary
+
+__all__ = ["class_guards", "global_guards"]
+
+
+def class_guards(summary: ModuleSummary, cls: ClassSummary) -> dict[str, str]:
+    """Map attribute name → canonical guard lock for one class."""
+    votes: dict[str, set[str]] = {}
+    for name, method in cls.methods.items():
+        if name == "__init__":
+            continue
+        for site in method.touches + method.writes:
+            if site.held:
+                votes.setdefault(site.attr, set()).update(site.held)
+    guards = {attr: locks.pop() for attr, locks in votes.items() if len(locks) == 1}
+    for method in cls.methods.values():
+        for site in method.writes:
+            lock = summary.annotations.get(site.lineno)
+            if lock is not None:
+                guards[site.attr] = _normalize(lock)
+    return guards
+
+
+def global_guards(summary: ModuleSummary) -> dict[str, str]:
+    """Map module-global name → guard lock inferred from locked writes."""
+    votes: dict[str, set[str]] = {}
+    for fn in summary.functions.values():
+        for site in fn.global_writes:
+            if site.held:
+                votes.setdefault(site.name, set()).update(site.held)
+    return {name: locks.pop() for name, locks in votes.items() if len(locks) == 1}
+
+
+def _normalize(lock: str) -> str:
+    """Spell annotation lock names the way held-lock keys are spelled."""
+    if lock.startswith("self."):
+        return lock
+    if "." not in lock:
+        return f"self.{lock}"
+    return lock

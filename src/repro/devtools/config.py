@@ -11,15 +11,27 @@ Schema::
     [tool.reprolint.paths.tests]
     select = ["RNG001", "RNG002", "RNG003", "API003"]
 
+    [tool.reprolint.import-costs]     # MB of RSS an import pulls in
+    "scipy" = 51.0
+    "repro.pipeline.experiments" = 11.0
+
+    [tool.reprolint.import-budgets]   # MB a package may import eagerly
+    "repro.serve" = 8.0
+
 ``select`` entries are rule ids or family prefixes (``RNG`` = every
 ``RNG***`` rule); the policy whose path is the longest matching prefix
 of a file's project-relative path wins.  Files matching no policy get
 every rule.
 
+``import-costs`` and ``import-budgets`` feed the IMP001 rule: both are
+keyed by dotted module prefixes and matched longest-prefix-first, so a
+cost for ``scipy`` covers ``scipy.sparse`` and a budget for
+``repro.serve`` covers every module in the package.
+
 On Python ≥ 3.11 the section is read with :mod:`tomllib`; on 3.10 a
 small built-in parser covering exactly this schema subset (table
-headers, string values, arrays of strings) is used instead, so the
-linter has zero third-party dependencies everywhere.
+headers, string/number values, arrays of strings) is used instead, so
+the linter has zero third-party dependencies everywhere.
 """
 
 from __future__ import annotations
@@ -54,6 +66,8 @@ class LintConfig:
 
     exclude: tuple[str, ...] = DEFAULT_EXCLUDES
     paths: tuple[PathPolicy, ...] = ()
+    import_costs: tuple[tuple[str, float], ...] = ()
+    import_budgets: tuple[tuple[str, float], ...] = ()
 
     def is_excluded(self, relpath: str) -> bool:
         """True if ``relpath`` falls under any excluded prefix."""
@@ -68,12 +82,35 @@ class LintConfig:
                     best = policy
         return best.select if best is not None else ("all",)
 
+    def import_cost(self, dotted: str) -> tuple[str, float] | None:
+        """Longest-prefix import-cost entry covering module ``dotted``."""
+        return _longest_dotted(self.import_costs, dotted)
+
+    def import_budget(self, dotted: str) -> tuple[str, float] | None:
+        """Longest-prefix import-budget entry covering module ``dotted``."""
+        return _longest_dotted(self.import_budgets, dotted)
+
 
 def _under(relpath: str, prefix: str) -> bool:
     """True if ``relpath`` is ``prefix`` or inside it (POSIX components)."""
     rel = PurePosixPath(relpath).parts
     pre = PurePosixPath(prefix).parts
     return len(rel) >= len(pre) and rel[: len(pre)] == pre
+
+
+def _longest_dotted(
+    entries: tuple[tuple[str, float], ...], dotted: str
+) -> tuple[str, float] | None:
+    """Longest entry whose key is ``dotted`` or a dotted prefix of it."""
+    best: tuple[str, float] | None = None
+    parts = dotted.split(".")
+    for key, value in entries:
+        key_parts = key.split(".")
+        if parts[: len(key_parts)] != key_parts:
+            continue
+        if best is None or len(key_parts) > len(best[0].split(".")):
+            best = (key, value)
+    return best
 
 
 def load_config(pyproject: Path | None) -> LintConfig:
@@ -93,7 +130,23 @@ def load_config(pyproject: Path | None) -> LintConfig:
     for prefix, table in sorted(section.get("paths", {}).items()):
         if isinstance(table, dict) and table.get("select"):
             policies.append(PathPolicy(prefix, tuple(table["select"])))
-    return LintConfig(exclude=exclude, paths=tuple(policies))
+    return LintConfig(
+        exclude=exclude,
+        paths=tuple(policies),
+        import_costs=_number_table(section.get("import-costs")),
+        import_budgets=_number_table(section.get("import-budgets")),
+    )
+
+
+def _number_table(table: object) -> tuple[tuple[str, float], ...]:
+    """Normalise a ``{dotted-module: number}`` TOML table to sorted pairs."""
+    if not isinstance(table, dict):
+        return ()
+    out = []
+    for key, value in sorted(table.items()):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out.append((str(key), float(value)))
+    return tuple(out)
 
 
 def _load_toml(text: str) -> dict:
@@ -156,7 +209,7 @@ def _descend(table: dict, parts: list[str]) -> dict:
 
 
 def _parse_value(token: str):
-    """Parse a string literal or a single-line array of string literals."""
+    """Parse a string/number literal or a single-line array of strings."""
     token = token.strip()
     if token.startswith(("'", '"')) and token.endswith(token[0]) and len(token) >= 2:
         return token[1:-1]
@@ -165,4 +218,14 @@ def _parse_value(token: str):
         for part in re.finditer(r"\"([^\"]*)\"|'([^']*)'", token):
             items.append(part.group(1) if part.group(1) is not None else part.group(2))
         return items
+    # Bare numbers (the import-cost/budget tables); comments may trail.
+    bare = token.split("#", 1)[0].strip()
+    try:
+        return int(bare)
+    except ValueError:
+        pass
+    try:
+        return float(bare)
+    except ValueError:
+        pass
     return None

@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 from repro.devtools.config import LintConfig, load_config
 from repro.devtools.findings import Finding, sort_findings
 from repro.devtools.registry import (
+    AnalysisContext,
     ModuleInfo,
     all_rules,
     make_module_info,
@@ -85,11 +86,15 @@ def lint_paths(
     config: LintConfig,
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
+    skip_heavy: bool = False,
 ) -> tuple[list[Finding], int]:
     """Lint files under ``paths``; returns (findings, files_checked).
 
     Per-file rule sets come from ``config`` unless ``select`` overrides
     them globally; ``ignore`` subtracts rules afterwards in both cases.
+    ``skip_heavy`` drops rules marked ``heavy`` (whole-project analyses
+    such as the CONC family) — used by ``--changed-only`` so the
+    pre-commit path stays fast.
     """
     rules = all_rules()
     ignored = resolve_selectors(ignore) if ignore else frozenset()
@@ -98,6 +103,8 @@ def lint_paths(
     modules: list[ModuleInfo] = []
     findings: list[Finding] = []
     enabled_by_path: dict[str, frozenset[str]] = {}
+    # modules is shared with the context: complete by project-rule time.
+    context = AnalysisContext(config=config, modules=modules)
     for path, relpath in collect_files(paths, root, config):
         if override is not None:
             enabled = override
@@ -119,7 +126,9 @@ def lint_paths(
             rule = rules[rule_id]
             if rule.scope != "module":
                 continue
-            for finding in rule.check_module(module):
+            if skip_heavy and rule.heavy:
+                continue
+            for finding in rule.check_module(module, context):
                 if not module.suppressions.is_suppressed(finding.rule, finding.line):
                     findings.append(finding)
 
@@ -128,7 +137,9 @@ def lint_paths(
         rule = rules[rule_id]
         if rule.scope != "project":
             continue
-        for finding in rule.check_project(modules):
+        if skip_heavy and rule.heavy:
+            continue
+        for finding in rule.check_project(modules, context):
             if rule_id not in enabled_by_path.get(finding.path, frozenset()):
                 continue
             module = by_relpath.get(finding.path)
@@ -144,24 +155,28 @@ def check_source(
     source: str,
     relpath: str = "src/repro/core/_fixture.py",
     select: Sequence[str] | None = None,
+    config: LintConfig | None = None,
 ) -> list[Finding]:
     """Lint one in-memory snippet with module-scope rules (test helper)."""
     module = make_module_info(Path("/" + relpath), relpath, source)
     enabled = resolve_selectors(select if select else ["all"])
     rules = all_rules()
+    context = AnalysisContext(config=config, modules=[module])
     findings = []
     for rule_id in sorted(enabled):
         rule = rules[rule_id]
         if rule.scope != "module":
             continue
-        for finding in rule.check_module(module):
+        for finding in rule.check_module(module, context):
             if not module.suppressions.is_suppressed(finding.rule, finding.line):
                 findings.append(finding)
     return sort_findings(findings)
 
 
 def check_project(
-    sources: dict[str, str], select: Sequence[str] | None = None
+    sources: dict[str, str],
+    select: Sequence[str] | None = None,
+    config: LintConfig | None = None,
 ) -> list[Finding]:
     """Lint a {relpath: source} mapping with project-scope rules."""
     modules = [
@@ -170,12 +185,13 @@ def check_project(
     ]
     enabled = resolve_selectors(select if select else ["all"])
     rules = all_rules()
+    context = AnalysisContext(config=config, modules=modules)
     findings = []
     for rule_id in sorted(enabled):
         rule = rules[rule_id]
         if rule.scope != "project":
             continue
-        for finding in rule.check_project(modules):
+        for finding in rule.check_project(modules, context):
             module = next((m for m in modules if m.relpath == finding.path), None)
             if module is not None and module.suppressions.is_suppressed(
                 finding.rule, finding.line
@@ -287,7 +303,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--changed-only",
         action="store_true",
         help="lint only Python files staged in the git index (for the "
-        "pre-commit hook); path arguments become a scope filter",
+        "pre-commit hook); path arguments become a scope filter and "
+        "heavy whole-project rules (the CONC family) are skipped",
     )
     return parser
 
@@ -341,6 +358,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             config,
             select=_split_rule_args(args.select),
             ignore=_split_rule_args(args.ignore),
+            skip_heavy=args.changed_only,
         )
     except (ValueError, FileNotFoundError) as exc:
         # Unknown rule selector in config/CLI, or a missing path argument.

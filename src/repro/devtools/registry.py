@@ -1,10 +1,15 @@
-"""Rule registry and the per-module analysis context.
+"""Rule registry and the per-module / whole-run analysis context.
 
 Rules self-register via the :func:`register` decorator when their module
 is imported (``repro.devtools.rules`` imports every rule module).  A rule
 has either ``scope == "module"`` (checked file by file) or
 ``scope == "project"`` (checked once over all parsed modules — e.g. the
-import-graph layering rules).
+import-graph layering rules and the CONC concurrency family).
+
+Every check method receives an optional :class:`AnalysisContext`: the
+resolved lint configuration, the full parsed module set, and a cache
+dict shared by every rule in one invocation — how the four CONC rules
+share one symbol-table/call-graph/lock-model build instead of four.
 """
 
 from __future__ import annotations
@@ -12,12 +17,16 @@ from __future__ import annotations
 import ast
 import dataclasses
 from pathlib import Path
-from typing import Iterable, Iterator, Type
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
 
 from repro.devtools.findings import Finding
 from repro.devtools.suppressions import Suppressions, parse_suppressions
 
+if TYPE_CHECKING:  # import only for annotations: config imports nothing back
+    from repro.devtools.config import LintConfig
+
 __all__ = [
+    "AnalysisContext",
     "ModuleInfo",
     "Rule",
     "all_rules",
@@ -57,23 +66,47 @@ class ModuleInfo:
         return parts[1]
 
 
+@dataclasses.dataclass
+class AnalysisContext:
+    """Shared state for one lint invocation.
+
+    ``modules`` is the full parsed module set (complete by the time
+    project-scope rules run; module-scope rules should only rely on
+    ``config`` and ``cache``).  ``cache`` is a scratch dict rules use to
+    share expensive derived structures — the CONC family stores its
+    symbol-table/call-graph build here under a private key so the four
+    rules pay for one analysis, not four.
+    """
+
+    config: "LintConfig | None" = None
+    modules: list["ModuleInfo"] = dataclasses.field(default_factory=list)
+    cache: dict = dataclasses.field(default_factory=dict)
+
+
 class Rule:
     """Base class for reprolint rules.
 
     Subclasses set ``rule_id`` (stable, e.g. ``"RNG001"``), ``summary``
     (one line, shown by ``--list-rules``) and ``scope``, and override
-    :meth:`check_module` or :meth:`check_project`.
+    :meth:`check_module` or :meth:`check_project`.  Rules whose analysis
+    is whole-project-expensive set ``heavy = True``; the driver skips
+    them under ``--changed-only`` so pre-commit hooks stay fast.
     """
 
     rule_id: str = ""
     summary: str = ""
     scope: str = "module"
+    heavy: bool = False
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Yield findings for a single module (module-scope rules)."""
         return iter(())
 
-    def check_project(self, modules: list[ModuleInfo]) -> Iterator[Finding]:
+    def check_project(
+        self, modules: list[ModuleInfo], context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Yield findings spanning many modules (project-scope rules)."""
         return iter(())
 

@@ -9,10 +9,15 @@ Rule families:
 - :mod:`repro.devtools.rules.perf` — hot-path idioms (``PERF001``–``PERF003``)
 - :mod:`repro.devtools.rules.robustness` — error discipline (``ROB001``–``ROB002``)
 - :mod:`repro.devtools.rules.store` — SQL hygiene (``STORE001``)
+- :mod:`repro.devtools.rules.conc` — concurrency & fork safety
+  (``CONC001``–``CONC004``)
+- :mod:`repro.devtools.rules.imports` — import budgets (``IMP001``)
 """
 
 from repro.devtools.rules import (
     api,
+    conc,
+    imports,
     layering,
     perf,
     rng,
@@ -21,4 +26,14 @@ from repro.devtools.rules import (
     store,
 )
 
-__all__ = ["api", "layering", "perf", "rng", "robustness", "seeding", "store"]
+__all__ = [
+    "api",
+    "conc",
+    "imports",
+    "layering",
+    "perf",
+    "rng",
+    "robustness",
+    "seeding",
+    "store",
+]

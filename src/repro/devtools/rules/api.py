@@ -11,7 +11,7 @@ import ast
 from typing import Iterator
 
 from repro.devtools.findings import Finding
-from repro.devtools.registry import ModuleInfo, Rule, register
+from repro.devtools.registry import AnalysisContext, ModuleInfo, Rule, register
 
 __all__ = ["DocstringRule", "DunderAllRule", "MutableDefaultRule"]
 
@@ -92,7 +92,9 @@ class DocstringRule(Rule):
     rule_id = "API001"
     summary = "missing docstring on a public module/class/function/method"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Yield a finding per public item lacking a docstring."""
         tree = module.tree
         if ast.get_docstring(tree) is None and tree.body:
@@ -138,13 +140,17 @@ class DunderAllRule(Rule):
 
     Violations: no ``__all__`` at all (except ``__main__`` entry
     modules), a non-literal ``__all__``, a listed name that is never
-    bound, or a public top-level def/class missing from the list.
+    bound (waived when the module defines a PEP 562 ``__getattr__``,
+    which provides names lazily), or a public top-level def/class
+    missing from the list.
     """
 
     rule_id = "API002"
     summary = "__all__ missing, non-literal, or out of sync with public names"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Cross-check ``__all__`` against module-level bindings."""
         if module.module_name is not None and module.module_name.endswith(
             "__main__"
@@ -171,8 +177,11 @@ class DunderAllRule(Rule):
                 )
             return
         bound = _top_level_bindings(module.tree)
+        # PEP 562: a module-level __getattr__ provides names lazily, so
+        # "listed but not bound" cannot be checked statically.
+        lazy = "__getattr__" in bound
         for listed in names:
-            if listed not in bound:
+            if listed not in bound and not lazy:
                 yield Finding(
                     module.relpath,
                     line,
@@ -211,7 +220,9 @@ class MutableDefaultRule(Rule):
 
     _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag list/dict/set (literal or constructor) defaults."""
         for node in ast.walk(module.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):

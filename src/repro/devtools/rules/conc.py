@@ -1,0 +1,245 @@
+"""CONC rules: concurrency and fork-safety discipline.
+
+- CONC001 — write to shared mutable state (a ``self`` attribute or
+  module global reachable from thread targets / HTTP handlers) outside
+  its inferred or annotated guard lock.
+- CONC002 — ``.acquire()`` called without ``with`` or an immediate
+  ``try/finally`` release: an exception between acquire and release
+  deadlocks every other thread.
+- CONC003 — fork-unsafe resource (lock, socket, executor, mmap)
+  created pre-fork and touched in fork-worker code.
+- CONC004 — blocking call (``time.sleep``, socket I/O, ``.result()``,
+  ...) while holding a lock: a convoy for everyone contending on it.
+
+CONC001/CONC003 are whole-project analyses built on
+:mod:`repro.devtools.conc` and marked ``heavy`` (skipped under
+``--changed-only``); CONC002/CONC004 are per-module and always run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.astutil import dotted_name
+from repro.devtools.conc import build_model, summarize_module
+from repro.devtools.conc.callgraph import thread_reachable
+from repro.devtools.conc.forkmodel import fork_violations
+from repro.devtools.conc.lockmodel import class_guards, global_guards
+from repro.devtools.findings import Finding
+from repro.devtools.registry import AnalysisContext, ModuleInfo, Rule, register
+
+__all__ = [
+    "AcquireDisciplineRule",
+    "BlockingUnderLockRule",
+    "ForkSafetyRule",
+    "SharedStateGuardRule",
+]
+
+
+@register
+class SharedStateGuardRule(Rule):
+    """CONC001: guarded state must not be written outside its guard."""
+
+    rule_id = "CONC001"
+    summary = (
+        "write to shared state outside its inferred/annotated guard lock "
+        "in thread-reachable code"
+    )
+    scope = "project"
+    heavy = True
+
+    def check_project(
+        self, modules: list[ModuleInfo], context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
+        """Check every thread-reachable write against the lock model."""
+        for relpath, summary in build_model(modules, context).items():
+            reachable = thread_reachable(summary)
+            for cls in summary.classes.values():
+                guards = class_guards(summary, cls)
+                if not guards:
+                    continue
+                for name, method in cls.methods.items():
+                    if name == "__init__":
+                        continue
+                    for fn in _with_nested(method):
+                        if fn.qualname not in reachable:
+                            continue
+                        for site in fn.writes:
+                            guard = guards.get(site.attr)
+                            if guard is None or guard in site.held:
+                                continue
+                            yield Finding(
+                                relpath,
+                                site.lineno,
+                                site.col,
+                                self.rule_id,
+                                f"write to 'self.{site.attr}' outside its guard "
+                                f"'{guard}' in thread-reachable {fn.qualname}; "
+                                f"hold the lock (or re-annotate the guard)",
+                            )
+            guards = global_guards(summary)
+            if not guards:
+                continue
+            for fn in summary.functions.values():
+                for inner in _with_nested(fn):
+                    if inner.qualname not in reachable:
+                        continue
+                    for site in inner.global_writes:
+                        guard = guards.get(site.name)
+                        if guard is None or guard in site.held:
+                            continue
+                        yield Finding(
+                            relpath,
+                            site.lineno,
+                            site.col,
+                            self.rule_id,
+                            f"write to module global '{site.name}' outside its "
+                            f"guard '{guard}' in thread-reachable "
+                            f"{inner.qualname}; hold the lock",
+                        )
+
+
+@register
+class AcquireDisciplineRule(Rule):
+    """CONC002: bare .acquire() without with/try-finally release."""
+
+    rule_id = "CONC002"
+    summary = ".acquire() without `with` or an immediate try/finally release"
+    scope = "module"
+
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
+        """Flag acquire statements not followed by a releasing try/finally."""
+        for body in _statement_bodies(module.tree):
+            for index, stmt in enumerate(body):
+                receiver = _acquire_receiver(stmt)
+                if receiver is None:
+                    continue
+                following = body[index + 1] if index + 1 < len(body) else None
+                if _releases_in_finally(following, receiver):
+                    continue
+                yield Finding(
+                    module.relpath,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    self.rule_id,
+                    f"'{receiver}.acquire()' without `with {receiver}:` or an "
+                    f"immediate try/finally release; an exception here leaks "
+                    f"the lock",
+                )
+
+
+@register
+class ForkSafetyRule(Rule):
+    """CONC003: pre-fork resources must not be used in worker code."""
+
+    rule_id = "CONC003"
+    summary = "fork-unsafe resource created pre-fork and touched in worker code"
+    scope = "project"
+    heavy = True
+
+    def check_project(
+        self, modules: list[ModuleInfo], context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
+        """Report every pre-fork resource reached from a fork target."""
+        for relpath, summary in build_model(modules, context).items():
+            for violation in fork_violations(summary):
+                yield Finding(
+                    relpath,
+                    violation.lineno,
+                    violation.col,
+                    self.rule_id,
+                    f"fork-unsafe {violation.kind} 'self.{violation.attr}' "
+                    f"(created pre-fork, line {violation.created_line}) is "
+                    f"used in fork-worker {violation.method}; create it after "
+                    f"the fork or close the inherited copy deliberately",
+                )
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    """CONC004: no blocking calls while holding a lock."""
+
+    rule_id = "CONC004"
+    summary = "blocking call (sleep/socket I/O/join/result) while holding a lock"
+    scope = "module"
+
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
+        """Flag blocking calls recorded inside with-lock regions."""
+        summary = summarize_module(module)
+        for fn in _all_functions(summary):
+            for site in fn.blocking:
+                held = ", ".join(site.held)
+                yield Finding(
+                    module.relpath,
+                    site.lineno,
+                    site.col,
+                    self.rule_id,
+                    f"blocking call '{site.call}' while holding {held} in "
+                    f"{fn.qualname}; do the slow work outside the lock",
+                )
+
+
+def _with_nested(fn):
+    yield fn
+    for nested in fn.nested:
+        yield from _with_nested(nested)
+
+
+def _all_functions(summary):
+    for fn in summary.functions.values():
+        yield from _with_nested(fn)
+    for cls in summary.classes.values():
+        for method in cls.methods.values():
+            yield from _with_nested(method)
+
+
+def _statement_bodies(tree: ast.Module):
+    """Every list of statements in the tree (module, defs, blocks)."""
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            value = getattr(node, field, None)
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                yield value
+
+
+def _acquire_receiver(stmt: ast.stmt) -> str | None:
+    """Dotted lock receiver of a statement-level ``.acquire()`` call."""
+    if isinstance(stmt, ast.Expr):
+        call = stmt.value
+    elif isinstance(stmt, ast.Assign):
+        call = stmt.value
+    else:
+        return None
+    if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute)):
+        return None
+    if call.func.attr != "acquire":
+        return None
+    receiver = dotted_name(call.func.value)
+    if receiver is None:
+        return None
+    last = receiver.rsplit(".", 1)[-1].lower()
+    if "lock" not in last and "mutex" not in last and "sem" not in last:
+        return None
+    return receiver
+
+
+def _releases_in_finally(stmt: ast.stmt | None, receiver: str) -> bool:
+    """True if ``stmt`` is a try whose finally releases ``receiver``."""
+    if not isinstance(stmt, ast.Try):
+        return False
+    for final in stmt.finalbody:
+        if not (isinstance(final, ast.Expr) and isinstance(final.value, ast.Call)):
+            continue
+        func = final.value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "release"
+            and dotted_name(func.value) == receiver
+        ):
+            return True
+    return False

@@ -1,0 +1,130 @@
+"""IMP001: per-package import budgets for module-level imports.
+
+The serve tier must start fast and stay small: a worker that only
+answers HTTP queries has no business paying for the batch-pipeline
+stack at import time.  ``[tool.reprolint.import-costs]`` commits the
+measured cost (MB of RSS) of importing known-heavy modules, and
+``[tool.reprolint.import-budgets]`` gives packages an eager-import
+allowance; a module-level import whose cost exceeds the importing
+package's budget is flagged.  The fix is almost always to import
+lazily inside the function that needs it — the class of bug behind the
+PR 9 lazy-scipy fix.
+
+Both tables match dotted prefixes, longest prefix first, so a cost for
+``scipy`` covers ``scipy.sparse.csgraph`` and a budget for
+``repro.serve`` covers the whole package.  Imports inside ``if
+TYPE_CHECKING:`` are free; imports of the budgeted package itself are
+exempt (a package cannot blow its own budget on its own modules).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import AnalysisContext, ModuleInfo, Rule, register
+
+__all__ = ["ImportBudgetRule"]
+
+
+@register
+class ImportBudgetRule(Rule):
+    """IMP001: module-level import heavier than the package's budget."""
+
+    rule_id = "IMP001"
+    summary = "module-level import exceeds the package's import budget"
+    scope = "module"
+
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
+        """Compare each top-level import's cost against the local budget."""
+        config = context.config if context is not None else None
+        if config is None or module.module_name is None:
+            return
+        budget = config.import_budget(module.module_name)
+        if budget is None:
+            return
+        budget_key, budget_mb = budget
+        for node, target in _module_level_imports(module):
+            if target == budget_key or target.startswith(budget_key + "."):
+                continue
+            cost = config.import_cost(target)
+            if cost is None:
+                continue
+            cost_key, cost_mb = cost
+            if cost_mb <= budget_mb:
+                continue
+            yield Finding(
+                module.relpath,
+                node.lineno,
+                node.col_offset,
+                self.rule_id,
+                f"module-level import of '{target}' costs ~{cost_mb:g} MB "
+                f"(cost entry '{cost_key}'), over the {budget_key} budget of "
+                f"{budget_mb:g} MB; import it lazily inside the function "
+                f"that needs it",
+            )
+
+
+def _module_level_imports(module: ModuleInfo):
+    """(node, dotted-target) pairs for imports that run at import time.
+
+    Covers direct module-body imports plus one level of ``if``/``try``
+    nesting (version guards, optional-dependency fallbacks) — those run
+    eagerly too.  ``if TYPE_CHECKING:`` blocks never execute at runtime
+    and are skipped.
+    """
+    pending: list[ast.stmt] = list(module.tree.body)
+    while pending:
+        stmt = pending.pop(0)
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                yield stmt, alias.name
+        elif isinstance(stmt, ast.ImportFrom):
+            base = _import_base(module, stmt)
+            if base is None:
+                continue
+            for alias in stmt.names:
+                if alias.name == "*":
+                    yield stmt, base
+                else:
+                    yield stmt, f"{base}.{alias.name}"
+        elif isinstance(stmt, ast.If):
+            if not _is_type_checking(stmt.test):
+                pending.extend(stmt.body)
+            pending.extend(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            pending.extend(stmt.body)
+            pending.extend(stmt.orelse)
+            pending.extend(stmt.finalbody)
+            for handler in stmt.handlers:
+                pending.extend(handler.body)
+
+
+def _import_base(module: ModuleInfo, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted base of a from-import, resolving relative levels."""
+    if node.level == 0:
+        return node.module
+    if module.module_name is None:
+        return None
+    parts = module.module_name.split(".")
+    if not module.is_package:
+        parts = parts[:-1]
+    if node.level - 1 > len(parts):
+        return None
+    if node.level > 1:
+        parts = parts[: len(parts) - (node.level - 1)]
+    if node.module:
+        parts = parts + node.module.split(".")
+    return ".".join(parts) if parts else None
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    """True for ``TYPE_CHECKING`` / ``typing.TYPE_CHECKING`` guards."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False

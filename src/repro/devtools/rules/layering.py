@@ -19,7 +19,7 @@ import ast
 from typing import Iterator
 
 from repro.devtools.findings import Finding
-from repro.devtools.registry import ModuleInfo, Rule, register
+from repro.devtools.registry import AnalysisContext, ModuleInfo, Rule, register
 
 __all__ = ["LAYERS", "ImportCycleRule", "LayerViolationRule", "package_imports"]
 
@@ -135,7 +135,9 @@ class LayerViolationRule(Rule):
     summary = "import breaches the DESIGN.md §3 layering DAG"
     scope = "project"
 
-    def check_project(self, modules: list[ModuleInfo]) -> Iterator[Finding]:
+    def check_project(
+        self, modules: list[ModuleInfo], context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Check every intra-``repro`` import edge against ``LAYERS``."""
         for module in modules:
             source_pkg = module.package
@@ -166,7 +168,9 @@ class ImportCycleRule(Rule):
     summary = "cycle in the subsystem import graph"
     scope = "project"
 
-    def check_project(self, modules: list[ModuleInfo]) -> Iterator[Finding]:
+    def check_project(
+        self, modules: list[ModuleInfo], context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Detect strongly-connected components among subpackages."""
         edges: dict[str, set[str]] = {}
         witness: dict[tuple[str, str], tuple[str, int]] = {}

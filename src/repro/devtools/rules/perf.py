@@ -25,7 +25,7 @@ from typing import Iterator
 
 from repro.devtools.astutil import collect_import_aliases, resolve_name
 from repro.devtools.findings import Finding
-from repro.devtools.registry import ModuleInfo, Rule, register
+from repro.devtools.registry import AnalysisContext, ModuleInfo, Rule, register
 
 __all__ = [
     "IndexCountingLoopRule",
@@ -93,7 +93,9 @@ class ListMembershipInLoopRule(Rule):
     rule_id = "PERF001"
     summary = "list-membership test inside a loop (linear scan); use a set"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag ``in``/``not in`` against statically-known lists in loops."""
         list_names = _list_valued_names(module.tree)
         seen: set[tuple[int, int]] = set()
@@ -133,7 +135,9 @@ class NumpyConcatInLoopRule(Rule):
     rule_id = "PERF002"
     summary = "numpy concatenate/append inside a loop; batch and join once"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag ``np.concatenate``-family calls nested in loop bodies."""
         aliases = collect_import_aliases(module.tree)
         seen: set[tuple[int, int]] = set()
@@ -164,7 +168,9 @@ class IndexCountingLoopRule(Rule):
     rule_id = "PERF003"
     summary = "index-counting loop over array data; vectorize or enumerate"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag ``range(len(x))`` / ``range(x.shape[...])`` loop iterators."""
         for node in ast.walk(module.tree):
             if not isinstance(node, (ast.For, ast.AsyncFor)):

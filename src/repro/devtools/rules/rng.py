@@ -14,7 +14,7 @@ from typing import Iterator
 
 from repro.devtools.astutil import collect_import_aliases, resolve_name
 from repro.devtools.findings import Finding
-from repro.devtools.registry import ModuleInfo, Rule, register
+from repro.devtools.registry import AnalysisContext, ModuleInfo, Rule, register
 
 __all__ = [
     "GlobalNumpyRandomRule",
@@ -85,7 +85,9 @@ class GlobalNumpyRandomRule(Rule):
         "use a threaded numpy.random.Generator instead"
     )
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag calls and imports that touch the legacy global RNG."""
         aliases = collect_import_aliases(module.tree)
         for node in ast.walk(module.tree):
@@ -130,7 +132,9 @@ class StdlibRandomImportRule(Rule):
     rule_id = "RNG002"
     summary = "stdlib `random` import in library code; use numpy Generators"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag ``import random`` / ``from random import ...``."""
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):
@@ -166,7 +170,9 @@ class UnseededDefaultRngRule(Rule):
     rule_id = "RNG003"
     summary = "unseeded numpy.random.default_rng(); pass a seed or Generator"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag zero-argument ``default_rng()`` calls."""
         aliases = collect_import_aliases(module.tree)
         for node in ast.walk(module.tree):
@@ -199,7 +205,9 @@ class WallClockRule(Rule):
     rule_id = "RNG004"
     summary = "wall-clock read (time.time/datetime.now/...) in analysis code"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag calls to clock functions resolved through import aliases."""
         aliases = collect_import_aliases(module.tree)
         for node in ast.walk(module.tree):

@@ -24,7 +24,7 @@ from typing import Iterator
 
 from repro.devtools.astutil import collect_import_aliases, resolve_name
 from repro.devtools.findings import Finding
-from repro.devtools.registry import ModuleInfo, Rule, register
+from repro.devtools.registry import AnalysisContext, ModuleInfo, Rule, register
 
 __all__ = ["SilentExceptRule", "UnmanagedRetrySleepRule"]
 
@@ -49,7 +49,9 @@ class SilentExceptRule(Rule):
     rule_id = "ROB001"
     summary = "except clause swallows the error; re-raise, log, or quarantine"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag handlers with no ``raise`` and no call of any kind."""
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ExceptHandler):
@@ -77,7 +79,9 @@ class UnmanagedRetrySleepRule(Rule):
     rule_id = "ROB002"
     summary = "ad-hoc sleep/retry loop; use repro.resilience.RetryPolicy"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag ``time.sleep`` calls nested inside ``for``/``while`` bodies."""
         aliases = collect_import_aliases(module.tree)
         seen: set[tuple[int, int]] = set()

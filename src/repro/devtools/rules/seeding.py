@@ -14,7 +14,7 @@ from typing import Iterator
 
 from repro.devtools.astutil import collect_import_aliases, resolve_name
 from repro.devtools.findings import Finding
-from repro.devtools.registry import ModuleInfo, Rule, register
+from repro.devtools.registry import AnalysisContext, ModuleInfo, Rule, register
 
 __all__ = ["SeedThreadingRule", "GENERATOR_METHODS", "SEED_PARAM_NAMES"]
 
@@ -122,7 +122,9 @@ class SeedThreadingRule(Rule):
     rule_id = "SEED001"
     summary = "stochastic function without rng/seed parameter (seed threading)"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Walk functions (tracking class context) and verify threading."""
         aliases = collect_import_aliases(module.tree)
         yield from self._scan(module, module.tree.body, cls=None, aliases=aliases)

@@ -22,7 +22,7 @@ import ast
 from typing import Iterator
 
 from repro.devtools.findings import Finding
-from repro.devtools.registry import ModuleInfo, Rule, register
+from repro.devtools.registry import AnalysisContext, ModuleInfo, Rule, register
 
 __all__ = ["InterpolatedSqlRule"]
 
@@ -65,7 +65,9 @@ class InterpolatedSqlRule(Rule):
     rule_id = "STORE001"
     summary = "interpolated SQL; use constant statements with ? placeholders"
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+    def check_module(
+        self, module: ModuleInfo, context: AnalysisContext | None = None
+    ) -> Iterator[Finding]:
         """Flag non-constant first arguments to execute-family methods."""
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

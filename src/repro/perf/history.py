@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import re
+import sys
 from pathlib import Path
 
 from repro.io import atomic_write_text
@@ -124,6 +125,13 @@ def collect_bench_rows(root: str | Path) -> list[dict]:
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
+            # Name the broken report loudly: a silently-degraded row
+            # reads as "that PR had no benchmark" in the trajectory.
+            print(
+                f"warning: {path.name} failed to parse "
+                f"({type(exc).__name__}: {exc}); shown as unreadable",
+                file=sys.stderr,
+            )
             row["benchmark"] = f"unreadable ({type(exc).__name__})"
             row["headline"] = "-"
         else:

@@ -5,43 +5,33 @@ evaluation on the synthetic substrate, returning a result object that
 can render itself as ASCII (terminal) and export CSV series.  The
 benchmarks in ``benchmarks/`` and the scripts in ``examples/`` are thin
 wrappers over these runners.
+
+The package exports its public names lazily (PEP 562): eagerly pulling
+``experiments``/``extensions`` costs ~11 MB of RSS and ~100 ms, and the
+serve/store tiers import ``repro.pipeline.config`` for the manifest
+contract without needing any of it.  ``from repro.pipeline import
+run_spread`` still works exactly as before — the submodule is imported
+on first attribute access.
 """
 
-from repro.pipeline.config import ExecutionSettings, ExperimentConfig
-from repro.pipeline.extensions import (
-    DiscoveryStudy,
-    StalenessStudy,
-    run_discovery_study,
-    run_redundancy_study,
-    run_staleness_study,
-    run_user_tail_study,
-)
-from repro.pipeline.experiments import (
-    ReviewSpreadResult,
-    SetCoverResult,
-    SpreadResult,
-    TrafficDataset,
-    build_traffic_dataset,
-    run_figure1,
-    run_figure2,
-    run_figure3,
-    run_figure4,
-    run_figure5,
-    run_figure6,
-    run_figure7,
-    run_figure8,
-    run_figure9,
-    run_spread,
-    run_spread_via_extraction,
-    run_table1,
-    run_table2,
-    spread_incidence,
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+from repro.pipeline.config import (
+    MANIFEST_FORMAT,
+    MANIFEST_NAME,
+    ExecutionSettings,
+    ExperimentConfig,
 )
 
 __all__ = [
     "DiscoveryStudy",
     "ExecutionSettings",
     "ExperimentConfig",
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
     "ReviewSpreadResult",
     "StalenessStudy",
     "run_discovery_study",
@@ -67,3 +57,57 @@ __all__ = [
     "run_table2",
     "spread_incidence",
 ]
+
+# Lazily-exported name -> providing submodule (PEP 562).
+_LAZY_EXPORTS = {
+    name: "repro.pipeline.extensions"
+    for name in (
+        "DiscoveryStudy",
+        "StalenessStudy",
+        "run_discovery_study",
+        "run_redundancy_study",
+        "run_staleness_study",
+        "run_user_tail_study",
+    )
+}
+_LAZY_EXPORTS.update(
+    {
+        name: "repro.pipeline.experiments"
+        for name in (
+            "ReviewSpreadResult",
+            "SetCoverResult",
+            "SpreadResult",
+            "TrafficDataset",
+            "build_traffic_dataset",
+            "run_figure1",
+            "run_figure2",
+            "run_figure3",
+            "run_figure4",
+            "run_figure5",
+            "run_figure6",
+            "run_figure7",
+            "run_figure8",
+            "run_figure9",
+            "run_spread",
+            "run_spread_via_extraction",
+            "run_table1",
+            "run_table2",
+            "spread_incidence",
+        )
+    }
+)
+_SUBMODULES = frozenset({"config", "experiments", "extensions", "runall"})
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY_EXPORTS:
+        value = getattr(importlib.import_module(_LAZY_EXPORTS[name]), name)
+        globals()[name] = value  # cache: next access skips __getattr__
+        return value
+    if name in _SUBMODULES:
+        return importlib.import_module(f"repro.pipeline.{name}")
+    raise AttributeError(f"module 'repro.pipeline' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS) | set(_SUBMODULES))

@@ -1,4 +1,11 @@
-"""Experiment configuration shared by all runners."""
+"""Experiment configuration shared by all runners.
+
+Also home to the run-manifest constants: the manifest is the contract
+between the batch pipeline (which writes it) and the serve/store tiers
+(which consume it), and this module is the lightest pipeline module
+those consumers can import — pulling them from ``runall`` would drag
+the whole experiment stack into every serve worker (IMP001).
+"""
 
 from __future__ import annotations
 
@@ -6,7 +13,17 @@ from dataclasses import dataclass, field
 
 from repro.webgen.profiles import SCALES, ScalePreset
 
-__all__ = ["ExecutionSettings", "ExperimentConfig"]
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "ExecutionSettings",
+    "ExperimentConfig",
+]
+
+# The run manifest (written next to artifacts by `repro all`) names the
+# output contract version consumed by repro.store and repro.serve.
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "repro-manifest-v1"
 
 
 @dataclass(frozen=True)

@@ -48,7 +48,12 @@ from repro.perf import (
 )
 from repro.io import atomic_write_text
 from repro.pipeline import experiments
-from repro.pipeline.config import ExecutionSettings, ExperimentConfig
+from repro.pipeline.config import (
+    MANIFEST_FORMAT,
+    MANIFEST_NAME,
+    ExecutionSettings,
+    ExperimentConfig,
+)
 from repro.report.figures import ascii_plot, write_csv
 from repro.resilience import (
     JournalEntry,
@@ -58,6 +63,9 @@ from repro.resilience import (
     resolve_journal_dir,
 )
 
+# MANIFEST_FORMAT / MANIFEST_NAME now live in repro.pipeline.config so
+# the serve/store tiers can import them without the experiment stack;
+# they stay re-exported here for compatibility.
 __all__ = [
     "MANIFEST_FORMAT",
     "MANIFEST_NAME",
@@ -66,9 +74,6 @@ __all__ = [
     "run_everything_with_report",
     "write_manifest",
 ]
-
-MANIFEST_NAME = "manifest.json"
-MANIFEST_FORMAT = "repro-manifest-v1"
 
 
 def manifest_payload(

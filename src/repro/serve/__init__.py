@@ -6,7 +6,7 @@ this subsystem turns them into the indices a production system would
 cooperating pieces:
 
 - :mod:`repro.serve.indices` — immutable in-memory indices built from a
-  run's :data:`~repro.pipeline.runall.MANIFEST_NAME` manifest: CSR
+  run's :data:`~repro.pipeline.config.MANIFEST_NAME` manifest: CSR
   entity↔site adjacency per (domain, attribute), per-site k-coverage
   tables, demand-vs-reviews lookup tables, and catalog id maps.
   ``build_index(..., backend=)`` also fronts the out-of-core tiers in

@@ -30,9 +30,9 @@ class MicroBatcher:
     def __init__(self) -> None:
         """Create a batcher with no in-flight work."""
         self._lock = threading.Lock()
-        self._inflight: dict[str, Future] = {}
-        self._launched = 0
-        self._coalesced = 0
+        self._inflight: dict[str, Future] = {}  # guarded-by: _lock
+        self._launched = 0  # guarded-by: _lock
+        self._coalesced = 0  # guarded-by: _lock
 
     def submit(self, key: str, executor: Executor, fn: Callable[[], object]) -> Future:
         """Return the shared future for ``key``, scheduling ``fn`` if absent.

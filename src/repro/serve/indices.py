@@ -42,7 +42,6 @@ from repro.core.coverage import k_coverage_curves
 from repro.core.incidence import BipartiteIncidence, transpose_csr
 from repro.core.valueadd import demand_vs_reviews
 from repro.pipeline.config import ExperimentConfig
-from repro.pipeline.experiments import build_traffic_dataset, spread_incidence
 from repro.store.backend import (
     QueryIndex,
     check_top_t,
@@ -172,6 +171,12 @@ def _build_pair(
     domain: str, attribute: str, config: ExperimentConfig
 ) -> PairIndex:
     """Build one pair's read-optimized structures."""
+    # Lazy: repro.pipeline.experiments drags the whole batch stack
+    # (~11 MB RSS, ~100 ms) into any importer; serve workers that boot
+    # from a compiled store never build a RAM index and must not pay it
+    # at import time (IMP001).
+    from repro.pipeline.experiments import spread_incidence
+
     incidence = spread_incidence(domain, attribute, config)
     entity_ptr, entity_sites = transpose_csr(incidence)
     curves = k_coverage_curves(
@@ -207,6 +212,8 @@ def _build_pair(
 
 def _build_demand(site: str, config: ExperimentConfig) -> DemandTable:
     """Build one traffic site's demand-vs-reviews lookup table."""
+    from repro.pipeline.experiments import build_traffic_dataset  # lazy: see _build_pair
+
     dataset = build_traffic_dataset(site, config)
     sources = {
         source: demand_vs_reviews(dataset.demand(source), dataset.reviews)

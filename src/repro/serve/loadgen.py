@@ -609,7 +609,10 @@ def run_open_load(
             while i < n:
                 now = time.perf_counter() - start
                 if times[i] > now:
-                    time.sleep(min(0.002, times[i] - now))
+                    # Clamp at 0: the clock can advance past times[i]
+                    # between the check and the subtraction, and a
+                    # negative argument raises ValueError.
+                    time.sleep(min(0.002, max(0.0, times[i] - now)))
                     continue
                 # Send every request already due as one write — natural
                 # pipelining when the generator runs behind schedule.

@@ -107,11 +107,11 @@ class ServeMetrics:
     def __init__(self) -> None:
         """Create an empty metrics registry."""
         self._lock = threading.Lock()
-        self._requests: dict[str, int] = {}
-        self._statuses: dict[str, dict[str, int]] = {}
-        self._latency: dict[str, LatencyHistogram] = {}
-        self._index_build_seconds = 0.0
-        self._index_swaps = 0
+        self._requests: dict[str, int] = {}  # guarded-by: _lock
+        self._statuses: dict[str, dict[str, int]] = {}  # guarded-by: _lock
+        self._latency: dict[str, LatencyHistogram] = {}  # guarded-by: _lock
+        self._index_build_seconds = 0.0  # guarded-by: _lock
+        self._index_swaps = 0  # guarded-by: _lock
 
     def set_index_build_seconds(self, seconds: float) -> None:
         """Record how long the in-memory indices took to build."""

@@ -31,7 +31,7 @@ import os
 import threading
 from pathlib import Path
 
-from repro.pipeline.runall import MANIFEST_NAME
+from repro.pipeline.config import MANIFEST_NAME
 from repro.serve.indices import build_index, load_manifest, manifest_identity
 from repro.serve.server import ServeApp
 

@@ -390,7 +390,12 @@ class ShardedServer:
 
     def _worker_router(self, worker_id: int, channel: socket.socket, ready) -> None:
         """Worker body: serve connections whose fds arrive over ``channel``."""
-        for parent_end in self._channels:
+        # CONC003 suppressed: touching the pre-fork channel sockets here
+        # is deliberate fork-fd hygiene — the child closes every
+        # inherited parent-side end precisely SO that no fork-unsafe fd
+        # outlives the fork; without this, a dead worker's channel never
+        # reads EOF and its siblings hang on shutdown.
+        for parent_end in self._channels:  # reprolint: disable=CONC003
             # Fork copied every earlier worker's parent-side channel
             # into this child; close them so EOF propagates correctly.
             try:

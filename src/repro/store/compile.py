@@ -39,7 +39,6 @@ from repro.core.incidence import transpose_csr
 from repro.core.valueadd import demand_vs_reviews
 from repro.perf import fingerprint
 from repro.perf.cache import ArtifactCache, active_cache
-from repro.pipeline.experiments import build_traffic_dataset, spread_incidence
 from repro.store.demand import DemandTable
 from repro.store.manifest import Manifest, manifest_identity
 
@@ -229,6 +228,11 @@ def _pack_blob(array: np.ndarray) -> np.ndarray:
 
 def _materialize_pair(domain: str, attribute: str, config) -> _PairData:
     """Build one pair's read-optimized arrays (same math as the RAM tier)."""
+    # Lazy: this module is imported by serve/indices at worker boot, but
+    # compiling a store is a build-time operation; the experiment stack
+    # (~11 MB RSS) must not ride along into every worker (IMP001).
+    from repro.pipeline.experiments import spread_incidence
+
     incidence = spread_incidence(domain, attribute, config)
     entity_ptr, entity_sites = transpose_csr(incidence)
     n_sites = incidence.n_sites
@@ -278,6 +282,8 @@ def _materialize_pair(domain: str, attribute: str, config) -> _PairData:
 
 def _materialize_demand(site: str, config) -> tuple[dict[str, np.ndarray], int]:
     """Build one traffic site's demand-bin arrays."""
+    from repro.pipeline.experiments import build_traffic_dataset  # lazy: see _materialize_pair
+
     dataset = build_traffic_dataset(site, config)
     arrays: dict[str, np.ndarray] = {}
     for source in DEMAND_SOURCES:

@@ -17,8 +17,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.perf import fingerprint
-from repro.pipeline.config import ExperimentConfig
-from repro.pipeline.runall import MANIFEST_FORMAT, MANIFEST_NAME
+from repro.pipeline.config import MANIFEST_FORMAT, MANIFEST_NAME, ExperimentConfig
 
 __all__ = ["Manifest", "load_manifest", "manifest_identity"]
 

@@ -1,0 +1,431 @@
+"""Tests for the CONC concurrency rules and the IMP001 import budget.
+
+Fixture-driven: each rule gets a minimal firing case, a clean case, and
+where relevant the suppression/annotation path.  The final tests are
+regression guards for the real violations this analysis surfaced in the
+repo — re-introducing the old eager pipeline import under the serve
+tier must fail IMP001 with the committed config.
+"""
+
+from pathlib import Path
+
+from repro.devtools.config import LintConfig, load_config
+from repro.devtools.lint import check_project, check_source
+from repro.devtools.registry import all_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------- CONC001
+
+
+THREADED_COUNTER = '''"""M."""
+import threading
+
+__all__ = ["Worker"]
+
+
+class Worker:
+    """W."""
+
+    def __init__(self):
+        """Init."""
+        self._lock = threading.Lock()
+        self._count = 0
+        self._thread = threading.Thread(target=self._run)
+
+    def _run(self):
+        """Loop."""
+        while True:
+            self._bump()
+            self._drop()
+
+    def _bump(self):
+        """Guarded write."""
+        with self._lock:
+            self._count += 1
+
+    def _drop(self):
+        """Unguarded write to the same attribute."""
+        self._count -= 1
+'''
+
+
+def test_conc001_flags_unguarded_write_on_thread_path():
+    findings = check_project(
+        {"src/repro/serve/fixture.py": THREADED_COUNTER}, select=["CONC001"]
+    )
+    assert rules_of(findings) == ["CONC001"]
+    assert findings[0].line == 29  # the self._count -= 1 in _drop
+    assert "_count" in findings[0].message
+    assert "self._lock" in findings[0].message
+
+
+def test_conc001_clean_when_every_write_is_guarded():
+    consistent = THREADED_COUNTER.replace(
+        '        """Unguarded write to the same attribute."""\n'
+        "        self._count -= 1\n",
+        '        """Guarded write."""\n'
+        "        with self._lock:\n"
+        "            self._count -= 1\n",
+    )
+    assert check_project(
+        {"src/repro/serve/fixture.py": consistent}, select=["CONC001"]
+    ) == []
+
+
+def test_conc001_clean_when_class_never_locks():
+    # A single-writer design with no lock at all is legal: CONC001 only
+    # fires on *inconsistent* locking, never on its absence.
+    no_lock = THREADED_COUNTER.replace(
+        "        self._lock = threading.Lock()\n", ""
+    ).replace(
+        '        """Guarded write."""\n'
+        "        with self._lock:\n"
+        "            self._count += 1\n",
+        '        """Unguarded, like every other write."""\n'
+        "        self._count += 1\n",
+    )
+    assert check_project(
+        {"src/repro/serve/fixture.py": no_lock}, select=["CONC001"]
+    ) == []
+
+
+def test_conc001_guarded_by_annotation_declares_the_guard():
+    annotated = '''"""M."""
+import threading
+
+__all__ = ["Box"]
+
+
+class Box:
+    """B."""
+
+    def __init__(self):
+        """Init."""
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+        self._thread = threading.Thread(target=self._run)
+
+    def _run(self):
+        """Writes without ever holding the declared guard."""
+        self._items.append(1)
+'''
+    findings = check_project(
+        {"src/repro/serve/fixture.py": annotated}, select=["CONC001"]
+    )
+    assert rules_of(findings) == ["CONC001"]
+    assert "_items" in findings[0].message
+
+
+def test_conc001_ignores_unreachable_methods():
+    # Same inconsistent locking, but nothing spawns a thread: the
+    # unguarded write is not on any concurrent path, so no finding.
+    sequential = THREADED_COUNTER.replace(
+        "        self._thread = threading.Thread(target=self._run)\n", ""
+    )
+    assert check_project(
+        {"src/repro/serve/fixture.py": sequential}, select=["CONC001"]
+    ) == []
+
+
+# ---------------------------------------------------------------- CONC002
+
+
+def test_conc002_flags_bare_acquire():
+    findings = check_source(
+        '"""M."""\nimport threading\n\n__all__ = []\n\n'
+        "_lock = threading.Lock()\n\n\n"
+        "def bad():\n"
+        '    """B."""\n'
+        "    _lock.acquire()\n"
+        "    return 1\n",
+        select=["CONC002"],
+    )
+    assert rules_of(findings) == ["CONC002"]
+    assert "_lock.acquire()" in findings[0].message
+
+
+def test_conc002_clean_with_try_finally_release():
+    findings = check_source(
+        '"""M."""\nimport threading\n\n__all__ = []\n\n'
+        "_lock = threading.Lock()\n\n\n"
+        "def good():\n"
+        '    """G."""\n'
+        "    _lock.acquire()\n"
+        "    try:\n"
+        "        return 1\n"
+        "    finally:\n"
+        "        _lock.release()\n",
+        select=["CONC002"],
+    )
+    assert findings == []
+
+
+def test_conc002_ignores_non_lock_receivers():
+    findings = check_source(
+        '"""M."""\n\n__all__ = []\n\n\n'
+        "def ok(conn):\n"
+        '    """Not a lock: no release obligation inferred."""\n'
+        "    conn.acquire()\n",
+        select=["CONC002"],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------- CONC003
+
+
+FORKING_SERVER = '''"""M."""
+import socket
+from multiprocessing import Process
+
+__all__ = ["Server"]
+
+
+class Server:
+    """S."""
+
+    def __init__(self):
+        """Init."""
+        self._channels = []
+
+    def start(self):
+        """Create sockets pre-fork, then fork workers."""
+        parent, child = socket.socketpair()
+        self._channels.append(parent)
+        process = Process(target=self._worker)
+        process.start()
+
+    def _worker(self):
+        """Fork-worker: touches the inherited pre-fork sockets."""
+        for channel in self._channels:
+            channel.close()
+'''
+
+
+def test_conc003_flags_prefork_socket_touched_in_worker():
+    findings = check_project(
+        {"src/repro/serve/fixture.py": FORKING_SERVER}, select=["CONC003"]
+    )
+    assert rules_of(findings) == ["CONC003"]
+    assert "_channels" in findings[0].message
+    assert "fork-worker" in findings[0].message
+
+
+def test_conc003_suppression_with_justification_is_honoured():
+    justified = FORKING_SERVER.replace(
+        "        for channel in self._channels:\n",
+        "        # Deliberate fork-fd hygiene: close inherited ends.\n"
+        "        for channel in self._channels:  # reprolint: disable=CONC003\n",
+    )
+    assert check_project(
+        {"src/repro/serve/fixture.py": justified}, select=["CONC003"]
+    ) == []
+
+
+def test_conc003_clean_when_resource_created_in_worker():
+    postfork = '''"""M."""
+import socket
+from multiprocessing import Process
+
+__all__ = ["Server"]
+
+
+class Server:
+    """S."""
+
+    def start(self):
+        """Fork first; workers make their own sockets."""
+        process = Process(target=self._worker)
+        process.start()
+
+    def _worker(self):
+        """Post-fork resource creation is safe."""
+        self._sock = socket.socket()
+        self._sock.close()
+'''
+    assert check_project(
+        {"src/repro/serve/fixture.py": postfork}, select=["CONC003"]
+    ) == []
+
+
+# ---------------------------------------------------------------- CONC004
+
+
+def test_conc004_flags_sleep_under_lock():
+    findings = check_source(
+        '"""M."""\nimport threading\nimport time\n\n__all__ = ["C"]\n\n\n'
+        "class C:\n"
+        '    """C."""\n\n'
+        "    def __init__(self):\n"
+        '        """Init."""\n'
+        "        self._lock = threading.Lock()\n\n"
+        "    def slow(self):\n"
+        '        """Sleeps while the whole class is locked out."""\n'
+        "        with self._lock:\n"
+        "            time.sleep(1.0)\n",
+        select=["CONC004"],
+    )
+    assert rules_of(findings) == ["CONC004"]
+    assert "time.sleep" in findings[0].message
+
+
+def test_conc004_clean_when_sleep_is_outside_the_lock():
+    findings = check_source(
+        '"""M."""\nimport threading\nimport time\n\n__all__ = ["C"]\n\n\n'
+        "class C:\n"
+        '    """C."""\n\n'
+        "    def __init__(self):\n"
+        '        """Init."""\n'
+        "        self._lock = threading.Lock()\n\n"
+        "    def slow(self):\n"
+        '        """Lock released before the slow part."""\n'
+        "        with self._lock:\n"
+        "            value = 1\n"
+        "        time.sleep(value)\n",
+        select=["CONC004"],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------- IMP001
+
+
+BUDGET_CONFIG = LintConfig(
+    import_costs=(("heavy", 30.0), ("repro.pipeline.runall", 11.0)),
+    import_budgets=(("repro.serve", 8.0),),
+)
+
+
+def test_imp001_flags_overbudget_module_level_import():
+    findings = check_source(
+        '"""M."""\nimport heavy\n\n__all__ = []\n',
+        relpath="src/repro/serve/fixture.py",
+        select=["IMP001"],
+        config=BUDGET_CONFIG,
+    )
+    assert rules_of(findings) == ["IMP001"]
+    assert "~30 MB" in findings[0].message
+    assert "repro.serve budget of 8 MB" in findings[0].message
+
+
+def test_imp001_cost_prefix_covers_submodules():
+    findings = check_source(
+        '"""M."""\nfrom heavy.sub.deep import thing\n\n__all__ = []\n',
+        relpath="src/repro/serve/fixture.py",
+        select=["IMP001"],
+        config=BUDGET_CONFIG,
+    )
+    assert rules_of(findings) == ["IMP001"]
+
+
+def test_imp001_lazy_function_import_is_free():
+    findings = check_source(
+        '"""M."""\n\n__all__ = []\n\n\n'
+        "def use():\n"
+        '    """Lazy: pays only when called."""\n'
+        "    import heavy\n"
+        "    return heavy\n",
+        relpath="src/repro/serve/fixture.py",
+        select=["IMP001"],
+        config=BUDGET_CONFIG,
+    )
+    assert findings == []
+
+
+def test_imp001_type_checking_imports_are_free():
+    findings = check_source(
+        '"""M."""\nfrom typing import TYPE_CHECKING\n\n__all__ = []\n\n'
+        "if TYPE_CHECKING:\n"
+        "    import heavy\n",
+        relpath="src/repro/serve/fixture.py",
+        select=["IMP001"],
+        config=BUDGET_CONFIG,
+    )
+    assert findings == []
+
+
+def test_imp001_outside_budgeted_packages_is_free():
+    findings = check_source(
+        '"""M."""\nimport heavy\n\n__all__ = []\n',
+        relpath="src/repro/pipeline/fixture.py",
+        select=["IMP001"],
+        config=BUDGET_CONFIG,
+    )
+    assert findings == []
+
+
+# --------------------------------------------- regression: the real bugs
+
+
+def test_regression_eager_runall_import_in_serve_fails_imp001():
+    """Re-introducing the pre-PR eager import must fail lint in CI.
+
+    ``serve/reload.py`` used to pull ``MANIFEST_NAME`` from
+    ``repro.pipeline.runall``, dragging the whole batch stack into every
+    fork worker.  With the committed pyproject config, that exact import
+    under the serve tier is an IMP001 violation.
+    """
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    findings = check_source(
+        '"""M."""\nfrom repro.pipeline.runall import MANIFEST_NAME\n\n'
+        "__all__ = []\n",
+        relpath="src/repro/serve/reload.py",
+        select=["IMP001"],
+        config=config,
+    )
+    assert rules_of(findings) == ["IMP001"]
+    assert "repro.pipeline.runall" in findings[0].message
+    # The fixed spelling — the manifest contract lives in the light
+    # config module — stays within budget.
+    assert check_source(
+        '"""M."""\nfrom repro.pipeline.config import MANIFEST_NAME\n\n'
+        "__all__ = []\n",
+        relpath="src/repro/serve/reload.py",
+        select=["IMP001"],
+        config=config,
+    ) == []
+
+
+def test_regression_eager_experiments_import_in_serve_fails_imp001():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    findings = check_source(
+        '"""M."""\nfrom repro.pipeline.experiments import spread_incidence\n\n'
+        "__all__ = []\n",
+        relpath="src/repro/serve/indices.py",
+        select=["IMP001"],
+        config=config,
+    )
+    assert rules_of(findings) == ["IMP001"]
+
+
+# ------------------------------------------------------------- plumbing
+
+
+def test_heavy_marking_matches_scope():
+    # CONC001/CONC003 are whole-project analyses skipped by
+    # --changed-only; the per-module rules must stay cheap and always-on.
+    rules = all_rules()
+    assert rules["CONC001"].heavy and rules["CONC001"].scope == "project"
+    assert rules["CONC003"].heavy and rules["CONC003"].scope == "project"
+    assert not rules["CONC002"].heavy and rules["CONC002"].scope == "module"
+    assert not rules["CONC004"].heavy and rules["CONC004"].scope == "module"
+    assert not rules["IMP001"].heavy and rules["IMP001"].scope == "module"
+
+
+def test_committed_config_enables_conc_on_the_serve_path():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    for relpath in (
+        "src/repro/serve/server.py",
+        "src/repro/perf/history.py",
+    ):
+        selectors = config.selectors_for(relpath)
+        assert "CONC" in selectors, (relpath, selectors)
+        assert "IMP" in selectors, (relpath, selectors)
+    assert config.import_budget("repro.serve.sharding") is not None
+    assert config.import_cost("repro.pipeline.experiments") is not None

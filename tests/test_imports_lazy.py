@@ -1,0 +1,77 @@
+"""The serve path must not pay for the batch-pipeline stack at import.
+
+IMP001 enforces this statically from the committed import-cost tables;
+these tests enforce it dynamically: a fresh interpreter importing the
+serve tier must not load ``repro.pipeline.experiments`` (or the other
+heavy batch modules), and the PEP 562 lazy exports of
+``repro.pipeline`` must still behave like the old eager ones.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HEAVY_BATCH_MODULES = (
+    "repro.pipeline.experiments",
+    "repro.pipeline.extensions",
+    "repro.pipeline.runall",
+)
+
+
+def _loaded_after(statement):
+    """Module names present in sys.modules after ``statement`` (fresh proc)."""
+    code = (
+        f"{statement}\n"
+        "import sys\n"
+        "print('\\n'.join(sorted(n for n in sys.modules if n.startswith('repro'))))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    return set(proc.stdout.split())
+
+
+def test_importing_serve_skips_the_batch_stack():
+    loaded = _loaded_after("import repro.serve")
+    assert "repro.serve" in loaded
+    # The manifest contract comes from the light config module...
+    assert "repro.pipeline.config" in loaded
+    # ...and none of the heavy batch stack rides along.
+    for heavy in HEAVY_BATCH_MODULES:
+        assert heavy not in loaded, heavy
+
+
+def test_importing_pipeline_package_is_lazy():
+    loaded = _loaded_after("import repro.pipeline")
+    for heavy in HEAVY_BATCH_MODULES:
+        assert heavy not in loaded, heavy
+
+
+def test_lazy_exports_resolve_and_cache():
+    import repro.pipeline as pipeline
+
+    # Attribute access triggers the PEP 562 import and returns the real
+    # object (identical to importing the submodule directly).
+    from repro.pipeline.experiments import run_spread
+
+    assert pipeline.run_spread is run_spread
+    assert "run_spread" in vars(pipeline)  # cached: next access is direct
+    assert "run_spread" in dir(pipeline)
+    assert pipeline.MANIFEST_NAME == "manifest.json"  # eager re-export
+
+
+def test_unknown_attribute_still_raises():
+    import repro.pipeline as pipeline
+
+    try:
+        pipeline.no_such_export
+    except AttributeError as exc:
+        assert "no_such_export" in str(exc)
+    else:  # pragma: no cover - the assert documents intent
+        raise AssertionError("expected AttributeError")

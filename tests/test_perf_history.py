@@ -90,6 +90,16 @@ def test_collect_tolerates_unreadable_and_unknown_reports(tmp_path):
     assert rows[1]["headline"] == "odd"
 
 
+def test_collect_warns_by_name_on_unreadable_report(tmp_path, capsys):
+    (tmp_path / "BENCH_PR3.json").write_text("{not json")
+    (tmp_path / "BENCH_PR9.json").write_text(json.dumps({"benchmark": "ok"}))
+    collect_bench_rows(tmp_path)
+    err = capsys.readouterr().err
+    assert err.count("warning:") == 1  # one line per broken report only
+    assert "BENCH_PR3.json" in err
+    assert "JSONDecodeError" in err
+
+
 def test_collect_empty_directory(tmp_path):
     assert collect_bench_rows(tmp_path) == []
     assert format_history([]) == "(no BENCH_PR*.json reports found)"

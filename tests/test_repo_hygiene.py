@@ -1,0 +1,66 @@
+"""Tests for the repo-hygiene check (.github/scripts/check_hygiene.py).
+
+The script guards against bytecode debris under ``src/`` — the class of
+mess an earlier PR left behind as an orphaned ``__pycache__`` package.
+These tests run it in-process via importlib (it is a script, not an
+installed module) against both the real repo and synthetic trees.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / ".github" / "scripts" / "check_hygiene.py"
+
+
+def _load_script():
+    spec = importlib.util.spec_from_file_location("check_hygiene", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_real_repo_is_clean(capsys):
+    hygiene = _load_script()
+    assert hygiene.main([str(REPO_ROOT)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_orphan_pyc_is_an_offence(tmp_path, capsys):
+    pkg = tmp_path / "src" / "pkg"
+    cache = pkg / "__pycache__"
+    cache.mkdir(parents=True)
+    (pkg / "alive.py").write_text("x = 1\n")
+    (cache / "alive.cpython-311.pyc").write_bytes(b"\x00")  # has a source
+    (cache / "ghost.cpython-311.pyc").write_bytes(b"\x00")  # orphan
+    hygiene = _load_script()
+    assert hygiene.main([str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "ghost.cpython-311.pyc" in err
+    assert "alive.cpython-311.pyc" not in err
+
+
+def test_fully_orphaned_pycache_dir_is_an_offence(tmp_path, capsys):
+    # The exact shape of the original debris: a __pycache__ whose parent
+    # package directory contains no .py sources at all.
+    cache = tmp_path / "src" / "gone" / "__pycache__"
+    cache.mkdir(parents=True)
+    (cache / "module.cpython-311.pyc").write_bytes(b"\x00")
+    hygiene = _load_script()
+    assert hygiene.main([str(tmp_path)]) == 1
+    assert "orphan __pycache__" in capsys.readouterr().err
+
+
+def test_runtime_pycache_next_to_sources_is_allowed(tmp_path, capsys):
+    pkg = tmp_path / "src" / "pkg"
+    cache = pkg / "__pycache__"
+    cache.mkdir(parents=True)
+    (pkg / "mod.py").write_text("x = 1\n")
+    (cache / "mod.cpython-311.pyc").write_bytes(b"\x00")
+    hygiene = _load_script()
+    assert hygiene.main([str(tmp_path)]) == 0
+
+
+def test_missing_src_tree_is_clean(tmp_path):
+    hygiene = _load_script()
+    assert hygiene.main([str(tmp_path)]) == 0
